@@ -1,0 +1,59 @@
+// Shared helpers for the experiment harnesses in bench/.
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "core/constructions.hpp"
+#include "sim/consistency.hpp"
+#include "sim/simulator.hpp"
+#include "sim/workload.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace cn::bench {
+
+/// Outcome of a randomized violation search.
+struct SearchResult {
+  std::uint64_t trials = 0;
+  std::uint64_t lin_violations = 0;   ///< Executions with a non-lin token.
+  std::uint64_t sc_violations = 0;    ///< Executions with a non-SC token.
+  double worst_f_nl = 0.0;
+  double worst_f_nsc = 0.0;
+};
+
+/// Runs `trials` random workloads at the given wire-delay envelope and
+/// counts executions violating linearizability / sequential consistency.
+inline SearchResult search_violations(const Network& net, double c_min,
+                                      double c_max, std::uint64_t trials,
+                                      Xoshiro256& rng,
+                                      double local_delay_min = 0.0,
+                                      std::uint32_t processes = 8,
+                                      std::uint32_t tokens_per_process = 4) {
+  SearchResult out;
+  out.trials = trials;
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    WorkloadSpec spec;
+    spec.processes = processes;
+    spec.tokens_per_process = tokens_per_process;
+    spec.c_min = c_min;
+    spec.c_max = c_max;
+    spec.local_delay_min = local_delay_min;
+    spec.local_delay_max = local_delay_min + 2.0;
+    spec.extreme_delays = true;
+    const TimedExecution exec = generate_workload(net, spec, rng);
+    const SimulationResult sim = simulate(exec);
+    if (!sim.ok()) continue;
+    const ConsistencyReport rep = analyze(sim.trace);
+    if (!rep.linearizable()) ++out.lin_violations;
+    if (!rep.sequentially_consistent()) ++out.sc_violations;
+    out.worst_f_nl = std::max(out.worst_f_nl, rep.f_nl);
+    out.worst_f_nsc = std::max(out.worst_f_nsc, rep.f_nsc);
+  }
+  return out;
+}
+
+inline std::string yes_no(bool b) { return b ? "yes" : "no"; }
+
+}  // namespace cn::bench

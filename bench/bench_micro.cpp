@@ -1,0 +1,100 @@
+// Microbenchmarks (google-benchmark): per-operation cost of the building
+// blocks — shared-memory balancer traversal, full network increments by
+// width and construction, the sequential engine, and the timed simulator.
+#include <benchmark/benchmark.h>
+
+#include "baselines/diffracting_tree.hpp"
+#include "baselines/fetch_inc_counter.hpp"
+#include "concurrent/concurrent_network.hpp"
+#include "core/constructions.hpp"
+#include "core/sequential.hpp"
+#include "core/valency.hpp"
+#include "sim/adversary.hpp"
+#include "sim/simulator.hpp"
+#include "sim/workload.hpp"
+
+namespace {
+
+using namespace cn;
+
+void BM_FetchInc(benchmark::State& state) {
+  FetchIncCounter c;
+  for (auto _ : state) benchmark::DoNotOptimize(c.next());
+}
+BENCHMARK(BM_FetchInc);
+
+void BM_BitonicIncrement(benchmark::State& state) {
+  const Network topo = make_bitonic(static_cast<std::uint32_t>(state.range(0)));
+  ConcurrentNetwork net(topo);
+  std::uint32_t src = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.increment(src));
+    src = (src + 1) % topo.fan_in();
+  }
+  state.SetLabel("depth=" + std::to_string(topo.depth()));
+}
+BENCHMARK(BM_BitonicIncrement)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_PeriodicIncrement(benchmark::State& state) {
+  const Network topo = make_periodic(static_cast<std::uint32_t>(state.range(0)));
+  ConcurrentNetwork net(topo);
+  std::uint32_t src = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.increment(src));
+    src = (src + 1) % topo.fan_in();
+  }
+  state.SetLabel("depth=" + std::to_string(topo.depth()));
+}
+BENCHMARK(BM_PeriodicIncrement)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_DiffractingTreeIncrement(benchmark::State& state) {
+  DiffractingTree tree(static_cast<std::uint32_t>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(tree.next(0));
+}
+BENCHMARK(BM_DiffractingTreeIncrement)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_SequentialEngineTraversal(benchmark::State& state) {
+  const Network topo = make_bitonic(static_cast<std::uint32_t>(state.range(0)));
+  NetworkState engine(topo);
+  TokenId next = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.shepherd(next, next, next % topo.fan_in()));
+    ++next;
+  }
+}
+BENCHMARK(BM_SequentialEngineTraversal)->Arg(8)->Arg(32);
+
+void BM_SimulateRandomWorkload(benchmark::State& state) {
+  const Network topo = make_bitonic(8);
+  Xoshiro256 rng(1);
+  WorkloadSpec spec;
+  spec.processes = 8;
+  spec.tokens_per_process = 8;
+  for (auto _ : state) {
+    const TimedExecution exec = generate_workload(topo, spec, rng);
+    benchmark::DoNotOptimize(simulate(exec));
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_SimulateRandomWorkload);
+
+void BM_WaveConstruction(benchmark::State& state) {
+  const Network topo = make_bitonic(static_cast<std::uint32_t>(state.range(0)));
+  const SplitAnalysis split(topo);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_wave_execution(topo, split, {.ell = 1}));
+  }
+}
+BENCHMARK(BM_WaveConstruction)->Arg(8)->Arg(32);
+
+void BM_SplitAnalysis(benchmark::State& state) {
+  const Network topo = make_periodic(static_cast<std::uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SplitAnalysis(topo));
+  }
+}
+BENCHMARK(BM_SplitAnalysis)->Arg(8)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

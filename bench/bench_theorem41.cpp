@@ -1,0 +1,81 @@
+// E3 — Theorem 4.1 / Corollary 4.5: the local inter-operation delay C_L
+// distinguishes sequential consistency from linearizability.
+//
+// On B(8) (depth 6) with c_min = 1, c_max = 8:
+//   * Theorem 4.1 guarantees sequential consistency once
+//       C_L > d(G) (c_max - 2 c_min) = 36.
+//   * The three-wave attack (which is what breaks SC) succeeds only while
+//       C_L < race_depth * c_max - (race_depth + d) * c_min = 15.
+//   * Linearizability stays broken at EVERY C_L (the waves use distinct
+//     processes for that witness), which is Corollary 4.5's separation.
+//
+// The sweep prints, per C_L: whether the Theorem 4.1 premise holds,
+// whether the adversarial wave still violates SC / linearizability, and
+// the violation rate of a randomized search with local delay floor C_L.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/valency.hpp"
+#include "sim/adversary.hpp"
+#include "sim/timing.hpp"
+
+int main() {
+  using namespace cn;
+  const Network net = make_bitonic(8);
+  const SplitAnalysis split(net);
+  const double c_min = 1.0, c_max = 8.0;
+  const double thm41_bound = net.depth() * (c_max - 2.0 * c_min);
+  const double attack_bound =
+      split.race_depth(1) * c_max - (split.race_depth(1) + net.depth()) * c_min;
+
+  std::cout << "E3: local-delay sweep on " << net.name()
+            << " (Theorem 4.1 / Corollary 4.5)\n"
+            << "c_min=" << c_min << " c_max=" << c_max
+            << "; Theorem 4.1 guarantees SC for C_L > " << thm41_bound
+            << "; the wave attack needs C_L < " << attack_bound << "\n\n";
+
+  TablePrinter t({"C_L", "premise d(c_max-2c_min)<C_L", "wave breaks SC?",
+                  "wave breaks lin?", "random SC viol.", "random lin viol.",
+                  "worst F_nsc"});
+  Xoshiro256 rng(31337);
+  for (const double cl : {0.0, 3.0, 6.0, 9.0, 12.0, 14.9, 15.1, 18.0, 24.0,
+                          30.0, 36.0, 36.1, 42.0}) {
+    WaveSpec spec;
+    spec.ell = 1;
+    spec.c_min = c_min;
+    spec.c_max = c_max;
+    spec.wave3_extra_delay = cl;
+    const WaveResult same_proc = run_wave_execution(net, split, spec);
+    // Corollary 4.5's linearizability witness renames every token to its
+    // own process, so any C_L floor is VACUOUSLY satisfied — wave 3 may
+    // re-enter immediately. This is why C_L separates the two conditions.
+    spec.distinct_processes = true;
+    spec.wave3_extra_delay = 0.0;
+    const WaveResult diff_proc = run_wave_execution(net, split, spec);
+    if (!same_proc.ok() || !diff_proc.ok()) {
+      std::cerr << "wave failed: " << same_proc.error << diff_proc.error << "\n";
+      return 1;
+    }
+    const auto rand = cn::bench::search_violations(net, c_min, c_max,
+                                                   /*trials=*/150, rng,
+                                                   /*local_delay_min=*/cl);
+    TimingCondition cond{.c_min = c_min, .c_max = c_max};
+    cond.C_L_at_least = cl;
+    t.add_row({fmt_double(cl, 1),
+               cn::bench::yes_no(theorem41_premise_holds(net, cond)),
+               cn::bench::yes_no(!same_proc.report.sequentially_consistent()),
+               cn::bench::yes_no(!diff_proc.report.linearizable()),
+               std::to_string(rand.sc_violations) + "/" +
+                   std::to_string(rand.trials),
+               std::to_string(rand.lin_violations) + "/" +
+                   std::to_string(rand.trials),
+               fmt_double(std::max(same_proc.report.f_nsc, rand.worst_f_nsc))});
+  }
+  t.print(std::cout);
+  std::cout << "\nShape check: SC violations stop at the attack bound and "
+               "are provably impossible past the\nTheorem 4.1 bound, while "
+               "linearizability violations persist at every C_L — the "
+               "local delay\nseparates the two conditions (Corollary "
+               "4.5).\n";
+  return 0;
+}

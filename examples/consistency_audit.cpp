@@ -1,0 +1,86 @@
+// Consistency audit of adversarial schedules: reconstructs the paper's
+// three-wave execution at a chosen split level on a chosen network,
+// prints every token's interval and value, and reports the inconsistency
+// fractions — a worked tour of Section 5.
+//
+//   ./consistency_audit [--network bitonic|periodic] [--width 8] [--ell 1]
+//                       [--transform]   # also run the Theorem 3.2 transform
+#include <algorithm>
+#include <iostream>
+#include <string>
+
+#include "core/constructions.hpp"
+#include "core/valency.hpp"
+#include "sim/adversary.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cn;
+  const CliArgs args(argc, argv);
+  const auto width = static_cast<std::uint32_t>(args.get_int("width", 8));
+  const auto ell = static_cast<std::uint32_t>(args.get_int("ell", 1));
+  const Network net = args.get("network", "bitonic") == "periodic"
+                          ? make_periodic(width)
+                          : make_bitonic(width);
+
+  const SplitAnalysis split(net);
+  if (!split.applicable()) {
+    std::cerr << net.name() << " has no split structure\n";
+    return 1;
+  }
+  std::cout << net.name() << ": depth=" << net.depth()
+            << " sd=" << split.split_depth() << " sp=" << split.split_number()
+            << "\n";
+
+  const WaveResult res = run_wave_execution(net, split, {.ell = ell});
+  if (!res.ok()) {
+    std::cerr << "wave construction failed: " << res.error << "\n";
+    return 1;
+  }
+  std::cout << "three-wave execution at ell=" << ell
+            << " (ratio used " << fmt_double(res.timing.ratio(), 3)
+            << ", threshold " << fmt_double(res.required_ratio, 3) << ")\n\n";
+
+  TablePrinter t({"token", "process", "wave", "enters", "exits", "value",
+                  "non-lin?", "non-SC?"});
+  auto flagged = [](const std::vector<TokenId>& v, TokenId tok) {
+    return std::find(v.begin(), v.end(), tok) != v.end();
+  };
+  for (const TokenRecord& r : res.trace) {
+    const std::string wave = r.token < res.wave1_size ? "1"
+                             : r.token < res.wave1_size + res.wave2_size
+                                 ? "2"
+                                 : "3";
+    t.add_row({std::to_string(r.token), std::to_string(r.process), wave,
+               fmt_double(r.t_in, 1), fmt_double(r.t_out, 1),
+               std::to_string(r.value),
+               flagged(res.report.non_linearizable, r.token) ? "X" : "",
+               flagged(res.report.non_sequentially_consistent, r.token) ? "X"
+                                                                        : ""});
+  }
+  t.print(std::cout);
+  std::cout << "\nF_nl=" << fmt_double(res.report.f_nl) << " (paper bound "
+            << fmt_double(res.predicted_f_nl) << ")   F_nsc="
+            << fmt_double(res.report.f_nsc) << " (paper bound "
+            << fmt_double(res.predicted_f_nsc) << ")\n";
+
+  if (args.get_bool("transform", false)) {
+    std::cout << "\n--- Theorem 3.2 transform ---\n";
+    const WaveResult base =
+        run_wave_execution(net, split, {.ell = ell, .distinct_processes = true});
+    const Theorem32Result tr = run_theorem32_transform(net, base.exec);
+    if (!tr.ok()) {
+      std::cerr << "transform failed: " << tr.error << "\n";
+      return 1;
+    }
+    std::cout << "base: linearizable=" << tr.base_report.linearizable()
+              << " SC=" << tr.base_report.sequentially_consistent() << "\n"
+              << "transformed (+" << tr.inserted_per_wire * net.fan_in()
+              << " lockstep tokens): SC="
+              << tr.transformed_report.sequentially_consistent()
+              << "  witness pair: token " << tr.witness_T << " -> inserted "
+              << tr.inserted_token << "\n";
+  }
+  return 0;
+}

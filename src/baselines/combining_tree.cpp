@@ -1,0 +1,131 @@
+#include "baselines/combining_tree.hpp"
+
+#include <stdexcept>
+
+#include "util/bits.hpp"
+
+namespace cn {
+
+CombiningTree::CombiningTree(std::uint32_t capacity) {
+  if (capacity < 2 || !is_pow2(capacity)) {
+    throw std::invalid_argument("CombiningTree capacity must be a power of two >= 2");
+  }
+  const std::uint32_t num_leaves = capacity / 2;
+  const std::uint32_t num_nodes = 2 * num_leaves - 1;
+  nodes_.reserve(num_nodes);
+  for (std::uint32_t i = 0; i < num_nodes; ++i) {
+    nodes_.push_back(std::make_unique<Node>());
+    if (i > 0) nodes_[i]->parent = nodes_[(i - 1) / 2].get();
+  }
+  nodes_[0]->status = Status::kRoot;
+  leaf_.resize(num_leaves);
+  for (std::uint32_t i = 0; i < num_leaves; ++i) {
+    leaf_[i] = nodes_[num_nodes - num_leaves + i].get();
+  }
+}
+
+bool CombiningTree::Node::precombine() {
+  std::unique_lock<std::mutex> lk(m);
+  cv.wait(lk, [&] { return !locked; });
+  switch (status) {
+    case Status::kIdle:
+      status = Status::kFirst;
+      return true;
+    case Status::kFirst:
+      locked = true;
+      status = Status::kSecond;
+      return false;
+    case Status::kRoot:
+      return false;
+    default:
+      throw std::logic_error("combining tree: unexpected precombine status");
+  }
+}
+
+std::uint64_t CombiningTree::Node::combine(std::uint64_t combined) {
+  std::unique_lock<std::mutex> lk(m);
+  cv.wait(lk, [&] { return !locked; });
+  locked = true;
+  first_value = combined;
+  switch (status) {
+    case Status::kFirst:
+      return first_value;
+    case Status::kSecond:
+      return first_value + second_value;
+    default:
+      throw std::logic_error("combining tree: unexpected combine status");
+  }
+}
+
+std::uint64_t CombiningTree::Node::op(std::uint64_t combined) {
+  std::unique_lock<std::mutex> lk(m);
+  switch (status) {
+    case Status::kRoot: {
+      const std::uint64_t prior = result;
+      result += combined;
+      return prior;
+    }
+    case Status::kSecond: {
+      second_value = combined;
+      locked = false;
+      cv.notify_all();  // let the active (first) thread proceed to combine
+      cv.wait(lk, [&] { return status == Status::kResult; });
+      locked = false;
+      status = Status::kIdle;
+      cv.notify_all();
+      return result;
+    }
+    default:
+      throw std::logic_error("combining tree: unexpected op status");
+  }
+}
+
+void CombiningTree::Node::distribute(std::uint64_t prior) {
+  std::unique_lock<std::mutex> lk(m);
+  switch (status) {
+    case Status::kFirst:
+      // No second thread showed up: just release the node.
+      status = Status::kIdle;
+      locked = false;
+      break;
+    case Status::kSecond:
+      // Deliver the second thread's result: it contributed after our
+      // first_value within the combined batch.
+      result = prior + first_value;
+      status = Status::kResult;
+      break;
+    default:
+      throw std::logic_error("combining tree: unexpected distribute status");
+  }
+  cv.notify_all();
+}
+
+std::uint64_t CombiningTree::next(std::uint32_t thread) {
+  Node* my_leaf = leaf_[(thread / 2) % leaf_.size()];
+  // Precombining: climb while we are first at each node.
+  Node* stop = my_leaf;
+  while (stop->precombine()) {
+    if (stop->parent == nullptr) break;
+    stop = stop->parent;
+  }
+  // Combining: deposit counts along the path below the stop node.
+  std::uint64_t combined = 1;
+  std::vector<Node*> visited;
+  for (Node* node = my_leaf; node != stop; node = node->parent) {
+    combined = node->combine(combined);
+    visited.push_back(node);
+  }
+  const std::uint64_t prior = stop->op(combined);
+  // Distribution: release the path top-down... in reverse visit order.
+  for (auto it = visited.rbegin(); it != visited.rend(); ++it) {
+    (*it)->distribute(prior);
+  }
+  return prior;
+}
+
+std::uint64_t CombiningTree::current() const {
+  std::unique_lock<std::mutex> lk(nodes_[0]->m);
+  return nodes_[0]->result;
+}
+
+}  // namespace cn

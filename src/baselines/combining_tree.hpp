@@ -1,0 +1,61 @@
+// Software combining tree counter (Goodman, Vernon & Woest 1989; cited in
+// the paper's introduction), following the structure of the
+// Herlihy-Shavit presentation: concurrent increments meet at tree nodes
+// and combine into a single update that climbs to the root, with results
+// distributed back down.
+//
+// Linearizable, and under saturation the root sees O(log n) batched
+// updates instead of n individual ones — but latency suffers when
+// concurrency is low, which is the trade-off the throughput bench shows.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace cn {
+
+/// Combining-tree fetch&increment counter for up to `capacity` threads
+/// (capacity must be a power of two >= 2).
+class CombiningTree {
+ public:
+  explicit CombiningTree(std::uint32_t capacity);
+
+  /// Returns the pre-increment value. `thread` must be < capacity.
+  std::uint64_t next(std::uint32_t thread);
+
+  /// Current counter value; exact only at quiescence.
+  std::uint64_t current() const;
+
+ private:
+  enum class Status : std::uint8_t { kIdle, kFirst, kSecond, kResult, kRoot };
+
+  struct Node {
+    mutable std::mutex m;
+    std::condition_variable cv;
+    Status status = Status::kIdle;
+    bool locked = false;
+    std::uint64_t first_value = 0;
+    std::uint64_t second_value = 0;
+    std::uint64_t result = 0;
+    Node* parent = nullptr;
+
+    /// Precombining phase: returns true if the caller should continue
+    /// climbing (it is the first to arrive here).
+    bool precombine();
+    /// Combining phase: deposits the caller's combined count.
+    std::uint64_t combine(std::uint64_t combined);
+    /// Operation phase at the stop node: applies the combined update
+    /// (root) or waits for the active thread to deliver a result (second).
+    std::uint64_t op(std::uint64_t combined);
+    /// Distribution phase on the way back down.
+    void distribute(std::uint64_t prior);
+  };
+
+  std::vector<std::unique_ptr<Node>> nodes_;  // heap order, nodes_[0] = root
+  std::vector<Node*> leaf_;                   // leaf for thread i: leaf_[i/2]
+};
+
+}  // namespace cn

@@ -1,0 +1,89 @@
+#include "baselines/diffracting_tree.hpp"
+
+#include <stdexcept>
+#include <thread>
+
+#include "util/bits.hpp"
+
+namespace cn {
+
+std::uint32_t DiffractingBalancer::traverse(Xoshiro256& rng) noexcept {
+  Slot& slot = prism_[prism_.size() == 1 ? 0 : rng.below(prism_.size())];
+  // Try to collide with a waiting partner: the partner exits on output 0,
+  // we exit on output 1 — together a no-op on the toggle.
+  std::uint32_t expected = kWaiting;
+  if (slot.state.compare_exchange_strong(expected, kMatched,
+                                         std::memory_order_acq_rel)) {
+    diffracted_.fetch_add(2, std::memory_order_relaxed);
+    return 1;
+  }
+  // Try to become the waiter.
+  expected = kEmpty;
+  if (slot.state.compare_exchange_strong(expected, kWaiting,
+                                         std::memory_order_acq_rel)) {
+    for (std::uint32_t i = 0; i < spin_; ++i) {
+      if (slot.state.load(std::memory_order_acquire) == kMatched) {
+        slot.state.store(kEmpty, std::memory_order_release);
+        return 0;
+      }
+      if (i % 16 == 15) std::this_thread::yield();
+    }
+    // Timed out: revoke the offer — unless a partner matched us just now.
+    expected = kWaiting;
+    if (!slot.state.compare_exchange_strong(expected, kEmpty,
+                                            std::memory_order_acq_rel)) {
+      // Partner won the race; complete the collision.
+      while (slot.state.load(std::memory_order_acquire) != kMatched) {
+        std::this_thread::yield();
+      }
+      slot.state.store(kEmpty, std::memory_order_release);
+      return 0;
+    }
+  }
+  // Fall back to the toggle.
+  return static_cast<std::uint32_t>(
+      toggle_.fetch_add(1, std::memory_order_acq_rel) % 2);
+}
+
+DiffractingTree::DiffractingTree(std::uint32_t width, std::uint32_t prism_slots,
+                                 std::uint32_t spin)
+    : width_(width), levels_(0), counters_(width) {
+  if (width < 2 || !is_pow2(width)) {
+    throw std::invalid_argument("DiffractingTree width must be a power of two >= 2");
+  }
+  levels_ = log2_exact(width);
+  balancers_.reserve(width - 1);
+  for (std::uint32_t i = 0; i + 1 < width; ++i) {
+    balancers_.push_back(
+        std::make_unique<DiffractingBalancer>(prism_slots, spin));
+  }
+  for (std::uint32_t j = 0; j < width; ++j) {
+    counters_[j].value.store(j, std::memory_order_relaxed);
+  }
+}
+
+std::uint64_t DiffractingTree::next(std::uint32_t thread) noexcept {
+  thread_local Xoshiro256 rng(0xD1FFULL ^ (static_cast<std::uint64_t>(thread) << 20));
+  std::uint32_t idx = 0;     // accumulated counter-index bits
+  std::uint32_t node = 0;    // index within the level-major array
+  std::uint32_t level_base = 0;
+  for (std::uint32_t level = 0; level < levels_; ++level) {
+    const std::uint32_t bit =
+        balancers_[level_base + node]->traverse(rng);
+    idx |= bit << level;  // toggle at level ℓ decides bit ℓ (bit-reversal)
+    level_base += 1u << level;
+    node = (node << 1) | bit;
+  }
+  // counters_[idx] hands out idx, idx + w, idx + 2w, ...
+  const std::uint64_t k =
+      counters_[idx].value.fetch_add(width_, std::memory_order_acq_rel);
+  return k;
+}
+
+std::uint64_t DiffractingTree::total_diffracted() const noexcept {
+  std::uint64_t sum = 0;
+  for (const auto& b : balancers_) sum += b->diffracted();
+  return sum;
+}
+
+}  // namespace cn

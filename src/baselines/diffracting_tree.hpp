@@ -1,0 +1,79 @@
+// Diffracting tree counter (Shavit & Zemach 1996, paper Section 2.6.3).
+//
+// Each (1,2)-balancer is a toggle bit protected from contention by a
+// "prism": an array of exchange slots where pairs of concurrent tokens
+// collide and diffract (one goes to each output) without touching the
+// toggle at all. A pair leaves the toggle state unchanged — the same
+// modular-counting fact as the paper's Lemma 3.1 — so the tree still
+// counts. Tokens that fail to pair within a bounded spin fall back to the
+// toggle.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "concurrent/concurrent_network.hpp"
+#include "util/rng.hpp"
+
+namespace cn {
+
+/// One prism-protected toggle balancer.
+class DiffractingBalancer {
+ public:
+  explicit DiffractingBalancer(std::uint32_t prism_slots, std::uint32_t spin)
+      : prism_(prism_slots), spin_(spin) {}
+
+  /// Returns the output (0 = top, 1 = bottom) for one token.
+  std::uint32_t traverse(Xoshiro256& rng) noexcept;
+
+  /// Tokens that paired in the prism (for observability in benches).
+  std::uint64_t diffracted() const noexcept {
+    return diffracted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  enum SlotState : std::uint32_t { kEmpty = 0, kWaiting = 1, kMatched = 2 };
+
+  struct alignas(64) Slot {
+    std::atomic<std::uint32_t> state{kEmpty};
+  };
+
+  std::vector<Slot> prism_;
+  std::atomic<std::uint64_t> toggle_{0};
+  std::atomic<std::uint64_t> diffracted_{0};
+  const std::uint32_t spin_;
+};
+
+/// The full diffracting-tree counter with fan-out `width` (power of two).
+/// Leaf counters stride by width; sink wiring is bit-reversed exactly as
+/// in make_counting_tree, so values are gap-free at quiescence.
+class DiffractingTree {
+ public:
+  /// prism_slots scales the collision opportunities per balancer; spin is
+  /// the bounded wait (iterations) before falling back to the toggle.
+  explicit DiffractingTree(std::uint32_t width, std::uint32_t prism_slots = 4,
+                           std::uint32_t spin = 64);
+
+  /// Returns a fresh value. Thread-safe; `thread` seeds the per-call RNG
+  /// stream used for prism slot choice.
+  std::uint64_t next(std::uint32_t thread) noexcept;
+
+  std::uint32_t width() const noexcept { return width_; }
+
+  /// Total tokens that diffracted (paired) across all balancers.
+  std::uint64_t total_diffracted() const noexcept;
+
+ private:
+  std::uint32_t width_;
+  std::uint32_t levels_;
+  /// Balancers in level-major order: level ℓ has 2^ℓ nodes; the node
+  /// reached with accumulated bits `idx` at level ℓ is at
+  /// (2^ℓ - 1) + idx ... indexed so that the toggle at level ℓ decides
+  /// bit ℓ of the final counter index.
+  std::vector<std::unique_ptr<DiffractingBalancer>> balancers_;
+  std::vector<PaddedAtomic> counters_;
+};
+
+}  // namespace cn

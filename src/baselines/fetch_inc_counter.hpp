@@ -1,0 +1,26 @@
+// The trivial baseline: a single shared fetch&increment counter
+// (paper Section 1.1 — the sequential bottleneck counting networks
+// are designed to avoid).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace cn {
+
+/// Wait-free, linearizable, maximally contended.
+class FetchIncCounter {
+ public:
+  std::uint64_t next() noexcept {
+    return value_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  std::uint64_t current() const noexcept {
+    return value_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+}  // namespace cn

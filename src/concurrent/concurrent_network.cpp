@@ -1,0 +1,24 @@
+#include "concurrent/concurrent_network.hpp"
+
+namespace cn {
+
+ConcurrentNetwork::ConcurrentNetwork(const Network& net)
+    : net_(&net),
+      balancers_(net.num_balancers()),
+      counters_(net.fan_out()) {}
+
+std::vector<std::uint64_t> ConcurrentNetwork::sink_counts() const {
+  std::vector<std::uint64_t> counts(net_->fan_out());
+  for (std::uint32_t j = 0; j < net_->fan_out(); ++j) {
+    counts[j] = counters_[j].value.load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+std::uint64_t ConcurrentNetwork::total() const {
+  std::uint64_t sum = 0;
+  for (const std::uint64_t c : sink_counts()) sum += c;
+  return sum;
+}
+
+}  // namespace cn

@@ -1,0 +1,82 @@
+// Shared-memory implementation of counting networks (paper Section 2.7):
+// balancers are records updated atomically, wires are pointers, and each
+// process shepherds tokens from its input wire to a counter.
+//
+// A balancer with fan-out f is a mod-f round-robin dispenser; a single
+// fetch_add on a 64-bit counter implements it wait-free (the classic
+// shared-memory balancer). Sink counters stride by the network fan-out.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+#include "core/sequential.hpp"
+#include "core/topology.hpp"
+
+namespace cn {
+
+/// Cache-line padded atomic counter, to keep balancers that are logically
+/// independent from false-sharing each other.
+struct alignas(64) PaddedAtomic {
+  std::atomic<std::uint64_t> value{0};
+};
+
+/// A counting network instantiated in shared memory. Thread-safe: any
+/// number of threads may call increment concurrently.
+class ConcurrentNetwork {
+ public:
+  explicit ConcurrentNetwork(const Network& net);
+
+  ConcurrentNetwork(const ConcurrentNetwork&) = delete;
+  ConcurrentNetwork& operator=(const ConcurrentNetwork&) = delete;
+
+  const Network& network() const noexcept { return *net_; }
+
+  /// Shepherds one token from input wire `source` through the network and
+  /// returns the value its counter assigned. Wait-free: one fetch_add per
+  /// balancer plus one at the counter.
+  Value increment(std::uint32_t source) noexcept {
+    return increment_paced(source, [](std::uint32_t) {});
+  }
+
+  /// Like increment, but calls `pacer(hop_index)` before every node
+  /// crossing (hop 0 = first balancer). Used to impose wire-delay
+  /// envelopes [c_min, c_max] on real threads.
+  template <typename Pacer>
+  Value increment_paced(std::uint32_t source, Pacer&& pacer) noexcept {
+    const Network& net = *net_;
+    WireIndex wire = net.source_wire(source);
+    std::uint32_t hop = 0;
+    for (;;) {
+      const Wire& w = net.wire(wire);
+      pacer(hop++);
+      if (w.to.kind == Endpoint::Kind::kBalancer) {
+        const NodeIndex b = w.to.index;
+        const Balancer& bal = net.balancer(b);
+        const std::uint64_t pos =
+            balancers_[b].value.fetch_add(1, std::memory_order_acq_rel);
+        wire = bal.out[pos % bal.fan_out()];
+      } else {
+        const std::uint64_t k =
+            counters_[w.to.index].value.fetch_add(1, std::memory_order_acq_rel);
+        return w.to.index + k * net.fan_out();
+      }
+    }
+  }
+
+  /// Snapshot of how many tokens have exited through each counter. Only
+  /// meaningful at quiescence (no concurrent increments).
+  std::vector<std::uint64_t> sink_counts() const;
+
+  /// Total values handed out so far (sum of sink counts).
+  std::uint64_t total() const;
+
+ private:
+  const Network* net_;
+  std::vector<PaddedAtomic> balancers_;
+  std::vector<PaddedAtomic> counters_;
+};
+
+}  // namespace cn

@@ -1,0 +1,141 @@
+#include "concurrent/harness.hpp"
+
+#include <chrono>
+#include <iterator>
+#include <thread>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/spin_barrier.hpp"
+
+namespace cn {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Busy-waits for `ns` nanoseconds, yielding periodically so that paced
+/// runs still make progress on machines with fewer cores than threads.
+void spin_for_ns(std::uint64_t ns) {
+  if (ns == 0) return;
+  const auto deadline = Clock::now() + std::chrono::nanoseconds(ns);
+  std::uint32_t spins = 0;
+  while (Clock::now() < deadline) {
+    if (++spins % 128 == 0) std::this_thread::yield();
+  }
+}
+
+double to_seconds(Clock::time_point t) {
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+std::uint64_t to_ns(Clock::time_point t) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          t.time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+ConcurrentRunResult run_recorded(ConcurrentNetwork& net,
+                                 const ConcurrentRunSpec& spec) {
+  ConcurrentRunResult result;
+  if (spec.threads == 0 || spec.ops_per_thread == 0) {
+    result.error = "empty run";
+    return result;
+  }
+  const std::uint32_t fan_in = net.network().fan_in();
+  const std::uint32_t hops = net.network().depth() + 1;
+  std::vector<Trace> partial(spec.threads);
+  std::vector<std::vector<TokenPlan>> partial_plans(spec.threads);
+  SpinBarrier barrier(spec.threads);
+  std::vector<std::thread> workers;
+  workers.reserve(spec.threads);
+  const auto t_start = Clock::now();
+  for (std::uint32_t t = 0; t < spec.threads; ++t) {
+    workers.emplace_back([&, t] {
+      Xoshiro256 rng(spec.seed * 0x9e3779b9ULL + t);
+      Trace& mine = partial[t];
+      mine.reserve(spec.ops_per_thread);
+      const std::uint32_t source = t % fan_in;
+      std::vector<double> hop_times(hops);
+      barrier.arrive_and_wait();
+      for (std::uint64_t k = 0; k < spec.ops_per_thread; ++k) {
+        const auto in = Clock::now();
+        const Value v = net.increment_paced(source, [&](std::uint32_t hop) {
+          if (spec.hop_delay_max_ns > 0) {
+            spin_for_ns(rng.range(spec.hop_delay_min_ns, spec.hop_delay_max_ns));
+          }
+          if (spec.record_schedule && hop < hops) {
+            hop_times[hop] = to_seconds(Clock::now());
+          }
+        });
+        const auto out = Clock::now();
+        if (spec.record_schedule) {
+          TokenPlan plan;
+          plan.token = static_cast<TokenId>(t * spec.ops_per_thread + k);
+          plan.process = t;
+          plan.source = source;
+          plan.times = hop_times;
+          partial_plans[t].push_back(std::move(plan));
+        }
+        TokenRecord rec;
+        rec.token = static_cast<TokenId>(t * spec.ops_per_thread + k);
+        rec.process = t;
+        rec.source = source;
+        rec.sink = static_cast<std::uint32_t>(v % net.network().fan_out());
+        rec.value = v;
+        rec.t_in = to_seconds(in);
+        rec.t_out = to_seconds(out);
+        rec.first_seq = to_ns(in);
+        rec.last_seq = to_ns(out);
+        mine.push_back(rec);
+        spin_for_ns(spec.local_delay_ns);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  const auto t_end = Clock::now();
+  for (Trace& p : partial) {
+    result.trace.insert(result.trace.end(), p.begin(), p.end());
+  }
+  if (spec.record_schedule) {
+    result.schedule.net = &net.network();
+    for (auto& plans : partial_plans) {
+      result.schedule.plans.insert(result.schedule.plans.end(),
+                                   std::make_move_iterator(plans.begin()),
+                                   std::make_move_iterator(plans.end()));
+    }
+  }
+  result.total_ops =
+      static_cast<std::uint64_t>(spec.threads) * spec.ops_per_thread;
+  result.elapsed_sec = std::chrono::duration<double>(t_end - t_start).count();
+  result.ops_per_sec =
+      result.elapsed_sec > 0 ? result.total_ops / result.elapsed_sec : 0.0;
+  return result;
+}
+
+double run_throughput(std::uint32_t threads, std::uint64_t ops_per_thread,
+                      const std::function<std::uint64_t(std::uint32_t)>& next) {
+  SpinBarrier barrier(threads);
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  std::atomic<std::uint64_t> guard{0};  // keeps values observably used
+  const auto t_start = Clock::now();
+  for (std::uint32_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      barrier.arrive_and_wait();
+      std::uint64_t acc = 0;
+      for (std::uint64_t k = 0; k < ops_per_thread; ++k) acc ^= next(t);
+      guard.fetch_xor(acc, std::memory_order_relaxed);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - t_start).count();
+  const double total = static_cast<double>(threads) * ops_per_thread;
+  return elapsed > 0 ? total / elapsed : 0.0;
+}
+
+}  // namespace cn

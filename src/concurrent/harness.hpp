@@ -1,0 +1,68 @@
+// Multithreaded driver for concurrent counting structures: runs N threads
+// in a closed loop, optionally pacing wire delays and local
+// inter-operation delays, and records a Trace compatible with the
+// consistency analyzers in src/sim.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "concurrent/concurrent_network.hpp"
+#include "sim/timed_execution.hpp"
+#include "sim/trace.hpp"
+
+namespace cn {
+
+/// Parameters for a recorded concurrent run.
+struct ConcurrentRunSpec {
+  std::uint32_t threads = 4;
+  std::uint64_t ops_per_thread = 100;
+
+  /// Wire-delay envelope, in nanoseconds of busy-wait per hop: each hop
+  /// spins for a duration drawn from [hop_delay_min_ns, hop_delay_max_ns].
+  /// Zero disables pacing.
+  std::uint64_t hop_delay_min_ns = 0;
+  std::uint64_t hop_delay_max_ns = 0;
+
+  /// Local inter-operation delay floor (Theorem 4.1's C_L timer): each
+  /// thread busy-waits this long between finishing one operation and
+  /// starting the next.
+  std::uint64_t local_delay_ns = 0;
+
+  std::uint64_t seed = 1;
+
+  /// When true, every node crossing is timestamped and the run also
+  /// yields a TimedExecution-compatible schedule, so the six timing
+  /// parameters of Section 2.3 can be MEASURED from the live run with
+  /// measure_timing (e.g. to check the Theorem 4.1 premise empirically).
+  bool record_schedule = false;
+};
+
+/// Outcome of a recorded run.
+struct ConcurrentRunResult {
+  Trace trace;            ///< One record per completed operation.
+  double elapsed_sec = 0.0;
+  std::uint64_t total_ops = 0;
+  double ops_per_sec = 0.0;
+  /// Per-operation layer-crossing times (seconds); only filled when
+  /// spec.record_schedule. Feed to measure_timing via as_timed_execution.
+  TimedExecution schedule;
+  std::string error;
+
+  bool ok() const noexcept { return error.empty(); }
+};
+
+/// Runs `spec.threads` threads against the network; thread i acts as
+/// process i on input wire i mod fan_in. Every operation is timestamped
+/// (steady clock, before the first hop and after the counter) so the
+/// resulting trace can be fed to analyze() / is_sequentially_consistent().
+ConcurrentRunResult run_recorded(ConcurrentNetwork& net,
+                                 const ConcurrentRunSpec& spec);
+
+/// Unrecorded throughput run against any counter functor: `next(thread)`
+/// must return a fresh value. Returns operations per second.
+double run_throughput(std::uint32_t threads, std::uint64_t ops_per_thread,
+                      const std::function<std::uint64_t(std::uint32_t)>& next);
+
+}  // namespace cn

@@ -1,0 +1,121 @@
+// Bitonic counting network and its merging network (paper Section 2.6.1;
+// Aspnes, Herlihy & Shavit 1994).
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/builder.hpp"
+#include "core/constructions.hpp"
+#include "util/bits.hpp"
+
+namespace cn {
+
+namespace {
+
+void require_pow2_width(std::uint32_t w) {
+  if (w < 2 || !is_pow2(w)) {
+    throw std::invalid_argument("width must be a power of two >= 2");
+  }
+}
+
+/// AHS94 Merger[2k] on the given lines, whose first half carries one step
+/// sequence x and second half another step sequence y. Recursively, the
+/// even-indexed x's and odd-indexed y's feed one Merger[k] and the rest
+/// feed the other; a final column pairs output i of the first sub-merger
+/// with output i of the second, landing on lines 2i, 2i+1.
+///
+/// In the lines representation each sub-merger's outputs stay on its own
+/// line subset (in subset order); the final column's balancers cross
+/// wires so that the pair (a_i, b_i) lands on lines[2i], lines[2i+1].
+void emit_merger(LayeredBuilder& b, std::span<const std::uint32_t> lines) {
+  const std::size_t m = lines.size();
+  if (m == 2) {
+    b.add_balancer2(lines[0], lines[1]);
+    return;
+  }
+  const std::size_t h = m / 2;
+  // Sub-merger A: even x's then odd y's; sub-merger B: odd x's then even y's.
+  std::vector<std::uint32_t> sub_a, sub_b;
+  sub_a.reserve(h);
+  sub_b.reserve(h);
+  for (std::size_t i = 0; i < h; ++i) {
+    (i % 2 == 0 ? sub_a : sub_b).push_back(lines[i]);
+  }
+  for (std::size_t i = 0; i < h; ++i) {
+    (i % 2 == 0 ? sub_b : sub_a).push_back(lines[h + i]);
+  }
+  emit_merger(b, sub_a);
+  emit_merger(b, sub_b);
+  // Final column: the i-th output of sub-merger A (on line sub_a[i]) meets
+  // the i-th output of sub-merger B; output port 0 (the first round-robin
+  // target) lands on lines[2i], port 1 on lines[2i+1]. The identity
+  // {sub_a[i], sub_b[i]} = {lines[2i], lines[2i+1]} holds by construction.
+  for (std::size_t i = 0; i < h; ++i) {
+    b.add_balancer({sub_a[i], sub_b[i]}, {lines[2 * i], lines[2 * i + 1]});
+  }
+}
+
+void emit_bitonic(LayeredBuilder& b, std::span<const std::uint32_t> lines) {
+  const std::size_t m = lines.size();
+  if (m == 2) {
+    b.add_balancer2(lines[0], lines[1]);
+    return;
+  }
+  emit_bitonic(b, lines.subspan(0, m / 2));
+  emit_bitonic(b, lines.subspan(m / 2));
+  emit_merger(b, lines);
+}
+
+std::vector<std::uint32_t> iota_lines(std::uint32_t w) {
+  std::vector<std::uint32_t> lines(w);
+  for (std::uint32_t i = 0; i < w; ++i) lines[i] = i;
+  return lines;
+}
+
+}  // namespace
+
+Network make_bitonic(std::uint32_t w) {
+  require_pow2_width(w);
+  LayeredBuilder b(w);
+  const auto lines = iota_lines(w);
+  emit_bitonic(b, lines);
+  return b.finish("bitonic(" + std::to_string(w) + ")");
+}
+
+Network make_merger(std::uint32_t w) {
+  require_pow2_width(w);
+  LayeredBuilder b(w);
+  const auto lines = iota_lines(w);
+  emit_merger(b, lines);
+  return b.finish("merger(" + std::to_string(w) + ")");
+}
+
+Network make_single_balancer(std::uint32_t fan_in, std::uint32_t fan_out) {
+  NetworkBuilder b(fan_in, fan_out);
+  const NodeIndex bal = b.add_balancer(static_cast<PortIndex>(fan_in),
+                                       static_cast<PortIndex>(fan_out));
+  for (std::uint32_t i = 0; i < fan_in; ++i) {
+    b.connect_source_to_balancer(i, bal, static_cast<PortIndex>(i));
+  }
+  for (std::uint32_t j = 0; j < fan_out; ++j) {
+    b.connect_balancer_to_sink(bal, static_cast<PortIndex>(j), j);
+  }
+  return b.build("balancer(" + std::to_string(fan_in) + "," +
+                 std::to_string(fan_out) + ")");
+}
+
+Network make_brick_wall(std::uint32_t w, std::uint32_t stages) {
+  if (w < 2) throw std::invalid_argument("brick wall needs width >= 2");
+  LayeredBuilder b(w);
+  for (std::uint32_t s = 0; s < stages; ++s) {
+    const std::uint32_t off = s % 2;
+    for (std::uint32_t i = off; i + 1 < w; i += 2) {
+      b.add_balancer2(i, i + 1);
+    }
+  }
+  return b.finish("brick_wall(" + std::to_string(w) + "," +
+                  std::to_string(stages) + ")");
+}
+
+}  // namespace cn

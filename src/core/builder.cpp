@@ -1,0 +1,167 @@
+#include "core/builder.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cn {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::invalid_argument("builder: " + what);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- general
+
+NetworkBuilder::NetworkBuilder(std::uint32_t num_sources, std::uint32_t num_sinks)
+    : num_sources_(num_sources), num_sinks_(num_sinks) {}
+
+NodeIndex NetworkBuilder::add_balancer(PortIndex fan_in, PortIndex fan_out) {
+  if (fan_in == 0 || fan_out == 0) fail("balancer fan must be positive");
+  Balancer b;
+  b.in.assign(fan_in, kInvalidWire);
+  b.out.assign(fan_out, kInvalidWire);
+  balancers_.push_back(std::move(b));
+  return static_cast<NodeIndex>(balancers_.size() - 1);
+}
+
+WireIndex NetworkBuilder::add_wire(Endpoint from, Endpoint to) {
+  wires_.push_back(Wire{from, to});
+  return static_cast<WireIndex>(wires_.size() - 1);
+}
+
+void NetworkBuilder::connect_source_to_balancer(std::uint32_t source, NodeIndex b,
+                                                PortIndex in_port) {
+  if (b >= balancers_.size() || in_port >= balancers_[b].in.size()) {
+    fail("connect_source_to_balancer: bad target");
+  }
+  if (balancers_[b].in[in_port] != kInvalidWire) fail("input port already wired");
+  balancers_[b].in[in_port] =
+      add_wire({Endpoint::Kind::kSource, source, 0},
+               {Endpoint::Kind::kBalancer, b, in_port});
+}
+
+void NetworkBuilder::connect_source_to_sink(std::uint32_t source, std::uint32_t sink) {
+  add_wire({Endpoint::Kind::kSource, source, 0}, {Endpoint::Kind::kSink, sink, 0});
+}
+
+void NetworkBuilder::connect_balancer_to_balancer(NodeIndex from, PortIndex out_port,
+                                                  NodeIndex to, PortIndex in_port) {
+  if (from >= balancers_.size() || out_port >= balancers_[from].out.size() ||
+      to >= balancers_.size() || in_port >= balancers_[to].in.size()) {
+    fail("connect_balancer_to_balancer: bad endpoint");
+  }
+  if (balancers_[from].out[out_port] != kInvalidWire) fail("output port already wired");
+  if (balancers_[to].in[in_port] != kInvalidWire) fail("input port already wired");
+  const WireIndex w = add_wire({Endpoint::Kind::kBalancer, from, out_port},
+                               {Endpoint::Kind::kBalancer, to, in_port});
+  balancers_[from].out[out_port] = w;
+  balancers_[to].in[in_port] = w;
+}
+
+void NetworkBuilder::connect_balancer_to_sink(NodeIndex from, PortIndex out_port,
+                                              std::uint32_t sink) {
+  if (from >= balancers_.size() || out_port >= balancers_[from].out.size()) {
+    fail("connect_balancer_to_sink: bad endpoint");
+  }
+  if (balancers_[from].out[out_port] != kInvalidWire) fail("output port already wired");
+  balancers_[from].out[out_port] =
+      add_wire({Endpoint::Kind::kBalancer, from, out_port},
+               {Endpoint::Kind::kSink, sink, 0});
+}
+
+Network NetworkBuilder::build(std::string name) {
+  for (const Balancer& b : balancers_) {
+    for (const WireIndex w : b.in) {
+      if (w == kInvalidWire) fail("build: unconnected balancer input port");
+    }
+    for (const WireIndex w : b.out) {
+      if (w == kInvalidWire) fail("build: unconnected balancer output port");
+    }
+  }
+  return Network(num_sources_, num_sinks_, std::move(balancers_),
+                 std::move(wires_), std::move(name));
+}
+
+// ---------------------------------------------------------------- layered
+
+LayeredBuilder::LayeredBuilder(std::uint32_t width) : width_(width) {
+  if (width == 0) fail("width must be positive");
+  open_.resize(width);
+  for (std::uint32_t i = 0; i < width; ++i) {
+    open_[i].producer = {Endpoint::Kind::kSource, i, 0};
+  }
+}
+
+void LayeredBuilder::add_balancer(const std::vector<std::uint32_t>& lines) {
+  add_balancer(lines, lines);
+}
+
+void LayeredBuilder::add_balancer(const std::vector<std::uint32_t>& lines_in,
+                                  const std::vector<std::uint32_t>& lines_out) {
+  if (finished_) fail("add_balancer after finish");
+  if (lines_in.empty()) fail("balancer must span at least one line");
+  if (lines_in.size() != lines_out.size()) {
+    fail("lines_out must have the same size as lines_in");
+  }
+  auto check_distinct = [this](const std::vector<std::uint32_t>& lines) {
+    for (std::size_t a = 0; a < lines.size(); ++a) {
+      if (lines[a] >= width_) fail("line index out of range");
+      for (std::size_t b = a + 1; b < lines.size(); ++b) {
+        if (lines[a] == lines[b]) fail("duplicate line in balancer");
+      }
+    }
+  };
+  check_distinct(lines_in);
+  check_distinct(lines_out);
+  {
+    std::vector<std::uint32_t> a = lines_in, b = lines_out;
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    if (a != b) fail("lines_out must be a permutation of lines_in");
+  }
+  const auto bal_index = static_cast<NodeIndex>(balancers_.size());
+  Balancer bal;
+  const auto fan = static_cast<PortIndex>(lines_in.size());
+  bal.in.resize(fan);
+  bal.out.resize(fan);
+  // First consume all input open ends, then publish all outputs, so that
+  // lines_out may be any permutation of lines_in.
+  for (PortIndex p = 0; p < fan; ++p) {
+    wires_.push_back(Wire{open_[lines_in[p]].producer,
+                          {Endpoint::Kind::kBalancer, bal_index, p}});
+    bal.in[p] = static_cast<WireIndex>(wires_.size() - 1);
+  }
+  for (PortIndex p = 0; p < fan; ++p) {
+    // Output port p's wire is created when its consumer appears.
+    open_[lines_out[p]].producer = {Endpoint::Kind::kBalancer, bal_index, p};
+    bal.out[p] = kInvalidWire;
+  }
+  balancers_.push_back(std::move(bal));
+  // Back-patch output wires of producers that were just consumed as inputs.
+  for (PortIndex p = 0; p < fan; ++p) {
+    const Endpoint& from = wires_[balancers_.back().in[p]].from;
+    if (from.kind == Endpoint::Kind::kBalancer) {
+      balancers_[from.index].out[from.port] = balancers_.back().in[p];
+    }
+  }
+}
+
+Network LayeredBuilder::finish(std::string name) {
+  if (finished_) fail("finish called twice");
+  finished_ = true;
+  for (std::uint32_t j = 0; j < width_; ++j) {
+    wires_.push_back(Wire{open_[j].producer, {Endpoint::Kind::kSink, j, 0}});
+    const Endpoint& from = wires_.back().from;
+    if (from.kind == Endpoint::Kind::kBalancer) {
+      balancers_[from.index].out[from.port] =
+          static_cast<WireIndex>(wires_.size() - 1);
+    }
+  }
+  return Network(width_, width_, std::move(balancers_), std::move(wires_),
+                 std::move(name));
+}
+
+}  // namespace cn

@@ -1,0 +1,91 @@
+// Programmatic construction of balancing networks.
+//
+// Two builders are provided:
+//
+//  * NetworkBuilder — fully general: declare balancers, then connect
+//    producer endpoints (sources / balancer output ports) to consumer
+//    endpoints (balancer input ports / sinks). Used for tree-shaped
+//    networks and ad-hoc test graphs.
+//
+//  * LayeredBuilder — the "horizontal lines" idiom in which every classic
+//    construction is drawn (paper Figures 2-6): the network is a set of w
+//    lines; placing a balancer across lines {i1, i2, ...} consumes the
+//    open wire-ends on those lines and produces fresh open ends on the
+//    same lines. finish() attaches counters to the open ends.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/topology.hpp"
+
+namespace cn {
+
+/// General-purpose graph builder. Not reusable after build().
+class NetworkBuilder {
+ public:
+  NetworkBuilder(std::uint32_t num_sources, std::uint32_t num_sinks);
+
+  /// Declares an (fan_in, fan_out)-balancer; returns its index.
+  NodeIndex add_balancer(PortIndex fan_in, PortIndex fan_out);
+
+  // Producers: a wire can start at a source or a balancer output port.
+  void connect_source_to_balancer(std::uint32_t source, NodeIndex b, PortIndex in_port);
+  void connect_source_to_sink(std::uint32_t source, std::uint32_t sink);
+  void connect_balancer_to_balancer(NodeIndex from, PortIndex out_port,
+                                    NodeIndex to, PortIndex in_port);
+  void connect_balancer_to_sink(NodeIndex from, PortIndex out_port, std::uint32_t sink);
+
+  /// Validates and freezes the graph. Throws std::invalid_argument if any
+  /// port is left unconnected or the graph is malformed.
+  Network build(std::string name);
+
+ private:
+  WireIndex add_wire(Endpoint from, Endpoint to);
+
+  std::uint32_t num_sources_;
+  std::uint32_t num_sinks_;
+  std::vector<Balancer> balancers_;
+  std::vector<Wire> wires_;
+};
+
+/// Width-w line-based builder for the classic constructions.
+class LayeredBuilder {
+ public:
+  explicit LayeredBuilder(std::uint32_t width);
+
+  std::uint32_t width() const noexcept { return width_; }
+
+  /// Places a regular balancer across the given distinct lines. Input port
+  /// p is the current open end of lines[p]; output port p becomes the new
+  /// open end of lines[p]. Lines are top-to-bottom positions in 0..w-1.
+  void add_balancer(const std::vector<std::uint32_t>& lines);
+
+  /// Like add_balancer, but output port p lands on lines_out[p] instead of
+  /// the input line — wires are drawn crossing. lines_out must be a
+  /// permutation of lines_in (as sets).
+  void add_balancer(const std::vector<std::uint32_t>& lines_in,
+                    const std::vector<std::uint32_t>& lines_out);
+
+  /// Convenience for the ubiquitous (2,2)-balancer.
+  void add_balancer2(std::uint32_t line_a, std::uint32_t line_b) {
+    add_balancer({line_a, line_b});
+  }
+
+  /// Attaches counter j to the open end of line j and freezes the graph.
+  Network finish(std::string name);
+
+ private:
+  struct OpenEnd {
+    Endpoint producer;  ///< kSource or kBalancer output endpoint.
+  };
+
+  std::uint32_t width_;
+  std::vector<Balancer> balancers_;
+  std::vector<Wire> wires_;
+  std::vector<OpenEnd> open_;  ///< Current open end per line.
+  bool finished_ = false;
+};
+
+}  // namespace cn

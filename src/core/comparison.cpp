@@ -1,0 +1,51 @@
+#include "core/comparison.hpp"
+
+#include <algorithm>
+
+namespace cn {
+
+std::optional<std::vector<std::uint64_t>> apply_comparison_network(
+    const Network& net, const std::vector<std::uint64_t>& inputs) {
+  if (inputs.size() != net.fan_in()) return std::nullopt;
+  for (NodeIndex b = 0; b < net.num_balancers(); ++b) {
+    if (net.balancer(b).fan_in() != 2 || net.balancer(b).fan_out() != 2) {
+      return std::nullopt;
+    }
+  }
+  std::vector<std::uint64_t> wire_value(net.num_wires(), 0);
+  for (std::uint32_t i = 0; i < net.fan_in(); ++i) {
+    wire_value[net.source_wire(i)] = inputs[i];
+  }
+  // Layer order: all inputs of a layer-ℓ balancer are produced earlier.
+  for (std::uint32_t ell = 1; ell <= net.num_layers(); ++ell) {
+    for (const NodeIndex b : net.layer(ell)) {
+      const Balancer& bal = net.balancer(b);
+      const std::uint64_t a = wire_value[bal.in[0]];
+      const std::uint64_t c = wire_value[bal.in[1]];
+      wire_value[bal.out[0]] = std::max(a, c);
+      wire_value[bal.out[1]] = std::min(a, c);
+    }
+  }
+  std::vector<std::uint64_t> out(net.fan_out());
+  for (std::uint32_t j = 0; j < net.fan_out(); ++j) {
+    out[j] = wire_value[net.sink_wire(j)];
+  }
+  return out;
+}
+
+bool sorts_all_01_inputs(const Network& net) {
+  const std::uint32_t w = net.fan_in();
+  if (w > 24) return false;  // exhaustive check would be unreasonable
+  std::vector<std::uint64_t> inputs(w);
+  for (std::uint64_t mask = 0; mask < (1ull << w); ++mask) {
+    for (std::uint32_t i = 0; i < w; ++i) inputs[i] = (mask >> i) & 1;
+    const auto out = apply_comparison_network(net, inputs);
+    if (!out) return false;
+    for (std::size_t j = 1; j < out->size(); ++j) {
+      if ((*out)[j] > (*out)[j - 1]) return false;  // must descend
+    }
+  }
+  return true;
+}
+
+}  // namespace cn

@@ -1,0 +1,31 @@
+// The counting-to-sorting connection (Aspnes, Herlihy & Shavit 1994):
+// replacing every (2,2)-balancer with a comparator that sends the larger
+// value to the balancer's output 0 yields a comparison network, and if
+// the balancing network counts, the comparison network sorts (into
+// descending order — the step property concentrates tokens, like large
+// values, on low-indexed outputs). The converse fails: sorting networks
+// need not count (odd-even transposition sort is the classic witness,
+// exercised in the tests).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/topology.hpp"
+
+namespace cn {
+
+/// Routes `inputs` (one per input wire) through the network's isomorphic
+/// comparison network: each (2,2)-balancer outputs max on port 0 and min
+/// on port 1. Returns the values on the output wires, or nullopt if the
+/// network has non-(2,2) balancers.
+std::optional<std::vector<std::uint64_t>> apply_comparison_network(
+    const Network& net, const std::vector<std::uint64_t>& inputs);
+
+/// True iff the comparison network sorts every 0-1 input vector into
+/// descending order — by the 0-1 principle this certifies it sorts all
+/// inputs. Exhaustive over 2^fan_in vectors; fan_in <= 20 recommended.
+bool sorts_all_01_inputs(const Network& net);
+
+}  // namespace cn

@@ -1,0 +1,70 @@
+// The prominent counting-network constructions (paper Section 2.6).
+//
+// All width parameters w must be powers of two. Networks built here are
+// uniform (every node lies on a source->sink path and all such paths have
+// equal length), which the test suite verifies.
+//
+// NOTE on the merging network M(w): the paper describes M(w)
+// diagrammatically as a column of balancers followed by two M(w/2)
+// networks (Figure 3), but its Figure 4 shows the classic AHS94 bitonic
+// networks, whose merger recurses on odd/even subsequences first and ends
+// with a combining column. Only the classic form is a counting network
+// when fed two concatenated step sequences (we verified the column-first
+// drawing fails the step property for w >= 8), so make_bitonic builds the
+// classic AHS94 form. All of the paper's structural claims (Propositions
+// 5.6 and 5.9: split depth, continuous completeness/splittability, split
+// number lg w) hold for it and are checked by tests/valency_test.cpp.
+#pragma once
+
+#include <cstdint>
+
+#include "core/topology.hpp"
+
+namespace cn {
+
+/// Bitonic counting network B(w) (paper Section 2.6.1, AHS94):
+/// B(w) = [B(w/2) ‖ B(w/2)] ; M(w). Depth: lg w (lg w + 1) / 2.
+Network make_bitonic(std::uint32_t w);
+
+/// The AHS94 merging network M(w) alone: merges two step sequences
+/// presented as the concatenation of the top and bottom input halves into
+/// one step sequence. Depth: lg w.
+Network make_merger(std::uint32_t w);
+
+/// Periodic counting network P(w) (paper Section 2.6.2, Figure 6):
+/// a cascade of lg w block networks L(w). Depth: lg^2 w.
+Network make_periodic(std::uint32_t w);
+
+/// One block network L(w) (paper Figure 5, right / second construction):
+/// the top-bottom column TB(w) pairing line k with line w-1-k, then
+/// L(w/2) on each half. Depth: lg w. A single block is NOT a counting
+/// network for w > 2 — only the lg w cascade is.
+Network make_block(std::uint32_t w);
+
+/// A cascade of `stages` block networks L(w) — the periodic network is
+/// the stages = lg w instance. Used by the smoothing ablation to show how
+/// output smoothness improves block by block.
+Network make_block_cascade(std::uint32_t w, std::uint32_t stages);
+
+/// Counting tree with fan-out w (paper Section 2.6.3; the skeleton of
+/// Shavit & Zemach's diffracting tree): a balanced binary tree of depth
+/// lg w whose inner nodes are (1,2)-balancers; one source, w sinks. Sink
+/// wiring is bit-reversed so token k lands on sink (k-1) mod w.
+Network make_counting_tree(std::uint32_t w);
+
+/// k-ary counting tree: a balanced tree of (1,k)-balancers of depth
+/// log_k w (w must be a power of k, k >= 2). The binary case is
+/// make_counting_tree. Demonstrates the library's support for balancers
+/// with arbitrary fan-out (cf. Aharonson & Attiya 1995, cited in the
+/// paper's related work).
+Network make_counting_tree_k(std::uint32_t w, std::uint32_t k);
+
+/// A single (f_in, f_out)-balancer network, useful in unit tests.
+Network make_single_balancer(std::uint32_t fan_in, std::uint32_t fan_out);
+
+/// A cascade of `stages` columns of (2,2)-balancers pairing (0,1)(2,3)...
+/// then (1,2)(3,4)... alternately. Not a counting network and not
+/// uniform; used for negative tests.
+Network make_brick_wall(std::uint32_t w, std::uint32_t stages);
+
+}  // namespace cn

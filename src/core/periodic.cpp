@@ -1,0 +1,152 @@
+// Periodic counting network, block network, and counting tree
+// (paper Sections 2.6.2 and 2.6.3).
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/builder.hpp"
+#include "core/constructions.hpp"
+#include "util/bits.hpp"
+
+namespace cn {
+
+namespace {
+
+void require_pow2_width(std::uint32_t w) {
+  if (w < 2 || !is_pow2(w)) {
+    throw std::invalid_argument("width must be a power of two >= 2");
+  }
+}
+
+/// Block network L(w), second construction (paper Figure 5, right): the
+/// top-bottom column TB pairing line k with line m-1-k ("located
+/// symmetrically with respect to the middle"), then a block on each half.
+/// Recursing on the bottom half of the line set realizes the paper's
+/// (i + w/2) mod w wire renaming of the extension L̂2 implicitly.
+void emit_block(LayeredBuilder& b, std::span<const std::uint32_t> lines) {
+  const std::size_t m = lines.size();
+  if (m == 2) {
+    b.add_balancer2(lines[0], lines[1]);
+    return;
+  }
+  for (std::size_t k = 0; k < m / 2; ++k) {
+    b.add_balancer2(lines[k], lines[m - 1 - k]);
+  }
+  emit_block(b, lines.subspan(0, m / 2));
+  emit_block(b, lines.subspan(m / 2));
+}
+
+std::vector<std::uint32_t> iota_lines(std::uint32_t w) {
+  std::vector<std::uint32_t> lines(w);
+  for (std::uint32_t i = 0; i < w; ++i) lines[i] = i;
+  return lines;
+}
+
+/// Recursively builds the subtree rooted at a fresh (1,2)-balancer that
+/// serves the sinks congruent to `base` modulo 2^bit. The toggle at bit
+/// position `bit` decides bit `bit` of the final sink index: the k-th
+/// token overall must land on sink (k-1) mod w, and successive tokens
+/// through any toggle alternate starting with output port 0, so port 0
+/// keeps bit `bit` equal to 0 and port 1 sets it.
+///
+/// Returns the balancer whose input port 0 is still unconnected.
+NodeIndex build_tree_node(NetworkBuilder& b, std::uint32_t w,
+                          std::uint32_t base, std::uint32_t bit) {
+  const NodeIndex node = b.add_balancer(1, 2);
+  const std::uint32_t step = 1u << bit;
+  if (step * 2 == w) {
+    b.connect_balancer_to_sink(node, 0, base);
+    b.connect_balancer_to_sink(node, 1, base + step);
+  } else {
+    const NodeIndex top = build_tree_node(b, w, base, bit + 1);
+    const NodeIndex bottom = build_tree_node(b, w, base + step, bit + 1);
+    b.connect_balancer_to_balancer(node, 0, top, 0);
+    b.connect_balancer_to_balancer(node, 1, bottom, 0);
+  }
+  return node;
+}
+
+}  // namespace
+
+Network make_block(std::uint32_t w) {
+  require_pow2_width(w);
+  LayeredBuilder b(w);
+  const auto lines = iota_lines(w);
+  emit_block(b, lines);
+  return b.finish("block(" + std::to_string(w) + ")");
+}
+
+Network make_periodic(std::uint32_t w) {
+  require_pow2_width(w);
+  LayeredBuilder b(w);
+  const auto lines = iota_lines(w);
+  const unsigned k = log2_exact(w);
+  for (unsigned stage = 0; stage < k; ++stage) {
+    emit_block(b, lines);
+  }
+  return b.finish("periodic(" + std::to_string(w) + ")");
+}
+
+Network make_block_cascade(std::uint32_t w, std::uint32_t stages) {
+  require_pow2_width(w);
+  if (stages == 0) throw std::invalid_argument("cascade needs >= 1 stage");
+  LayeredBuilder b(w);
+  const auto lines = iota_lines(w);
+  for (std::uint32_t stage = 0; stage < stages; ++stage) {
+    emit_block(b, lines);
+  }
+  return b.finish("block_cascade(" + std::to_string(w) + "," +
+                  std::to_string(stages) + ")");
+}
+
+Network make_counting_tree(std::uint32_t w) {
+  require_pow2_width(w);
+  NetworkBuilder b(1, w);
+  const NodeIndex root = build_tree_node(b, w, 0, 0);
+  b.connect_source_to_balancer(0, root, 0);
+  return b.build("counting_tree(" + std::to_string(w) + ")");
+}
+
+namespace {
+
+/// k-ary analogue of build_tree_node: the toggle at digit position with
+/// place value `step` (in base k) decides that digit of the sink index.
+NodeIndex build_kary_tree_node(NetworkBuilder& b, std::uint32_t w,
+                               std::uint32_t k, std::uint32_t base,
+                               std::uint32_t step) {
+  const NodeIndex node = b.add_balancer(1, static_cast<PortIndex>(k));
+  if (step * k == w) {
+    for (std::uint32_t q = 0; q < k; ++q) {
+      b.connect_balancer_to_sink(node, static_cast<PortIndex>(q),
+                                 base + q * step);
+    }
+  } else {
+    for (std::uint32_t q = 0; q < k; ++q) {
+      const NodeIndex child =
+          build_kary_tree_node(b, w, k, base + q * step, step * k);
+      b.connect_balancer_to_balancer(node, static_cast<PortIndex>(q), child, 0);
+    }
+  }
+  return node;
+}
+
+}  // namespace
+
+Network make_counting_tree_k(std::uint32_t w, std::uint32_t k) {
+  if (k < 2) throw std::invalid_argument("tree arity must be >= 2");
+  // w must be a positive power of k.
+  std::uint32_t probe = k;
+  while (probe < w) {
+    if (probe > w / k) throw std::invalid_argument("width must be a power of k");
+    probe *= k;
+  }
+  if (probe != w) throw std::invalid_argument("width must be a power of k");
+  NetworkBuilder b(1, w);
+  const NodeIndex root = build_kary_tree_node(b, w, k, 0, 1);
+  b.connect_source_to_balancer(0, root, 0);
+  return b.build("counting_tree_k(" + std::to_string(w) + "," +
+                 std::to_string(k) + ")");
+}
+
+}  // namespace cn

@@ -1,0 +1,126 @@
+#include "core/render.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <vector>
+
+#include "core/valency.hpp"
+
+namespace cn {
+
+namespace {
+
+/// Assigns a horizontal line (row) to every wire: source wire i starts on
+/// row i; a regular balancer forwards the sorted set of its input rows to
+/// its output ports top-to-bottom (port 0 gets the smallest row — which
+/// matches the constructions in this library). Returns empty when the
+/// network has irregular balancers.
+std::vector<std::uint32_t> wire_rows(const Network& net) {
+  std::vector<std::uint32_t> row(net.num_wires(), 0);
+  for (NodeIndex b = 0; b < net.num_balancers(); ++b) {
+    if (!net.balancer(b).regular()) return {};
+  }
+  for (std::uint32_t i = 0; i < net.fan_in(); ++i) {
+    row[net.source_wire(i)] = i;
+  }
+  // Depth order: all input wires of a layer-ℓ balancer are produced at
+  // depth ℓ-1, so a per-layer sweep sees rows already assigned.
+  for (std::uint32_t ell = 1; ell <= net.num_layers(); ++ell) {
+    for (const NodeIndex b : net.layer(ell)) {
+      const Balancer& bal = net.balancer(b);
+      std::vector<std::uint32_t> rows;
+      rows.reserve(bal.in.size());
+      for (const WireIndex w : bal.in) rows.push_back(row[w]);
+      std::sort(rows.begin(), rows.end());
+      for (PortIndex p = 0; p < bal.fan_out(); ++p) {
+        row[bal.out[p]] = rows[p];
+      }
+    }
+  }
+  return row;
+}
+
+}  // namespace
+
+std::string render_ascii(const Network& net) {
+  const std::vector<std::uint32_t> rows = wire_rows(net);
+  if (rows.empty() || net.fan_in() != net.fan_out()) {
+    return render_summary(net);
+  }
+  const std::uint32_t height = net.fan_out();
+
+  // One column per balancer, grouped by layer with a spacer column
+  // between layers and at both ends.
+  std::vector<std::string> canvas(height);
+  auto add_spacer = [&] {
+    for (auto& line : canvas) line += "--";
+  };
+  add_spacer();
+  for (std::uint32_t ell = 1; ell <= net.num_layers(); ++ell) {
+    std::vector<NodeIndex> members = net.layer(ell);
+    std::sort(members.begin(), members.end(), [&](NodeIndex a, NodeIndex b) {
+      auto min_row = [&](NodeIndex n) {
+        std::uint32_t m = UINT32_MAX;
+        for (const WireIndex w : net.balancer(n).in) {
+          m = std::min(m, rows[w]);
+        }
+        return m;
+      };
+      return min_row(a) < min_row(b);
+    });
+    for (const NodeIndex b : members) {
+      std::uint32_t lo = UINT32_MAX, hi = 0;
+      std::vector<bool> is_port(height, false);
+      for (const WireIndex w : net.balancer(b).in) {
+        lo = std::min(lo, rows[w]);
+        hi = std::max(hi, rows[w]);
+        is_port[rows[w]] = true;
+      }
+      for (std::uint32_t r = 0; r < height; ++r) {
+        if (is_port[r]) {
+          canvas[r] += 'o';
+        } else if (r > lo && r < hi) {
+          canvas[r] += '|';
+        } else {
+          canvas[r] += '-';
+        }
+      }
+    }
+    add_spacer();
+  }
+
+  std::ostringstream os;
+  os << net.name() << "  (depth " << net.depth() << ", "
+     << net.num_balancers() << " balancers)\n";
+  for (std::uint32_t r = 0; r < height; ++r) {
+    os << r << " " << canvas[r] << "> C" << r << "\n";
+  }
+  return os.str();
+}
+
+std::string render_summary(const Network& net) {
+  const auto valencies = output_valencies(net);
+  std::ostringstream os;
+  os << net.name() << ": " << net.fan_in() << " -> " << net.fan_out()
+     << ", depth " << net.depth() << ", " << net.num_balancers()
+     << " balancers\n";
+  for (std::uint32_t ell = 1; ell <= net.num_layers(); ++ell) {
+    os << "layer " << ell << ":";
+    for (const NodeIndex b : net.layer(ell)) {
+      const Balancer& bal = net.balancer(b);
+      os << "  B" << b << "(" << bal.fan_in() << "," << bal.fan_out() << ")[";
+      for (PortIndex p = 0; p < bal.fan_out(); ++p) {
+        if (p > 0) os << "|";
+        const SinkSet& v = valencies[b][p];
+        os << sinkset_min(v);
+        if (sinkset_count(v) > 1) os << ".." << sinkset_max(v);
+      }
+      os << "]";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace cn

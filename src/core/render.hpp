@@ -1,0 +1,23 @@
+// ASCII rendering of balancing networks in the paper's drawing style
+// (Figures 2, 4, 5): horizontal wires, balancers as vertical segments.
+#pragma once
+
+#include <string>
+
+#include "core/topology.hpp"
+
+namespace cn {
+
+/// Renders the network as ASCII art: one row per line (wire position),
+/// columns grouped by layer. Balancers appear as vertical runs of 'o'
+/// (their ports) connected by '|'; wires are '-'. Only meaningful for
+/// networks built with LayeredBuilder-style line discipline (every
+/// balancer's ports connect consecutive layers); falls back to a textual
+/// summary otherwise.
+std::string render_ascii(const Network& net);
+
+/// One-line-per-layer structural summary: layer index, balancer count,
+/// and each balancer's (fan_in, fan_out) with the sink sets it reaches.
+std::string render_summary(const Network& net);
+
+}  // namespace cn

@@ -1,0 +1,140 @@
+// Sequential (single-stepping) execution semantics for balancing networks
+// (paper Section 2.2).
+//
+// NetworkState holds the dynamic part of an execution: balancer round-robin
+// positions, counter values, and in-flight token positions. Callers control
+// the interleaving completely by choosing which token to step next; this is
+// exactly the power the paper's adversary has, and it is what the timed
+// simulator (src/sim) and the proof reconstructions build on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/topology.hpp"
+
+namespace cn {
+
+using TokenId = std::uint32_t;
+using ProcessId = std::uint32_t;
+using Value = std::uint64_t;
+
+/// One transition step (paper Section 2.1/2.2): either a balancer
+/// transition BAL_p(T, B, i, j) or a counter transition COUNT_p(T, C, v).
+struct Step {
+  enum class Kind : std::uint8_t { kBalancer, kCounter };
+
+  Kind kind = Kind::kBalancer;
+  ProcessId process = 0;
+  TokenId token = 0;
+  NodeIndex node = 0;      ///< Balancer index, or sink index for kCounter.
+  PortIndex in_port = 0;   ///< kBalancer only.
+  PortIndex out_port = 0;  ///< kBalancer only.
+  Value value = 0;         ///< kCounter only.
+};
+
+/// Dynamic state of a balancing network plus in-flight token positions.
+class NetworkState {
+ public:
+  explicit NetworkState(const Network& net);
+
+  const Network& network() const noexcept { return *net_; }
+
+  // --- token lifecycle --------------------------------------------------
+
+  /// Introduces token `token` of process `proc` on input wire `source`.
+  /// Token ids must be fresh; they need not be dense, but memory grows
+  /// with the largest id. Throws std::invalid_argument on reuse.
+  void enter(TokenId token, ProcessId proc, std::uint32_t source);
+
+  /// True once the token has traversed its counter.
+  bool done(TokenId token) const;
+
+  /// Value the token received; valid only once done(token).
+  Value value(TokenId token) const;
+
+  /// Process that introduced the token.
+  ProcessId process_of(TokenId token) const;
+
+  /// Advances the token through the next node on its path (one balancer
+  /// transition or the final counter transition) and returns the step.
+  /// Throws std::logic_error if the token is unknown or already done.
+  Step step(TokenId token);
+
+  /// Steps the token to completion; returns the value it received.
+  Value traverse(TokenId token);
+
+  /// Convenience: enter + traverse in one call.
+  Value shepherd(TokenId token, ProcessId proc, std::uint32_t source);
+
+  /// Number of tokens entered but not yet done.
+  std::uint32_t in_flight() const noexcept { return in_flight_; }
+
+  /// Quiescent network state: every token that entered has exited
+  /// (paper Section 2.2 liveness property reaches such states).
+  bool quiescent() const noexcept { return in_flight_ == 0; }
+
+  // --- component state --------------------------------------------------
+
+  /// Round-robin position of balancer b: the output port the next token
+  /// will take (paper's balancer state s, 0-indexed).
+  PortIndex balancer_position(NodeIndex b) const { return balancer_pos_.at(b); }
+
+  /// Next value counter j will hand out (j, j + w_out, j + 2*w_out, ...).
+  Value counter_next(std::uint32_t sink) const { return counter_next_.at(sink); }
+
+  // --- history variables (paper Section 2.2, property 4) -----------------
+
+  /// Tokens that have entered balancer b on input port i so far (x_i).
+  std::uint64_t balancer_in_count(NodeIndex b, PortIndex i) const;
+  /// Tokens that have exited balancer b on output port j so far (y_j).
+  std::uint64_t balancer_out_count(NodeIndex b, PortIndex j) const;
+  /// Tokens that have exited the network on output wire j so far.
+  std::uint64_t sink_count(std::uint32_t sink) const { return sink_count_.at(sink); }
+  /// Tokens that have entered the network on input wire i so far.
+  std::uint64_t source_count(std::uint32_t source) const {
+    return source_count_.at(source);
+  }
+  /// Total tokens that have entered the network.
+  std::uint64_t total_entered() const noexcept { return total_entered_; }
+  /// Total tokens that have exited (traversed a counter).
+  std::uint64_t total_exited() const noexcept { return total_exited_; }
+
+  // --- step recording ----------------------------------------------------
+
+  /// When enabled, every step() result is appended to log().
+  void set_recording(bool on) noexcept { recording_ = on; }
+  const std::vector<Step>& log() const noexcept { return log_; }
+  void clear_log() { log_.clear(); }
+
+ private:
+  struct TokenState {
+    ProcessId process = 0;
+    WireIndex wire = kInvalidWire;  ///< Current wire; kInvalidWire = unused.
+    bool entered = false;
+    bool finished = false;
+    Value value = 0;
+  };
+
+  TokenState& token_ref(TokenId token);
+  const TokenState& token_ref(TokenId token) const;
+
+  const Network* net_;
+  std::vector<PortIndex> balancer_pos_;
+  std::vector<Value> counter_next_;
+  std::vector<TokenState> tokens_;
+  std::vector<std::uint64_t> source_count_;
+  std::vector<std::uint64_t> sink_count_;
+  // Flattened per-port history variables; offsets per balancer.
+  std::vector<std::uint64_t> in_counts_;
+  std::vector<std::uint64_t> out_counts_;
+  std::vector<std::size_t> in_offset_;
+  std::vector<std::size_t> out_offset_;
+  std::uint64_t total_entered_ = 0;
+  std::uint64_t total_exited_ = 0;
+  std::uint32_t in_flight_ = 0;
+  bool recording_ = false;
+  std::vector<Step> log_;
+};
+
+}  // namespace cn

@@ -1,0 +1,192 @@
+#include "core/valency.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace cn {
+
+std::uint32_t sinkset_count(const SinkSet& s) {
+  std::uint32_t c = 0;
+  for (const std::uint64_t w : s) {
+    c += static_cast<std::uint32_t>(__builtin_popcountll(w));
+  }
+  return c;
+}
+
+bool sinkset_subset(const SinkSet& sub, const SinkSet& super) {
+  for (std::size_t i = 0; i < sub.size(); ++i) {
+    if ((sub[i] & ~super[i]) != 0) return false;
+  }
+  return true;
+}
+
+bool sinkset_intersects(const SinkSet& a, const SinkSet& b) {
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if ((a[i] & b[i]) != 0) return true;
+  }
+  return false;
+}
+
+std::uint32_t sinkset_min(const SinkSet& s) {
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != 0) {
+      return static_cast<std::uint32_t>(i * 64 + __builtin_ctzll(s[i]));
+    }
+  }
+  return UINT32_MAX;
+}
+
+std::uint32_t sinkset_max(const SinkSet& s) {
+  for (std::size_t i = s.size(); i-- > 0;) {
+    if (s[i] != 0) {
+      return static_cast<std::uint32_t>(i * 64 + 63 - __builtin_clzll(s[i]));
+    }
+  }
+  return 0;
+}
+
+bool sinkset_precedes(const SinkSet& a, const SinkSet& b) {
+  if (sinkset_count(a) == 0 || sinkset_count(b) == 0) return true;
+  return sinkset_max(a) < sinkset_min(b);
+}
+
+std::vector<std::vector<SinkSet>> output_valencies(const Network& net) {
+  const std::size_t words = (net.fan_out() + 63) / 64;
+  std::vector<std::vector<SinkSet>> val(net.num_balancers());
+  std::vector<NodeIndex> order(net.num_balancers());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](NodeIndex a, NodeIndex b) {
+    return net.balancer_depth(a) > net.balancer_depth(b);
+  });
+  for (const NodeIndex b : order) {
+    const Balancer& bal = net.balancer(b);
+    val[b].assign(bal.fan_out(), SinkSet(words, 0));
+    for (PortIndex p = 0; p < bal.fan_out(); ++p) {
+      const Endpoint& to = net.wire(bal.out[p]).to;
+      if (to.kind == Endpoint::Kind::kSink) {
+        val[b][p][to.index / 64] |= 1ull << (to.index % 64);
+      } else {
+        // Union over all output valencies of the successor balancer.
+        for (const SinkSet& succ : val[to.index]) {
+          for (std::size_t i = 0; i < words; ++i) val[b][p][i] |= succ[i];
+        }
+      }
+    }
+  }
+  return val;
+}
+
+bool is_univalent(const std::vector<SinkSet>& port_valencies) {
+  for (std::size_t j = 0; j < port_valencies.size(); ++j) {
+    for (std::size_t k = j + 1; k < port_valencies.size(); ++k) {
+      if (sinkset_intersects(port_valencies[j], port_valencies[k])) return false;
+    }
+  }
+  return true;
+}
+
+bool is_totally_ordering(const std::vector<SinkSet>& port_valencies) {
+  for (std::size_t j = 0; j < port_valencies.size(); ++j) {
+    for (std::size_t k = j + 1; k < port_valencies.size(); ++k) {
+      if (!sinkset_precedes(port_valencies[j], port_valencies[k]) &&
+          !sinkset_precedes(port_valencies[k], port_valencies[j])) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+SplitAnalysis::SplitAnalysis(const Network& net) : depth_(net.depth()) {
+  const auto valencies = output_valencies(net);
+  const std::size_t words = (net.fan_out() + 63) / 64;
+
+  // Valency of a whole balancer: union of its port valencies.
+  auto balancer_valency = [&](NodeIndex b) {
+    SinkSet v(words, 0);
+    for (const SinkSet& pv : valencies[b]) {
+      for (std::size_t i = 0; i < words; ++i) v[i] |= pv[i];
+    }
+    return v;
+  };
+
+  SinkSet current_sinks(words, 0);
+  for (std::uint32_t j = 0; j < net.fan_out(); ++j) {
+    current_sinks[j / 64] |= 1ull << (j % 64);
+  }
+  std::uint32_t start_layer = 1;
+
+  while (true) {
+    SplitLevel level;
+    level.start_layer = start_layer;
+    level.depth = depth_ + 1 - start_layer;
+    level.sinks = current_sinks;
+
+    // Find the least totally ordering layer of this subnetwork. A
+    // balancer belongs to the subnetwork iff its valency is contained in
+    // the subnetwork's sink set.
+    bool found = false;
+    for (std::uint32_t abs = start_layer; abs <= depth_ && !found; ++abs) {
+      std::vector<NodeIndex> members;
+      bool ordering = true;
+      for (const NodeIndex b : net.layer(abs)) {
+        if (!sinkset_subset(balancer_valency(b), current_sinks)) continue;
+        members.push_back(b);
+        if (!is_totally_ordering(valencies[b])) ordering = false;
+      }
+      if (members.empty() || !ordering) continue;
+      found = true;
+      level.split_depth = abs - start_layer + 1;
+      level.split_layer_abs = abs;
+      level.split_layer_balancers = members;
+      level.complete = true;
+      level.uniformly_splittable = true;
+      for (const NodeIndex b : members) {
+        if (balancer_valency(b) != current_sinks) level.complete = false;
+        const std::uint32_t first = sinkset_count(valencies[b][0]);
+        for (const SinkSet& pv : valencies[b]) {
+          if (sinkset_count(pv) != first) level.uniformly_splittable = false;
+        }
+      }
+    }
+    if (!found) {
+      applicable_ = false;
+      break;
+    }
+    levels_.push_back(level);
+    if (level.split_layer_abs == depth_) break;  // sd(S) == d(S): last element.
+
+    // Next element: the bottom subnetwork SP2 — the part of the split
+    // network serving the highest-ordered port valencies. Its sinks are
+    // the union, over split-layer balancers, of the last port's valency
+    // under the ≺ order (for (2,2)-balancers: the bottom output).
+    SinkSet next(words, 0);
+    for (const NodeIndex b : levels_.back().split_layer_balancers) {
+      // Pick the port whose valency is ≺-maximal.
+      const std::vector<SinkSet>& pv = valencies[b];
+      std::size_t best = 0;
+      for (std::size_t p = 1; p < pv.size(); ++p) {
+        if (sinkset_precedes(pv[best], pv[p])) best = p;
+      }
+      for (std::size_t i = 0; i < words; ++i) next[i] |= pv[best][i];
+    }
+    current_sinks = next;
+    start_layer = levels_.back().split_layer_abs + 1;
+  }
+}
+
+bool SplitAnalysis::continuously_complete() const {
+  for (std::size_t i = 0; i + 1 < levels_.size(); ++i) {
+    if (!levels_[i].complete) return false;
+  }
+  return !levels_.empty() && levels_.front().complete;
+}
+
+bool SplitAnalysis::continuously_uniformly_splittable() const {
+  for (std::size_t i = 0; i + 1 < levels_.size(); ++i) {
+    if (!levels_[i].uniformly_splittable) return false;
+  }
+  return !levels_.empty() && levels_.front().uniformly_splittable;
+}
+
+}  // namespace cn

@@ -1,0 +1,179 @@
+#include "core/verify.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace cn {
+
+namespace {
+
+std::string to_s(std::uint64_t v) { return std::to_string(v); }
+
+}  // namespace
+
+bool has_step_property(std::span<const std::uint64_t> counts) {
+  // Equivalent to the pairwise definition: non-increasing, and the first
+  // exceeds the last by at most one.
+  for (std::size_t j = 0; j + 1 < counts.size(); ++j) {
+    if (counts[j] < counts[j + 1]) return false;
+  }
+  return counts.empty() || counts.front() - counts.back() <= 1;
+}
+
+VerifyReport check_safety(const NetworkState& state) {
+  const Network& net = state.network();
+  for (NodeIndex b = 0; b < net.num_balancers(); ++b) {
+    std::uint64_t in = 0, out = 0;
+    for (PortIndex i = 0; i < net.balancer(b).fan_in(); ++i) {
+      in += state.balancer_in_count(b, i);
+    }
+    for (PortIndex j = 0; j < net.balancer(b).fan_out(); ++j) {
+      out += state.balancer_out_count(b, j);
+    }
+    if (out > in) {
+      return {false, "balancer " + to_s(b) + " created tokens: in=" + to_s(in) +
+                         " out=" + to_s(out)};
+    }
+  }
+  if (state.total_exited() > state.total_entered()) {
+    return {false, "network created tokens"};
+  }
+  return {};
+}
+
+VerifyReport check_quiescent_step_property(const NetworkState& state) {
+  const Network& net = state.network();
+  if (!state.quiescent()) return {false, "state is not quiescent"};
+  if (auto r = check_safety(state); !r.ok) return r;
+  for (NodeIndex b = 0; b < net.num_balancers(); ++b) {
+    std::uint64_t in = 0;
+    for (PortIndex i = 0; i < net.balancer(b).fan_in(); ++i) {
+      in += state.balancer_in_count(b, i);
+    }
+    std::vector<std::uint64_t> outs(net.balancer(b).fan_out());
+    std::uint64_t out = 0;
+    for (PortIndex j = 0; j < net.balancer(b).fan_out(); ++j) {
+      outs[j] = state.balancer_out_count(b, j);
+      out += outs[j];
+    }
+    if (in != out) {
+      return {false, "balancer " + to_s(b) + " swallowed tokens at quiescence"};
+    }
+    if (!has_step_property(outs)) {
+      return {false, "balancer " + to_s(b) + " violates the step property"};
+    }
+  }
+  std::vector<std::uint64_t> sink_counts(net.fan_out());
+  for (std::uint32_t j = 0; j < net.fan_out(); ++j) {
+    sink_counts[j] = state.sink_count(j);
+  }
+  if (!has_step_property(sink_counts)) {
+    return {false, "network output violates the step property"};
+  }
+  return {};
+}
+
+namespace {
+
+/// Shared tail of the counting checks: verifies quiescent invariants and
+/// that the issued values are exactly 0..n-1 (no duplications or gaps).
+VerifyReport check_values(const NetworkState& state, std::vector<Value> values) {
+  if (auto r = check_quiescent_step_property(state); !r.ok) return r;
+  std::sort(values.begin(), values.end());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (values[i] != i) {
+      return {false, "value sequence has a gap or duplicate at " +
+                         std::to_string(i) + " (got " + to_s(values[i]) + ")"};
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+VerifyReport check_counting(const Network& net,
+                            std::span<const std::uint64_t> tokens_per_source) {
+  NetworkState state(net);
+  TokenId next = 0;
+  std::vector<Value> values;
+  for (std::uint32_t i = 0; i < net.fan_in(); ++i) {
+    for (std::uint64_t t = 0; t < tokens_per_source[i]; ++t) {
+      values.push_back(state.shepherd(next, /*proc=*/i, i));
+      ++next;
+    }
+  }
+  return check_values(state, std::move(values));
+}
+
+VerifyReport check_counting_random(const Network& net, Xoshiro256& rng,
+                                   std::uint32_t trials,
+                                   std::uint64_t max_per_source) {
+  for (std::uint32_t t = 0; t < trials; ++t) {
+    std::vector<std::uint64_t> counts(net.fan_in());
+    for (auto& c : counts) c = rng.below(max_per_source + 1);
+    if (auto r = check_counting(net, counts); !r.ok) return r;
+
+    // Same counts, random interleaving of in-flight tokens: enter all
+    // tokens, then repeatedly step a random unfinished one.
+    NetworkState state(net);
+    std::vector<TokenId> live;
+    TokenId next = 0;
+    for (std::uint32_t i = 0; i < net.fan_in(); ++i) {
+      for (std::uint64_t k = 0; k < counts[i]; ++k) {
+        // One process per token: overlapping tokens from the same process
+        // would violate the execution rules of Section 2.2.
+        state.enter(next, /*proc=*/next, i);
+        live.push_back(next);
+        ++next;
+      }
+    }
+    std::vector<Value> values;
+    while (!live.empty()) {
+      const std::size_t pick = rng.below(live.size());
+      const TokenId tok = live[pick];
+      const Step st = state.step(tok);
+      if (st.kind == Step::Kind::kCounter) {
+        values.push_back(st.value);
+        live[pick] = live.back();
+        live.pop_back();
+      }
+    }
+    if (auto r = check_values(state, std::move(values)); !r.ok) {
+      r.failure += " (random interleaving, trial " + std::to_string(t) + ")";
+      return r;
+    }
+  }
+  return {};
+}
+
+std::uint64_t smoothness(const Network& net,
+                         std::span<const std::uint64_t> tokens_per_source) {
+  NetworkState state(net);
+  TokenId next = 0;
+  for (std::uint32_t i = 0; i < net.fan_in(); ++i) {
+    for (std::uint64_t t = 0; t < tokens_per_source[i]; ++t) {
+      (void)state.shepherd(next, next, i);
+      ++next;
+    }
+  }
+  std::uint64_t lo = UINT64_MAX, hi = 0;
+  for (std::uint32_t j = 0; j < net.fan_out(); ++j) {
+    lo = std::min(lo, state.sink_count(j));
+    hi = std::max(hi, state.sink_count(j));
+  }
+  return net.fan_out() == 0 ? 0 : hi - lo;
+}
+
+std::uint64_t worst_smoothness(const Network& net, Xoshiro256& rng,
+                               std::uint32_t trials,
+                               std::uint64_t max_per_source) {
+  std::uint64_t worst = 0;
+  std::vector<std::uint64_t> counts(net.fan_in());
+  for (std::uint32_t t = 0; t < trials; ++t) {
+    for (auto& c : counts) c = rng.below(max_per_source + 1);
+    worst = std::max(worst, smoothness(net, counts));
+  }
+  return worst;
+}
+
+}  // namespace cn

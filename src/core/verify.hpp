@@ -1,0 +1,64 @@
+// Correctness checks for balancing networks: the step property, balancer
+// history-variable invariants, and whole-network counting checks
+// (paper Section 2.2).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/sequential.hpp"
+#include "core/topology.hpp"
+#include "util/rng.hpp"
+
+namespace cn {
+
+/// Step property over a count vector: for all j < k,
+/// 0 <= counts[j] - counts[k] <= 1 (paper Section 2.2, property 4c).
+bool has_step_property(std::span<const std::uint64_t> counts);
+
+/// Result of a full-network verification pass.
+struct VerifyReport {
+  bool ok = true;
+  std::string failure;  ///< Human-readable description of the first failure.
+};
+
+/// Checks the safety invariants that must hold in ANY network state:
+/// per-balancer sum(x_i) >= sum(y_j), and network-wide entered >= exited.
+VerifyReport check_safety(const NetworkState& state);
+
+/// Checks the conditions that must hold in a QUIESCENT state of a
+/// counting network: per-balancer token conservation, the per-balancer
+/// step property, and the network-wide step property on sink counts.
+VerifyReport check_quiescent_step_property(const NetworkState& state);
+
+/// Drives `tokens_per_source[i]` tokens through input wire i of a fresh
+/// state (sequentially, one token at a time) and checks the step property
+/// and gap-freedom of the issued values at quiescence. Since quiescent
+/// token counts are interleaving-independent, this certifies quiescent
+/// behaviour for all schedules with these input counts.
+VerifyReport check_counting(const Network& net,
+                            std::span<const std::uint64_t> tokens_per_source);
+
+/// Randomized counting check: `trials` random input-count vectors with
+/// entries in [0, max_per_source], each verified via check_counting and
+/// additionally exercised with a random token interleaving.
+VerifyReport check_counting_random(const Network& net, Xoshiro256& rng,
+                                   std::uint32_t trials,
+                                   std::uint64_t max_per_source);
+
+/// K-smoothness of one quiescent run: max - min over the sink counts when
+/// `tokens_per_source` tokens enter each input wire. A balancing network
+/// is a K-smoothing network if this never exceeds K; counting networks
+/// are exactly the 1-smoothing networks whose outputs are also ordered.
+std::uint64_t smoothness(const Network& net,
+                         std::span<const std::uint64_t> tokens_per_source);
+
+/// Worst smoothness over `trials` random input vectors — an empirical
+/// upper-bound probe for the smoothing property.
+std::uint64_t worst_smoothness(const Network& net, Xoshiro256& rng,
+                               std::uint32_t trials,
+                               std::uint64_t max_per_source);
+
+}  // namespace cn

@@ -1,0 +1,88 @@
+// Minimal discrete-event message-passing kernel.
+//
+// The paper notes (Section 2.3) that the wire-delay parameters c_min and
+// c_max "capture both shared memory and message passing implementations
+// of balancers". This kernel plus msg/service.hpp realizes the
+// message-passing implementation: balancers and counters are actors,
+// wires are messages with latencies in [c_min, c_max], and the resulting
+// traces are checked by the very same consistency analyzers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace cn::msg {
+
+using ActorId = std::uint32_t;
+
+/// What a message carries. `token`/`process`/`value`/`client` are
+/// interpreted by the receiving actor.
+struct Payload {
+  enum class Kind : std::uint8_t { kToken, kResult, kStart };
+  Kind kind = Kind::kToken;
+  std::uint32_t token = 0;
+  std::uint32_t process = 0;
+  std::uint64_t value = 0;
+  ActorId client = 0;
+};
+
+/// A message in flight.
+struct Envelope {
+  double deliver_at = 0.0;
+  std::uint64_t order = 0;  ///< FIFO tie-break for equal delivery times.
+  ActorId to = 0;
+  Payload payload;
+};
+
+/// Single-threaded discrete-event loop. Handlers run one at a time in
+/// global (deliver_at, send order) order — the message-passing analogue
+/// of the paper's timed step sequence.
+class EventKernel {
+ public:
+  using Handler = std::function<void(const Envelope&)>;
+
+  /// Registers an actor; its handler may call send() re-entrantly.
+  ActorId add_actor(Handler handler) {
+    handlers_.push_back(std::move(handler));
+    return static_cast<ActorId>(handlers_.size() - 1);
+  }
+
+  /// Schedules delivery of `payload` to `to` after `latency` time units.
+  void send(ActorId to, const Payload& payload, double latency) {
+    queue_.push(Envelope{now_ + latency, next_order_++, to, payload});
+  }
+
+  /// Delivers messages until the queue drains. Returns events processed.
+  std::uint64_t run() {
+    while (!queue_.empty()) {
+      const Envelope env = queue_.top();
+      queue_.pop();
+      now_ = env.deliver_at;
+      ++processed_;
+      handlers_[env.to](env);
+    }
+    return processed_;
+  }
+
+  double now() const noexcept { return now_; }
+  /// Number of messages delivered so far — the global event sequence.
+  std::uint64_t seq() const noexcept { return processed_; }
+
+ private:
+  struct Later {
+    bool operator()(const Envelope& a, const Envelope& b) const {
+      if (a.deliver_at != b.deliver_at) return a.deliver_at > b.deliver_at;
+      return a.order > b.order;
+    }
+  };
+
+  std::vector<Handler> handlers_;
+  std::priority_queue<Envelope, std::vector<Envelope>, Later> queue_;
+  double now_ = 0.0;
+  std::uint64_t next_order_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace cn::msg

@@ -1,0 +1,147 @@
+#include "msg/service.hpp"
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace cn::msg {
+
+namespace {
+
+/// Mutable per-run state shared by the actor handlers.
+struct RunState {
+  const Network* net = nullptr;
+  const MsgRunSpec* spec = nullptr;
+  EventKernel kernel;
+  Xoshiro256 rng{1};
+  std::vector<ActorId> balancer_actor;  ///< Actor per balancer.
+  std::vector<ActorId> counter_actor;   ///< Actor per sink.
+  std::vector<PortIndex> balancer_pos;  ///< Round-robin positions.
+  std::vector<Value> counter_next;      ///< Next value per sink.
+  Trace trace;                          ///< Indexed by token id.
+  std::vector<bool> entered;            ///< Token seen at its first node?
+
+  double draw_latency(std::uint32_t process) {
+    if (spec->slow_process_zero) {
+      return process == 0 ? spec->c_max : spec->c_min;
+    }
+    if (spec->extreme_latencies) {
+      return rng.below(2) == 0 ? spec->c_min : spec->c_max;
+    }
+    return rng.uniform(spec->c_min, spec->c_max);
+  }
+
+  /// Destination actor of a wire, together with a flag for counters.
+  ActorId wire_target(WireIndex w, bool* is_counter) const {
+    const Endpoint& to = net->wire(w).to;
+    *is_counter = to.kind == Endpoint::Kind::kSink;
+    return *is_counter ? counter_actor[to.index] : balancer_actor[to.index];
+  }
+
+  /// Records the layer-1 crossing the first time a token reaches a node.
+  void note_first_crossing(std::uint32_t token) {
+    if (!entered[token]) {
+      entered[token] = true;
+      trace[token].t_in = kernel.now();
+      trace[token].first_seq = kernel.seq();
+    }
+  }
+};
+
+}  // namespace
+
+MsgRunResult run_message_passing(const Network& net, const MsgRunSpec& spec) {
+  MsgRunResult result;
+  if (spec.processes == 0 || spec.ops_per_process == 0) {
+    result.error = "empty workload";
+    return result;
+  }
+  RunState st;
+  st.net = &net;
+  st.spec = &spec;
+  st.rng = Xoshiro256(spec.seed);
+  st.balancer_pos.assign(net.num_balancers(), 0);
+  st.counter_next.resize(net.fan_out());
+  for (std::uint32_t j = 0; j < net.fan_out(); ++j) st.counter_next[j] = j;
+  const std::uint64_t total_tokens =
+      static_cast<std::uint64_t>(spec.processes) * spec.ops_per_process;
+  st.trace.resize(total_tokens);
+  st.entered.assign(total_tokens, false);
+
+  // Balancer actors: forward the token along the round-robin output wire.
+  st.balancer_actor.reserve(net.num_balancers());
+  for (NodeIndex b = 0; b < net.num_balancers(); ++b) {
+    st.balancer_actor.push_back(st.kernel.add_actor([&st, b](const Envelope& env) {
+      st.note_first_crossing(env.payload.token);
+      const Balancer& bal = st.net->balancer(b);
+      const PortIndex out = st.balancer_pos[b];
+      st.balancer_pos[b] =
+          static_cast<PortIndex>((out + 1) % bal.fan_out());
+      bool is_counter = false;
+      const ActorId next = st.wire_target(bal.out[out], &is_counter);
+      st.kernel.send(next, env.payload, st.draw_latency(env.payload.process));
+    }));
+  }
+
+  // Counter actors: assign the value, record completion, reply.
+  st.counter_actor.reserve(net.fan_out());
+  for (std::uint32_t j = 0; j < net.fan_out(); ++j) {
+    st.counter_actor.push_back(st.kernel.add_actor([&st, j](const Envelope& env) {
+      st.note_first_crossing(env.payload.token);
+      TokenRecord& rec = st.trace[env.payload.token];
+      rec.token = env.payload.token;
+      rec.process = env.payload.process;
+      rec.sink = j;
+      rec.value = st.counter_next[j];
+      st.counter_next[j] += st.net->fan_out();
+      rec.t_out = st.kernel.now();
+      rec.last_seq = st.kernel.seq();
+      Payload reply = env.payload;
+      reply.kind = Payload::Kind::kResult;
+      reply.value = rec.value;
+      st.kernel.send(env.payload.client, reply, st.spec->result_latency);
+    }));
+  }
+
+  // Client actors: closed loop with local think time. The vector is
+  // filled as actors are registered; handlers capture it by reference and
+  // only read their own slot after registration completes.
+  std::vector<std::uint32_t> remaining(spec.processes, spec.ops_per_process);
+  std::vector<std::uint32_t> issued(spec.processes, 0);
+  std::vector<ActorId> client_actor(spec.processes);
+  for (std::uint32_t p = 0; p < spec.processes; ++p) {
+    const std::uint32_t source = p % net.fan_in();
+    client_actor[p] = st.kernel.add_actor([&st, &remaining, &issued,
+                                           &client_actor, p,
+                                           source](const Envelope& env) {
+      if (env.payload.kind == Payload::Kind::kToken) return;  // not expected
+      if (remaining[p] == 0) return;
+      --remaining[p];
+      Payload token;
+      token.kind = Payload::Kind::kToken;
+      token.token = p * st.spec->ops_per_process + issued[p];
+      token.process = p;
+      token.client = client_actor[p];
+      ++issued[p];
+      bool is_counter = false;
+      const ActorId first =
+          st.wire_target(st.net->source_wire(source), &is_counter);
+      const double think =
+          env.payload.kind == Payload::Kind::kStart ? 0.0 : st.spec->local_delay;
+      st.kernel.send(first, token, think + st.draw_latency(p));
+    });
+  }
+  // Kick every client off with a staggered start.
+  for (std::uint32_t p = 0; p < spec.processes; ++p) {
+    Payload start;
+    start.kind = Payload::Kind::kStart;
+    st.kernel.send(client_actor[p], start, st.rng.uniform(0.0, 2.0 * spec.c_max));
+  }
+
+  result.messages = st.kernel.run();
+  result.sim_time = st.kernel.now();
+  result.trace = std::move(st.trace);
+  return result;
+}
+
+}  // namespace cn::msg

@@ -1,0 +1,136 @@
+#include "sim/consistency.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace cn {
+
+namespace {
+
+/// Sorted-by-first_seq view of the trace.
+std::vector<const TokenRecord*> by_first_seq(const Trace& trace) {
+  std::vector<const TokenRecord*> v;
+  v.reserve(trace.size());
+  for (const TokenRecord& r : trace) v.push_back(&r);
+  std::sort(v.begin(), v.end(), [](const TokenRecord* a, const TokenRecord* b) {
+    return a->first_seq < b->first_seq;
+  });
+  return v;
+}
+
+std::vector<TokenId> non_linearizable_tokens(const Trace& trace) {
+  // Sweep tokens by first step; maintain the max value among tokens whose
+  // last step already happened. A token is non-linearizable iff that max
+  // exceeds its own value at its first step.
+  auto starts = by_first_seq(trace);
+  std::vector<const TokenRecord*> ends(starts);
+  std::sort(ends.begin(), ends.end(), [](const TokenRecord* a, const TokenRecord* b) {
+    return a->last_seq < b->last_seq;
+  });
+  std::vector<TokenId> result;
+  std::size_t e = 0;
+  Value max_completed = 0;
+  bool any_completed = false;
+  for (const TokenRecord* r : starts) {
+    while (e < ends.size() && ends[e]->last_seq < r->first_seq) {
+      max_completed = any_completed ? std::max(max_completed, ends[e]->value)
+                                    : ends[e]->value;
+      any_completed = true;
+      ++e;
+    }
+    if (any_completed && max_completed > r->value) result.push_back(r->token);
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+std::vector<TokenId> non_sc_tokens(const Trace& trace) {
+  // Per process, tokens in issue order; flag any token with a larger
+  // earlier value.
+  std::map<ProcessId, std::vector<const TokenRecord*>> per_proc;
+  for (const TokenRecord& r : trace) per_proc[r.process].push_back(&r);
+  std::vector<TokenId> result;
+  for (auto& [proc, records] : per_proc) {
+    std::sort(records.begin(), records.end(),
+              [](const TokenRecord* a, const TokenRecord* b) {
+                return a->first_seq < b->first_seq;
+              });
+    bool any = false;
+    Value prefix_max = 0;
+    for (const TokenRecord* r : records) {
+      if (any && prefix_max > r->value) result.push_back(r->token);
+      prefix_max = any ? std::max(prefix_max, r->value) : r->value;
+      any = true;
+    }
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace
+
+ConsistencyReport analyze(const Trace& trace) {
+  ConsistencyReport rep;
+  rep.total = trace.size();
+  rep.non_linearizable = non_linearizable_tokens(trace);
+  rep.non_sequentially_consistent = non_sc_tokens(trace);
+  if (rep.total > 0) {
+    rep.f_nl = static_cast<double>(rep.non_linearizable.size()) /
+               static_cast<double>(rep.total);
+    rep.f_nsc = static_cast<double>(rep.non_sequentially_consistent.size()) /
+                static_cast<double>(rep.total);
+  }
+  return rep;
+}
+
+bool is_linearizable(const Trace& trace) {
+  return non_linearizable_tokens(trace).empty();
+}
+
+bool is_sequentially_consistent(const Trace& trace) {
+  return non_sc_tokens(trace).empty();
+}
+
+bool is_sequentially_consistent_for(const Trace& trace, ProcessId process) {
+  Trace restriction;
+  for (const TokenRecord& r : trace) {
+    if (r.process == process) restriction.push_back(r);
+  }
+  return non_sc_tokens(restriction).empty();
+}
+
+Trace remove_tokens(const Trace& trace, const std::vector<TokenId>& tokens) {
+  Trace out;
+  out.reserve(trace.size());
+  for (const TokenRecord& r : trace) {
+    if (std::find(tokens.begin(), tokens.end(), r.token) == tokens.end()) {
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+std::size_t min_removal_for_linearizability(const Trace& trace) {
+  // The paper's "absolute non-linearizability fraction" (Section 5.1)
+  // restricts removal to NON-LINEARIZABLE tokens — removing the early
+  // large-value side of an inversion is not allowed (it would let one
+  // rogue token retroactively damn all its predecessors). The exhaustive
+  // search therefore ranges over subsets of the non-linearizable tokens;
+  // Lemma 5.1 asserts the minimum is all of them.
+  const std::vector<TokenId> candidates = non_linearizable_tokens(trace);
+  if (candidates.empty()) return 0;
+  const std::size_t n = candidates.size();
+  std::size_t best = n;
+  for (std::uint64_t mask = 0; mask < (1ull << n); ++mask) {
+    const auto size = static_cast<std::size_t>(__builtin_popcountll(mask));
+    if (size >= best) continue;
+    std::vector<TokenId> removal;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask & (1ull << i)) removal.push_back(candidates[i]);
+    }
+    if (is_linearizable(remove_tokens(trace, removal))) best = size;
+  }
+  return best;
+}
+
+}  // namespace cn

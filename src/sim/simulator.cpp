@@ -1,0 +1,103 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <vector>
+
+namespace cn {
+
+namespace {
+
+struct Event {
+  double time;
+  double rank;
+  TokenId token;
+  std::uint32_t hop;  ///< Which layer crossing this is (0-based).
+
+  bool operator>(const Event& o) const {
+    if (time != o.time) return time > o.time;
+    if (rank != o.rank) return rank > o.rank;
+    return token > o.token;
+  }
+};
+
+}  // namespace
+
+SimulationResult simulate(const TimedExecution& exec) {
+  SimulationResult result;
+  result.error = validate(exec);
+  if (!result.error.empty()) return result;
+
+  const Network& net = *exec.net;
+  NetworkState state(net);
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> pq;
+  // Index from token id to its plan, for record-keeping.
+  std::vector<const TokenPlan*> plan_of;
+  for (const TokenPlan& p : exec.plans) {
+    if (p.token >= plan_of.size()) plan_of.resize(p.token + 1, nullptr);
+    plan_of[p.token] = &p;
+    pq.push({p.times[0], p.rank, p.token, 0});
+  }
+
+  std::vector<TokenRecord> records(plan_of.size());
+  // Paper Section 2.2, rule 3: all steps of a process's token must
+  // precede all steps of its next token IN THE STEP SEQUENCE. Equal times
+  // with adverse ranks could interleave them, so track in-flight tokens
+  // per process and reject such schedules.
+  std::map<ProcessId, TokenId> in_flight_of_process;
+  std::uint64_t seq = 0;
+  while (!pq.empty()) {
+    const Event ev = pq.top();
+    pq.pop();
+    const TokenPlan& plan = *plan_of[ev.token];
+    if (ev.hop == 0) {
+      const auto [it, fresh] =
+          in_flight_of_process.try_emplace(plan.process, plan.token);
+      if (!fresh) {
+        result.error = "process " + std::to_string(plan.process) +
+                       " issued token " + std::to_string(plan.token) +
+                       " while token " + std::to_string(it->second) +
+                       " was still in flight (step-order overlap)";
+        return result;
+      }
+      state.enter(plan.token, plan.process, plan.source);
+      records[ev.token].first_seq = seq;
+    }
+    const Step st = state.step(plan.token);
+    ++seq;
+    if (st.kind == Step::Kind::kCounter) {
+      in_flight_of_process.erase(plan.process);
+      TokenRecord& rec = records[ev.token];
+      rec.token = plan.token;
+      rec.process = plan.process;
+      rec.source = plan.source;
+      rec.sink = st.node;
+      rec.value = st.value;
+      rec.t_in = plan.t_in();
+      rec.t_out = plan.t_out();
+      rec.last_seq = seq - 1;
+      if (ev.hop != net.depth()) {
+        result.error = "token " + std::to_string(plan.token) +
+                       " reached a counter after " + std::to_string(ev.hop) +
+                       " hops; network is not uniform";
+        return result;
+      }
+    } else {
+      if (ev.hop + 1 >= plan.times.size()) {
+        result.error = "token " + std::to_string(plan.token) +
+                       " still in flight after its last planned step; "
+                       "network is not uniform";
+        return result;
+      }
+      pq.push({plan.times[ev.hop + 1], plan.rank, plan.token, ev.hop + 1});
+    }
+  }
+
+  result.trace.reserve(exec.plans.size());
+  for (const TokenPlan& p : exec.plans) result.trace.push_back(records[p.token]);
+  return result;
+}
+
+}  // namespace cn

@@ -1,0 +1,28 @@
+// Discrete-event simulator: plays a TimedExecution on the sequential
+// engine, in (time, rank) order, producing the trace of values.
+//
+// The simulator IS the paper's execution model: the adversary fixes when
+// every token crosses every layer; the balancer round-robin semantics
+// then determine routing and values deterministically.
+#pragma once
+
+#include <string>
+
+#include "sim/timed_execution.hpp"
+#include "sim/trace.hpp"
+
+namespace cn {
+
+struct SimulationResult {
+  Trace trace;            ///< One record per token, in token-plan order.
+  std::string error;      ///< Non-empty if the execution was invalid.
+
+  bool ok() const noexcept { return error.empty(); }
+};
+
+/// Runs the timed execution. Steps are executed in increasing (time,
+/// rank, token) order; each step advances its token across one node.
+/// Requires a uniform network (each token crosses exactly depth+1 nodes).
+SimulationResult simulate(const TimedExecution& exec);
+
+}  // namespace cn

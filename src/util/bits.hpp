@@ -1,0 +1,39 @@
+// Small integer helpers shared across the library.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace cn {
+
+/// True iff `x` is a power of two (and nonzero).
+constexpr bool is_pow2(std::uint64_t x) noexcept {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+/// Floor of log2(x). Precondition: x > 0.
+constexpr unsigned log2_floor(std::uint64_t x) noexcept {
+  return 63u - static_cast<unsigned>(std::countl_zero(x));
+}
+
+/// Exact log2 for powers of two. Precondition: is_pow2(x).
+constexpr unsigned log2_exact(std::uint64_t x) noexcept {
+  return log2_floor(x);
+}
+
+/// Greatest common divisor (Euclid).
+constexpr std::uint64_t gcd_u64(std::uint64_t a, std::uint64_t b) noexcept {
+  while (b != 0) {
+    const std::uint64_t t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+/// Least common multiple. Precondition: a, b > 0 and result fits in 64 bits.
+constexpr std::uint64_t lcm_u64(std::uint64_t a, std::uint64_t b) noexcept {
+  return (a / gcd_u64(a, b)) * b;
+}
+
+}  // namespace cn

@@ -1,0 +1,30 @@
+// Minimal command-line flag parsing for the example binaries.
+//
+// Supports "--name=value" and "--name value" forms plus boolean switches.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace cn {
+
+/// Parses flags of the form --key=value / --key value / --switch.
+///
+/// Anything not starting with "--" is ignored. Unknown flags are retained;
+/// callers query by name with a default.
+class CliArgs {
+ public:
+  CliArgs(int argc, char** argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace cn

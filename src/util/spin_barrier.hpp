@@ -1,0 +1,45 @@
+// Sense-reversing spin barrier for benchmark thread coordination.
+//
+// std::barrier parks threads in the kernel; for microbenchmarks on few
+// cores we want a pure-userspace rendezvous so that the measured region
+// starts on all threads within a few cycles of each other.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+
+namespace cn {
+
+/// Reusable spin barrier for a fixed number of participants.
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(std::size_t participants) noexcept
+      : participants_(participants) {}
+
+  SpinBarrier(const SpinBarrier&) = delete;
+  SpinBarrier& operator=(const SpinBarrier&) = delete;
+
+  /// Blocks until all participants have arrived. Reusable across rounds.
+  void arrive_and_wait() noexcept {
+    const bool my_sense = !sense_.load(std::memory_order_relaxed);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == participants_) {
+      arrived_.store(0, std::memory_order_relaxed);
+      sense_.store(my_sense, std::memory_order_release);
+    } else {
+      std::size_t spins = 0;
+      while (sense_.load(std::memory_order_acquire) != my_sense) {
+        // On a single hardware thread pure spinning livelocks; yield
+        // periodically so the releasing thread can run.
+        if (++spins % 64 == 0) std::this_thread::yield();
+      }
+    }
+  }
+
+ private:
+  const std::size_t participants_;
+  std::atomic<std::size_t> arrived_{0};
+  std::atomic<bool> sense_{false};
+};
+
+}  // namespace cn

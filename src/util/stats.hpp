@@ -1,0 +1,27 @@
+// Summary statistics for benchmark output.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace cn {
+
+/// Aggregate statistics of a sample. All fields are zero for empty samples.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< Sample standard deviation (n-1 denominator).
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Computes summary statistics over `values` (copies and sorts internally).
+Summary summarize(std::vector<double> values);
+
+/// Linear-interpolation percentile of an already-sorted sample, q in [0,1].
+double percentile_sorted(const std::vector<double>& sorted, double q);
+
+}  // namespace cn

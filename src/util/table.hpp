@@ -1,0 +1,40 @@
+// Column-aligned plain-text table printer used by the benchmark harnesses
+// to emit the rows/series the paper's evaluation would report.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cn {
+
+/// Accumulates rows of string cells and prints them column-aligned.
+///
+/// Usage:
+///   TablePrinter t({"w", "d(G)", "sd(G)"});
+///   t.add_row({"8", "6", "4"});
+///   t.print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends one data row. Rows shorter than the header are padded with "".
+  void add_row(std::vector<std::string> cells);
+
+  /// Writes the table, header first, followed by a separator rule.
+  void print(std::ostream& os) const;
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` digits after the decimal point.
+std::string fmt_double(double v, int digits = 4);
+
+/// Formats a ratio like "0.3333 (>= 0.3333)" for bound-vs-measured rows.
+std::string fmt_bound(double measured, double bound, bool lower_bound);
+
+}  // namespace cn

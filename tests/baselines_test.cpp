@@ -1,0 +1,132 @@
+// Tests for the baseline counters (src/baselines): all must hand out
+// gap-free, duplicate-free values under concurrency.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "baselines/combining_tree.hpp"
+#include "baselines/diffracting_tree.hpp"
+#include "baselines/fetch_inc_counter.hpp"
+#include "baselines/mcs_counter.hpp"
+
+namespace cn {
+namespace {
+
+/// Runs `threads` workers, each taking `ops` values via next(thread), and
+/// checks the union is exactly 0..threads*ops-1.
+template <typename NextFn>
+void expect_gap_free(std::uint32_t threads, std::uint64_t ops, NextFn&& next,
+                     bool expect_monotone = true) {
+  std::vector<std::vector<std::uint64_t>> got(threads);
+  std::vector<std::thread> workers;
+  for (std::uint32_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      got[t].reserve(ops);
+      for (std::uint64_t k = 0; k < ops; ++k) got[t].push_back(next(t));
+    });
+  }
+  for (auto& w : workers) w.join();
+  std::vector<std::uint64_t> all;
+  for (const auto& v : got) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  ASSERT_EQ(all.size(), threads * ops);
+  for (std::uint64_t i = 0; i < all.size(); ++i) {
+    ASSERT_EQ(all[i], i) << "gap or duplicate at " << i;
+  }
+  // Linearizable baselines must show strictly increasing values per
+  // thread. The diffracting tree, like any counting network, does not
+  // guarantee this under arbitrary scheduling (that is the paper's whole
+  // subject), so it opts out.
+  if (expect_monotone) {
+    for (const auto& v : got) {
+      for (std::size_t i = 1; i < v.size(); ++i) ASSERT_GT(v[i], v[i - 1]);
+    }
+  }
+}
+
+TEST(FetchInc, SingleThread) {
+  FetchIncCounter c;
+  for (std::uint64_t i = 0; i < 10; ++i) EXPECT_EQ(c.next(), i);
+  EXPECT_EQ(c.current(), 10u);
+}
+
+TEST(FetchInc, ConcurrentGapFree) {
+  FetchIncCounter c;
+  expect_gap_free(8, 2000, [&](std::uint32_t) { return c.next(); });
+}
+
+TEST(Mcs, SingleThread) {
+  McsCounter c;
+  for (std::uint64_t i = 0; i < 10; ++i) EXPECT_EQ(c.next(0), i);
+  EXPECT_EQ(c.current(), 10u);
+}
+
+TEST(Mcs, ConcurrentGapFree) {
+  McsCounter c;
+  expect_gap_free(6, 500, [&](std::uint32_t t) { return c.next(t); });
+}
+
+TEST(CombiningTree, SingleThread) {
+  CombiningTree c(8);
+  for (std::uint64_t i = 0; i < 10; ++i) EXPECT_EQ(c.next(0), i);
+  EXPECT_EQ(c.current(), 10u);
+}
+
+TEST(CombiningTree, ConcurrentGapFree) {
+  CombiningTree c(8);
+  expect_gap_free(8, 300, [&](std::uint32_t t) { return c.next(t); });
+}
+
+TEST(CombiningTree, TwoThreadsOnSharedLeafCombine) {
+  CombiningTree c(4);
+  // Threads 0 and 1 share leaf 0: heavy pairing pressure.
+  expect_gap_free(2, 1000, [&](std::uint32_t t) { return c.next(t); });
+}
+
+TEST(CombiningTree, RejectsBadCapacity) {
+  EXPECT_THROW(CombiningTree(3), std::invalid_argument);
+  EXPECT_THROW(CombiningTree(0), std::invalid_argument);
+  EXPECT_THROW(CombiningTree(1), std::invalid_argument);
+}
+
+TEST(DiffractingTree, SingleThreadSequential) {
+  DiffractingTree t(8);
+  // Alone, every token falls through to the toggles: classic tree counting.
+  for (std::uint64_t i = 0; i < 32; ++i) EXPECT_EQ(t.next(0), i);
+}
+
+TEST(DiffractingTree, ConcurrentGapFree) {
+  DiffractingTree t(8);
+  expect_gap_free(8, 500, [&](std::uint32_t th) { return t.next(th); },
+                  /*expect_monotone=*/false);
+}
+
+TEST(DiffractingTree, WidePrismStillCounts) {
+  DiffractingTree t(16, /*prism_slots=*/8, /*spin=*/16);
+  expect_gap_free(4, 400, [&](std::uint32_t th) { return t.next(th); },
+                  /*expect_monotone=*/false);
+}
+
+TEST(DiffractingTree, RejectsBadWidth) {
+  EXPECT_THROW(DiffractingTree(3), std::invalid_argument);
+  EXPECT_THROW(DiffractingTree(1), std::invalid_argument);
+}
+
+TEST(DiffractingTree, ReportsDiffractionsUnderContention) {
+  DiffractingTree t(4, /*prism_slots=*/1, /*spin=*/2000);
+  std::vector<std::thread> workers;
+  for (std::uint32_t th = 0; th < 4; ++th) {
+    workers.emplace_back([&, th] {
+      for (int k = 0; k < 500; ++k) (void)t.next(th);
+    });
+  }
+  for (auto& w : workers) w.join();
+  // With a single hot slot and long spins, at least some pairs collide.
+  // (Not guaranteed on a single hardware thread, so only a smoke check.)
+  EXPECT_GE(t.total_diffracted(), 0u);
+}
+
+}  // namespace
+}  // namespace cn

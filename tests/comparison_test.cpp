@@ -1,0 +1,91 @@
+// Tests for the counting-to-sorting connection (core/comparison): the
+// AHS94 theorem (counting implies sorting) and its strict converse
+// failure (sorting does not imply counting).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/comparison.hpp"
+#include "core/constructions.hpp"
+#include "core/verify.hpp"
+#include "util/rng.hpp"
+
+namespace cn {
+namespace {
+
+TEST(Comparison, SingleComparatorOrdersPair) {
+  const Network net = make_single_balancer(2, 2);
+  const auto out = apply_comparison_network(net, {3, 9});
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ((*out)[0], 9u);
+  EXPECT_EQ((*out)[1], 3u);
+}
+
+TEST(Comparison, RejectsIrregularBalancers) {
+  EXPECT_FALSE(apply_comparison_network(make_counting_tree(4), {1}).has_value());
+  EXPECT_FALSE(
+      apply_comparison_network(make_single_balancer(3, 3), {1, 2, 3}).has_value());
+}
+
+TEST(Comparison, RejectsWrongInputSize) {
+  EXPECT_FALSE(apply_comparison_network(make_bitonic(4), {1, 2}).has_value());
+}
+
+TEST(Comparison, CountingNetworksSortZeroOneInputs) {
+  // AHS94: every counting network's comparison network sorts.
+  for (const std::uint32_t w : {2u, 4u, 8u, 16u}) {
+    EXPECT_TRUE(sorts_all_01_inputs(make_bitonic(w))) << "bitonic " << w;
+    EXPECT_TRUE(sorts_all_01_inputs(make_periodic(w))) << "periodic " << w;
+  }
+}
+
+TEST(Comparison, BitonicSortsArbitraryIntegers) {
+  // The 0-1 principle promises this; spot-check it directly.
+  const Network net = make_bitonic(8);
+  Xoshiro256 rng(0xB17);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::uint64_t> in(8);
+    for (auto& v : in) v = rng.below(1000);
+    const auto out = apply_comparison_network(net, in);
+    ASSERT_TRUE(out.has_value());
+    std::vector<std::uint64_t> expect = in;
+    std::sort(expect.rbegin(), expect.rend());
+    EXPECT_EQ(*out, expect);
+  }
+}
+
+TEST(Comparison, OddEvenTranspositionSortsButDoesNotCount) {
+  // The strictness of AHS94's theorem: w alternating columns form the
+  // odd-even transposition sorting network — it sorts but is NOT a
+  // counting network.
+  const std::uint32_t w = 6;
+  const Network net = make_brick_wall(w, w);
+  EXPECT_TRUE(sorts_all_01_inputs(net));
+  Xoshiro256 rng(0x0E7);
+  EXPECT_FALSE(check_counting_random(net, rng, 300, 8).ok);
+}
+
+TEST(Comparison, TooFewTranspositionStagesDoNotSort) {
+  const std::uint32_t w = 6;
+  EXPECT_FALSE(sorts_all_01_inputs(make_brick_wall(w, w - 2)));
+}
+
+TEST(Comparison, MergerMergesTwoSortedHalves) {
+  // M(w) as a comparison network merges two descending halves.
+  const Network net = make_merger(8);
+  Xoshiro256 rng(0x3E6);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::uint64_t> in(8);
+    for (auto& v : in) v = rng.below(100);
+    std::sort(in.begin(), in.begin() + 4, std::greater<>());
+    std::sort(in.begin() + 4, in.end(), std::greater<>());
+    const auto out = apply_comparison_network(net, in);
+    ASSERT_TRUE(out.has_value());
+    std::vector<std::uint64_t> expect = in;
+    std::sort(expect.rbegin(), expect.rend());
+    EXPECT_EQ(*out, expect);
+  }
+}
+
+}  // namespace
+}  // namespace cn

@@ -1,0 +1,111 @@
+// Tests for the search-based schedule adversary (sim/optimizer).
+#include <gtest/gtest.h>
+
+#include "core/constructions.hpp"
+#include "sim/optimizer.hpp"
+#include "sim/simulator.hpp"
+#include "sim/timing.hpp"
+
+namespace cn {
+namespace {
+
+TEST(Optimizer, FindsSCViolationAtHighRatio) {
+  // On B(4) with generous asynchrony the search must find a non-SC
+  // schedule (the wave construction proves one exists at ratio > 2.5).
+  const Network net = make_bitonic(4);
+  OptimizerSpec spec;
+  spec.processes = 4;
+  spec.tokens_per_process = 3;
+  spec.c_min = 1.0;
+  spec.c_max = 6.0;
+  spec.iterations = 2000;
+  spec.restarts = 4;
+  spec.seed = 7;
+  const OptimizerResult res = optimize_schedule(net, spec);
+  EXPECT_GT(res.best_fraction, 0.0);
+  EXPECT_FALSE(res.report.sequentially_consistent());
+  EXPECT_GT(res.evaluations, 0u);
+}
+
+TEST(Optimizer, RespectsTheDelayEnvelope) {
+  const Network net = make_bitonic(4);
+  OptimizerSpec spec;
+  spec.c_min = 1.0;
+  spec.c_max = 5.0;
+  spec.iterations = 200;
+  spec.restarts = 1;
+  const OptimizerResult res = optimize_schedule(net, spec);
+  const TimingParameters t = measure_timing(res.best);
+  EXPECT_GE(t.c_min, 1.0 - 1e-9);
+  EXPECT_LE(t.c_max, 5.0 + 1e-9);
+}
+
+TEST(Optimizer, RespectsTheLocalDelayFloor) {
+  const Network net = make_bitonic(4);
+  OptimizerSpec spec;
+  spec.c_min = 1.0;
+  spec.c_max = 6.0;
+  spec.local_delay_min = 9.0;
+  spec.iterations = 300;
+  spec.restarts = 2;
+  const OptimizerResult res = optimize_schedule(net, spec);
+  const TimingParameters t = measure_timing(res.best);
+  if (t.C_L) {
+    EXPECT_GE(*t.C_L, 9.0 - 1e-9);
+  }
+}
+
+TEST(Optimizer, CannotBeatTheoremFourOneGuarantee) {
+  // With the local floor above d(G)(c_max - 2 c_min), no schedule the
+  // optimizer can produce violates sequential consistency.
+  const Network net = make_bitonic(4);  // depth 3
+  OptimizerSpec spec;
+  spec.c_min = 1.0;
+  spec.c_max = 4.0;
+  spec.local_delay_min = 3 * (4.0 - 2.0) + 0.1;  // 6.1 > bound
+  spec.iterations = 600;
+  spec.restarts = 3;
+  spec.seed = 11;
+  const OptimizerResult res = optimize_schedule(net, spec);
+  EXPECT_DOUBLE_EQ(res.best_fraction, 0.0);
+  EXPECT_TRUE(res.report.sequentially_consistent());
+}
+
+TEST(Optimizer, CannotExceedTheoremFiveFourBound) {
+  // Ratio < 3: F_nsc <= 1/2 by Theorem 5.4. The search may not exceed it.
+  const Network net = make_bitonic(4);
+  OptimizerSpec spec;
+  spec.processes = 6;
+  spec.tokens_per_process = 4;
+  spec.c_min = 1.0;
+  spec.c_max = 2.99;
+  spec.iterations = 800;
+  spec.restarts = 3;
+  const OptimizerResult res = optimize_schedule(net, spec);
+  EXPECT_LE(res.best_fraction, 0.5 + 1e-9);
+}
+
+TEST(Optimizer, DeterministicPerSeed) {
+  const Network net = make_bitonic(4);
+  OptimizerSpec spec;
+  spec.iterations = 150;
+  spec.restarts = 1;
+  spec.seed = 99;
+  const OptimizerResult a = optimize_schedule(net, spec);
+  const OptimizerResult b = optimize_schedule(net, spec);
+  EXPECT_DOUBLE_EQ(a.best_fraction, b.best_fraction);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+}
+
+TEST(Optimizer, BestScheduleIsSimulatable) {
+  const Network net = make_periodic(4);
+  OptimizerSpec spec;
+  spec.iterations = 200;
+  spec.restarts = 1;
+  const OptimizerResult res = optimize_schedule(net, spec);
+  const SimulationResult sim = simulate(res.best);
+  EXPECT_TRUE(sim.ok()) << sim.error;
+}
+
+}  // namespace
+}  // namespace cn

@@ -1,0 +1,57 @@
+// Tests for the ASCII renderer (core/render).
+#include <gtest/gtest.h>
+
+#include "core/constructions.hpp"
+#include "core/render.hpp"
+
+namespace cn {
+namespace {
+
+TEST(Render, SingleBalancer) {
+  const std::string art = render_ascii(make_single_balancer(2, 2));
+  // Two rows, each with one port marker, and counter labels.
+  EXPECT_NE(art.find("C0"), std::string::npos);
+  EXPECT_NE(art.find("C1"), std::string::npos);
+  EXPECT_NE(art.find('o'), std::string::npos);
+}
+
+TEST(Render, BitonicHasOneRowPerWire) {
+  const Network net = make_bitonic(8);
+  const std::string art = render_ascii(net);
+  // Header + 8 wire rows.
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 9);
+  // Every layer is a full column: 'o' count = 2 ports * balancers
+  // (skip the header line — the network name contains an 'o').
+  const std::string body = art.substr(art.find('\n') + 1);
+  EXPECT_EQ(std::count(body.begin(), body.end(), 'o'),
+            2 * static_cast<long>(net.num_balancers()));
+}
+
+TEST(Render, IrregularNetworkFallsBackToSummary) {
+  const Network net = make_counting_tree(8);
+  const std::string out = render_ascii(net);
+  EXPECT_NE(out.find("layer 1:"), std::string::npos);
+  EXPECT_NE(out.find("(1,2)"), std::string::npos);
+}
+
+TEST(Render, SummaryListsValencies) {
+  const std::string out = render_summary(make_bitonic(4));
+  // First layer balancers reach all sinks 0..3.
+  EXPECT_NE(out.find("[0..3|0..3]"), std::string::npos);
+  // Last layer balancers split into singletons.
+  EXPECT_NE(out.find("[0|1]"), std::string::npos);
+  EXPECT_NE(out.find("[2|3]"), std::string::npos);
+}
+
+TEST(Render, AllConstructionsRenderWithoutCrashing) {
+  for (const std::uint32_t w : {2u, 4u, 8u, 16u}) {
+    EXPECT_FALSE(render_ascii(make_bitonic(w)).empty());
+    EXPECT_FALSE(render_ascii(make_periodic(w)).empty());
+    EXPECT_FALSE(render_ascii(make_merger(w)).empty());
+    EXPECT_FALSE(render_ascii(make_block(w)).empty());
+    EXPECT_FALSE(render_summary(make_counting_tree(w)).empty());
+  }
+}
+
+}  // namespace
+}  // namespace cn

@@ -1,0 +1,166 @@
+// Unit tests for the sequential execution engine (core/sequential).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/constructions.hpp"
+#include "core/sequential.hpp"
+
+namespace cn {
+namespace {
+
+TEST(Sequential, BalancerRoundRobin) {
+  const Network net = make_single_balancer(2, 2);
+  NetworkState state(net);
+  // Six tokens entering on wire 0 must alternate outputs 0,1,0,1,0,1,
+  // so values are 0,1,2,3,4,5 with counters striding by 2.
+  for (TokenId t = 0; t < 6; ++t) {
+    EXPECT_EQ(state.shepherd(t, /*proc=*/0, /*source=*/0), t);
+  }
+  EXPECT_EQ(state.sink_count(0), 3u);
+  EXPECT_EQ(state.sink_count(1), 3u);
+}
+
+TEST(Sequential, CounterStride) {
+  const Network net = make_single_balancer(2, 4);
+  NetworkState state(net);
+  // Fan-out 4: counter j hands out j, j+4, j+8, ...
+  for (TokenId t = 0; t < 12; ++t) {
+    EXPECT_EQ(state.shepherd(t, 0, t % 2), t);
+  }
+  EXPECT_EQ(state.counter_next(0), 12u);
+  EXPECT_EQ(state.counter_next(3), 15u);
+}
+
+TEST(Sequential, BalancerStateWrapsAround) {
+  const Network net = make_single_balancer(1, 3);
+  NetworkState state(net);
+  EXPECT_EQ(state.balancer_position(0), 0);
+  (void)state.shepherd(0, 0, 0);
+  EXPECT_EQ(state.balancer_position(0), 1);
+  (void)state.shepherd(1, 0, 0);
+  EXPECT_EQ(state.balancer_position(0), 2);
+  (void)state.shepherd(2, 0, 0);
+  EXPECT_EQ(state.balancer_position(0), 0);  // wrapped
+}
+
+TEST(Sequential, StepByStepTraversal) {
+  const Network net = make_bitonic(4);  // depth 3: three balancer steps + counter
+  NetworkState state(net);
+  state.enter(0, /*proc=*/7, /*source=*/2);
+  EXPECT_EQ(state.in_flight(), 1u);
+  EXPECT_FALSE(state.done(0));
+  int balancer_steps = 0;
+  while (!state.done(0)) {
+    const Step st = state.step(0);
+    EXPECT_EQ(st.process, 7u);
+    EXPECT_EQ(st.token, 0u);
+    if (st.kind == Step::Kind::kBalancer) {
+      ++balancer_steps;
+    } else {
+      EXPECT_EQ(st.value, 0u);  // first token overall gets value 0
+    }
+  }
+  EXPECT_EQ(balancer_steps, 3);
+  EXPECT_TRUE(state.quiescent());
+  EXPECT_EQ(state.value(0), 0u);
+  EXPECT_EQ(state.process_of(0), 7u);
+}
+
+TEST(Sequential, InterleavedTokensStillCount) {
+  const Network net = make_bitonic(4);
+  NetworkState state(net);
+  // Two tokens advanced in strict alternation.
+  state.enter(0, 0, 0);
+  state.enter(1, 1, 0);
+  while (!state.done(0) || !state.done(1)) {
+    if (!state.done(0)) (void)state.step(0);
+    if (!state.done(1)) (void)state.step(1);
+  }
+  // Both values issued, distinct, and covering {0, 1}.
+  const Value a = state.value(0), b = state.value(1);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(std::min(a, b), 0u);
+  EXPECT_EQ(std::max(a, b), 1u);
+}
+
+TEST(Sequential, HistoryVariablesTrackPorts) {
+  const Network net = make_single_balancer(2, 2);
+  NetworkState state(net);
+  (void)state.shepherd(0, 0, 0);
+  (void)state.shepherd(1, 0, 0);
+  (void)state.shepherd(2, 0, 1);
+  EXPECT_EQ(state.balancer_in_count(0, 0), 2u);
+  EXPECT_EQ(state.balancer_in_count(0, 1), 1u);
+  EXPECT_EQ(state.balancer_out_count(0, 0), 2u);
+  EXPECT_EQ(state.balancer_out_count(0, 1), 1u);
+  EXPECT_EQ(state.source_count(0), 2u);
+  EXPECT_EQ(state.source_count(1), 1u);
+  EXPECT_EQ(state.total_entered(), 3u);
+  EXPECT_EQ(state.total_exited(), 3u);
+}
+
+TEST(Sequential, RecordingLogsSteps) {
+  const Network net = make_bitonic(4);
+  NetworkState state(net);
+  state.set_recording(true);
+  (void)state.shepherd(0, 0, 0);
+  // depth 3 balancer steps + 1 counter step.
+  ASSERT_EQ(state.log().size(), 4u);
+  EXPECT_EQ(state.log().back().kind, Step::Kind::kCounter);
+  state.clear_log();
+  EXPECT_TRUE(state.log().empty());
+}
+
+TEST(Sequential, TokenIdReuseThrows) {
+  const Network net = make_single_balancer(2, 2);
+  NetworkState state(net);
+  state.enter(0, 0, 0);
+  EXPECT_THROW(state.enter(0, 0, 1), std::invalid_argument);
+}
+
+TEST(Sequential, SteppingUnknownTokenThrows) {
+  const Network net = make_single_balancer(2, 2);
+  NetworkState state(net);
+  EXPECT_THROW(state.step(42), std::logic_error);
+}
+
+TEST(Sequential, SteppingFinishedTokenThrows) {
+  const Network net = make_single_balancer(2, 2);
+  NetworkState state(net);
+  (void)state.shepherd(0, 0, 0);
+  EXPECT_THROW(state.step(0), std::logic_error);
+}
+
+TEST(Sequential, ValueOfInFlightTokenThrows) {
+  const Network net = make_bitonic(4);
+  NetworkState state(net);
+  state.enter(0, 0, 0);
+  EXPECT_THROW(state.value(0), std::logic_error);
+}
+
+TEST(Sequential, BadSourceThrows) {
+  const Network net = make_single_balancer(2, 2);
+  NetworkState state(net);
+  EXPECT_THROW(state.enter(0, 0, 5), std::invalid_argument);
+}
+
+TEST(Sequential, ModularCountingLemma) {
+  // Lemma 3.1: pushing exactly fan-out many tokens through a balancer
+  // returns it to its prior state, so later tokens are unaffected.
+  const Network net = make_single_balancer(3, 3);
+  NetworkState state(net);
+  (void)state.shepherd(0, 0, 0);  // position now 1
+  EXPECT_EQ(state.balancer_position(0), 1);
+  for (TokenId t = 1; t <= 3; ++t) (void)state.shepherd(t, t, t - 1);
+  EXPECT_EQ(state.balancer_position(0), 1);  // restored
+  // The next token takes the same output it would have without the burst.
+  const Step st = [&] {
+    state.enter(4, 4, 0);
+    return state.step(4);
+  }();
+  EXPECT_EQ(st.out_port, 1);
+}
+
+}  // namespace
+}  // namespace cn

@@ -1,0 +1,208 @@
+// Tests for valency and split-structure analysis (core/valency),
+// reproducing Propositions 5.6-5.10 as executable checks.
+#include <gtest/gtest.h>
+
+#include "core/constructions.hpp"
+#include "core/valency.hpp"
+#include "util/bits.hpp"
+
+namespace cn {
+namespace {
+
+std::uint32_t lg(std::uint32_t w) { return log2_exact(w); }
+
+// ------------------------------------------------------------- sink sets
+
+TEST(SinkSet, BasicOperations) {
+  SinkSet a{0b0011};  // {0, 1}
+  SinkSet b{0b1100};  // {2, 3}
+  SinkSet c{0b0110};  // {1, 2}
+  EXPECT_EQ(sinkset_count(a), 2u);
+  EXPECT_EQ(sinkset_min(a), 0u);
+  EXPECT_EQ(sinkset_max(a), 1u);
+  EXPECT_TRUE(sinkset_precedes(a, b));
+  EXPECT_FALSE(sinkset_precedes(b, a));
+  EXPECT_FALSE(sinkset_precedes(a, c));
+  EXPECT_TRUE(sinkset_intersects(a, c));
+  EXPECT_FALSE(sinkset_intersects(a, b));
+  EXPECT_TRUE(sinkset_subset(a, SinkSet{0b1011}));
+  EXPECT_FALSE(sinkset_subset(SinkSet{0b1011}, a));
+}
+
+TEST(SinkSet, MultiWord) {
+  SinkSet a{0, 1ull << 5};  // {69}
+  EXPECT_EQ(sinkset_count(a), 1u);
+  EXPECT_EQ(sinkset_min(a), 69u);
+  EXPECT_EQ(sinkset_max(a), 69u);
+  SinkSet b{1ull << 63, 0};  // {63}
+  EXPECT_TRUE(sinkset_precedes(b, a));
+}
+
+TEST(SinkSet, EmptySetConventions) {
+  SinkSet e{0};
+  EXPECT_EQ(sinkset_count(e), 0u);
+  EXPECT_TRUE(sinkset_precedes(e, SinkSet{0b1}));
+  EXPECT_TRUE(sinkset_precedes(SinkSet{0b1}, e));
+}
+
+// ------------------------------------------------------------- valencies
+
+TEST(Valency, LastLayerBalancersAreTotallyOrdering) {
+  const Network net = make_bitonic(8);
+  const auto val = output_valencies(net);
+  for (const NodeIndex b : net.layer(net.depth())) {
+    EXPECT_TRUE(is_univalent(val[b]));
+    EXPECT_TRUE(is_totally_ordering(val[b]));
+  }
+}
+
+TEST(Valency, FirstLayerBitonicIsNotUnivalent) {
+  const Network net = make_bitonic(8);
+  const auto val = output_valencies(net);
+  for (const NodeIndex b : net.layer(1)) {
+    EXPECT_FALSE(is_univalent(val[b]));
+    EXPECT_FALSE(is_totally_ordering(val[b]));
+  }
+}
+
+TEST(Valency, CountingTreeIsUnivalentButNotTotallyOrdering) {
+  // Every toggle splits sinks by one address bit: disjoint (univalent)
+  // but interleaved, never ≺-ordered (except the leaf layer).
+  const Network net = make_counting_tree(8);
+  const auto val = output_valencies(net);
+  for (std::uint32_t ell = 1; ell <= net.depth(); ++ell) {
+    for (const NodeIndex b : net.layer(ell)) {
+      EXPECT_TRUE(is_univalent(val[b])) << "layer " << ell;
+      if (ell < net.depth()) {
+        EXPECT_FALSE(is_totally_ordering(val[b])) << "layer " << ell;
+      } else {
+        EXPECT_TRUE(is_totally_ordering(val[b]));
+      }
+    }
+  }
+}
+
+// -------------------------------------------------- split depth / number
+
+TEST(Split, BitonicSplitDepthMatchesProposition56) {
+  // sd(B(w)) = (lg^2 w - lg w + 2) / 2, complete, uniformly splittable.
+  for (const std::uint32_t w : {4u, 8u, 16u, 32u}) {
+    const SplitAnalysis sa(make_bitonic(w));
+    ASSERT_TRUE(sa.applicable()) << "w=" << w;
+    EXPECT_EQ(sa.split_depth(), (lg(w) * lg(w) - lg(w) + 2) / 2) << "w=" << w;
+    EXPECT_TRUE(sa.levels()[0].complete);
+    EXPECT_TRUE(sa.levels()[0].uniformly_splittable);
+  }
+}
+
+TEST(Split, PeriodicSplitDepthMatchesProposition58) {
+  // sd(P(w)) = lg^2 w - lg w + 1, complete, uniformly splittable.
+  for (const std::uint32_t w : {4u, 8u, 16u, 32u}) {
+    const SplitAnalysis sa(make_periodic(w));
+    ASSERT_TRUE(sa.applicable()) << "w=" << w;
+    EXPECT_EQ(sa.split_depth(), lg(w) * lg(w) - lg(w) + 1) << "w=" << w;
+    EXPECT_TRUE(sa.levels()[0].complete);
+    EXPECT_TRUE(sa.levels()[0].uniformly_splittable);
+  }
+}
+
+TEST(Split, BitonicSplitNumberMatchesProposition59) {
+  // sp(B(w)) = lg w; continuously complete and uniformly splittable.
+  for (const std::uint32_t w : {4u, 8u, 16u, 32u}) {
+    const SplitAnalysis sa(make_bitonic(w));
+    ASSERT_TRUE(sa.applicable());
+    EXPECT_EQ(sa.split_number(), lg(w)) << "w=" << w;
+    EXPECT_TRUE(sa.continuously_complete()) << "w=" << w;
+    EXPECT_TRUE(sa.continuously_uniformly_splittable()) << "w=" << w;
+  }
+}
+
+TEST(Split, PeriodicSplitNumberMatchesProposition510) {
+  // sp(P(w)) = lg w; continuously complete and uniformly splittable.
+  for (const std::uint32_t w : {4u, 8u, 16u, 32u}) {
+    const SplitAnalysis sa(make_periodic(w));
+    ASSERT_TRUE(sa.applicable());
+    EXPECT_EQ(sa.split_number(), lg(w)) << "w=" << w;
+    EXPECT_TRUE(sa.continuously_complete()) << "w=" << w;
+    EXPECT_TRUE(sa.continuously_uniformly_splittable()) << "w=" << w;
+  }
+}
+
+TEST(Split, RaceDepthDecreasesByOnePerLevel) {
+  // For B(w) and P(w): race_depth(ℓ) = lg w - ℓ + 1 (see valency.hpp note:
+  // this is the quantity Theorem 5.11 writes d(S^(ℓ))); the last level
+  // races over the final wire only.
+  for (const std::uint32_t w : {4u, 8u, 16u}) {
+    for (const Network& net : {make_bitonic(w), make_periodic(w)}) {
+      const SplitAnalysis sa(net);
+      ASSERT_TRUE(sa.applicable());
+      for (std::uint32_t ell = 1; ell <= sa.split_number(); ++ell) {
+        EXPECT_EQ(sa.race_depth(ell), lg(w) - ell + 1)
+            << net.name() << " ell=" << ell;
+      }
+      EXPECT_EQ(sa.race_depth(sa.split_number()), 1u);
+    }
+  }
+}
+
+TEST(Split, CountingTreeSplitsOnlyAtLeavesAndIsNotComplete) {
+  // The tree's toggles interleave sink parities, so no layer before the
+  // leaf layer is totally ordering; the leaf layer is, but its balancers
+  // cover only two sinks each, so the tree is not complete and
+  // Theorem 5.11's hypotheses do not apply to it.
+  const Network net = make_counting_tree(8);
+  const SplitAnalysis sa(net);
+  ASSERT_TRUE(sa.applicable());
+  EXPECT_EQ(sa.split_number(), 1u);
+  EXPECT_EQ(sa.split_depth(), net.depth());
+  EXPECT_FALSE(sa.levels()[0].complete);
+  EXPECT_FALSE(sa.continuously_complete());
+}
+
+TEST(Split, SingleBalancerIsItsOwnSplitLayer) {
+  const SplitAnalysis sa(make_single_balancer(2, 2));
+  ASSERT_TRUE(sa.applicable());
+  EXPECT_EQ(sa.split_number(), 1u);
+  EXPECT_EQ(sa.split_depth(), 1u);
+  EXPECT_EQ(sa.race_depth(1), 1u);
+}
+
+TEST(Split, WideNetworksMatchFormulasAcrossBitsetWords) {
+  // w = 128 spans two 64-bit sink-set words; the closed forms must still
+  // hold (exercises every multi-word SinkSet path).
+  const SplitAnalysis sb(make_bitonic(128));
+  ASSERT_TRUE(sb.applicable());
+  EXPECT_EQ(sb.split_depth(), (7u * 7u - 7u + 2u) / 2u);  // = 22
+  EXPECT_EQ(sb.split_number(), 7u);
+  EXPECT_TRUE(sb.continuously_complete());
+  const SplitAnalysis sp(make_periodic(128));
+  ASSERT_TRUE(sp.applicable());
+  EXPECT_EQ(sp.split_depth(), 7u * 7u - 7u + 1u);  // = 43
+  EXPECT_EQ(sp.split_number(), 7u);
+}
+
+TEST(Split, SplitLayerSinksHalveEachLevel) {
+  const std::uint32_t w = 16;
+  const SplitAnalysis sa(make_bitonic(w));
+  ASSERT_TRUE(sa.applicable());
+  std::uint32_t expect = w;
+  for (const SplitLevel& level : sa.levels()) {
+    EXPECT_EQ(sinkset_count(level.sinks), expect);
+    expect /= 2;
+  }
+}
+
+TEST(Split, BottomSubnetworkServesTopIndices) {
+  // SP2 chains keep the *highest* sink indices (Val(1) ≻ Val(0)).
+  const std::uint32_t w = 8;
+  const SplitAnalysis sa(make_bitonic(w));
+  ASSERT_TRUE(sa.applicable());
+  for (std::size_t k = 0; k < sa.levels().size(); ++k) {
+    const SplitLevel& level = sa.levels()[k];
+    EXPECT_EQ(sinkset_max(level.sinks), w - 1);
+    EXPECT_EQ(sinkset_min(level.sinks), w - (w >> k));
+  }
+}
+
+}  // namespace
+}  // namespace cn

@@ -1,0 +1,105 @@
+// Tests for the randomized workload generator (sim/workload).
+#include <gtest/gtest.h>
+
+#include "core/constructions.hpp"
+#include "sim/simulator.hpp"
+#include "sim/timing.hpp"
+#include "sim/workload.hpp"
+
+namespace cn {
+namespace {
+
+TEST(Workload, GeneratesValidExecutions) {
+  const Network net = make_bitonic(8);
+  Xoshiro256 rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    WorkloadSpec spec;
+    spec.processes = 6;
+    spec.tokens_per_process = 5;
+    const TimedExecution exec = generate_workload(net, spec, rng);
+    EXPECT_EQ(validate(exec), "");
+    EXPECT_EQ(exec.plans.size(), 30u);
+  }
+}
+
+TEST(Workload, RespectsDelayEnvelope) {
+  const Network net = make_periodic(4);
+  Xoshiro256 rng(8);
+  WorkloadSpec spec;
+  spec.c_min = 2.0;
+  spec.c_max = 5.0;
+  spec.extreme_delays = false;
+  const TimedExecution exec = generate_workload(net, spec, rng);
+  const TimingParameters t = measure_timing(exec);
+  EXPECT_GE(t.c_min, 2.0);
+  EXPECT_LE(t.c_max, 5.0);
+}
+
+TEST(Workload, ExtremeDelaysUseOnlyEndpoints) {
+  const Network net = make_bitonic(4);
+  Xoshiro256 rng(9);
+  WorkloadSpec spec;
+  spec.c_min = 1.0;
+  spec.c_max = 4.0;
+  spec.extreme_delays = true;
+  spec.processes = 8;
+  spec.tokens_per_process = 4;
+  const TimedExecution exec = generate_workload(net, spec, rng);
+  for (const TokenPlan& p : exec.plans) {
+    for (std::size_t k = 1; k < p.times.size(); ++k) {
+      const double d = p.times[k] - p.times[k - 1];
+      EXPECT_TRUE(std::abs(d - 1.0) < 1e-12 || std::abs(d - 4.0) < 1e-12);
+    }
+  }
+}
+
+TEST(Workload, RespectsLocalDelayFloor) {
+  const Network net = make_bitonic(4);
+  Xoshiro256 rng(10);
+  WorkloadSpec spec;
+  spec.processes = 4;
+  spec.tokens_per_process = 6;
+  spec.local_delay_min = 7.5;
+  spec.local_delay_max = 9.0;
+  const TimedExecution exec = generate_workload(net, spec, rng);
+  const TimingParameters t = measure_timing(exec);
+  ASSERT_TRUE(t.C_L.has_value());
+  EXPECT_GE(*t.C_L, 7.5);
+}
+
+TEST(Workload, DeterministicPerSeed) {
+  const Network net = make_bitonic(8);
+  Xoshiro256 a(123), b(123);
+  const TimedExecution ea = generate_workload(net, {}, a);
+  const TimedExecution eb = generate_workload(net, {}, b);
+  ASSERT_EQ(ea.plans.size(), eb.plans.size());
+  for (std::size_t i = 0; i < ea.plans.size(); ++i) {
+    EXPECT_EQ(ea.plans[i].times, eb.plans[i].times);
+  }
+}
+
+TEST(Workload, ProcessesMapToFixedWires) {
+  const Network net = make_bitonic(4);
+  Xoshiro256 rng(11);
+  WorkloadSpec spec;
+  spec.processes = 6;  // more processes than wires: wrap around
+  const TimedExecution exec = generate_workload(net, spec, rng);
+  for (const TokenPlan& p : exec.plans) {
+    EXPECT_EQ(p.source, p.process % net.fan_in());
+  }
+}
+
+TEST(Workload, SimulatesCleanly) {
+  const Network net = make_periodic(8);
+  Xoshiro256 rng(12);
+  WorkloadSpec spec;
+  spec.processes = 8;
+  spec.tokens_per_process = 4;
+  const TimedExecution exec = generate_workload(net, spec, rng);
+  const SimulationResult res = simulate(exec);
+  EXPECT_TRUE(res.ok()) << res.error;
+  EXPECT_EQ(res.trace.size(), 32u);
+}
+
+}  // namespace
+}  // namespace cn

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_corollary512.dir/bench_corollary512.cpp.o"
+  "CMakeFiles/bench_corollary512.dir/bench_corollary512.cpp.o.d"
+  "bench_corollary512"
+  "bench_corollary512.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_corollary512.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fraction_bitonic.dir/bench_fraction_bitonic.cpp.o"
+  "CMakeFiles/bench_fraction_bitonic.dir/bench_fraction_bitonic.cpp.o.d"
+  "bench_fraction_bitonic"
+  "bench_fraction_bitonic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fraction_bitonic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fraction_bitonic.
+# This may be replaced when dependencies are built.

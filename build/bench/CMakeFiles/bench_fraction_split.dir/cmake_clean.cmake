@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fraction_split.dir/bench_fraction_split.cpp.o"
+  "CMakeFiles/bench_fraction_split.dir/bench_fraction_split.cpp.o.d"
+  "bench_fraction_split"
+  "bench_fraction_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fraction_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ratio_crossover.dir/bench_ratio_crossover.cpp.o"
+  "CMakeFiles/bench_ratio_crossover.dir/bench_ratio_crossover.cpp.o.d"
+  "bench_ratio_crossover"
+  "bench_ratio_crossover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ratio_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

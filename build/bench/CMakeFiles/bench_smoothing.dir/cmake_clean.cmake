@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_smoothing.dir/bench_smoothing.cpp.o"
+  "CMakeFiles/bench_smoothing.dir/bench_smoothing.cpp.o.d"
+  "bench_smoothing"
+  "bench_smoothing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_smoothing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_structure.cpp" "bench/CMakeFiles/bench_structure.dir/bench_structure.cpp.o" "gcc" "bench/CMakeFiles/bench_structure.dir/bench_structure.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/cn_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/msg/CMakeFiles/cn_msg.dir/DependInfo.cmake"
+  "/root/repo/build/src/concurrent/CMakeFiles/cn_concurrent.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

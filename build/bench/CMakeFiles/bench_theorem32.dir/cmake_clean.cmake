@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_theorem32.dir/bench_theorem32.cpp.o"
+  "CMakeFiles/bench_theorem32.dir/bench_theorem32.cpp.o.d"
+  "bench_theorem32"
+  "bench_theorem32.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_theorem32.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

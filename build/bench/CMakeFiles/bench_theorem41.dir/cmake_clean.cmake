@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_theorem41.dir/bench_theorem41.cpp.o"
+  "CMakeFiles/bench_theorem41.dir/bench_theorem41.cpp.o.d"
+  "bench_theorem41"
+  "bench_theorem41.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_theorem41.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

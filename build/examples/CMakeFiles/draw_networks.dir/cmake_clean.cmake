@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/draw_networks.dir/draw_networks.cpp.o"
+  "CMakeFiles/draw_networks.dir/draw_networks.cpp.o.d"
+  "draw_networks"
+  "draw_networks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/draw_networks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

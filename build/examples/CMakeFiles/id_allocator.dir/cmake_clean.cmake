@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/id_allocator.dir/id_allocator.cpp.o"
+  "CMakeFiles/id_allocator.dir/id_allocator.cpp.o.d"
+  "id_allocator"
+  "id_allocator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/id_allocator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

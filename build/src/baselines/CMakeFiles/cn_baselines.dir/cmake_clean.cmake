@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cn_baselines.dir/combining_tree.cpp.o"
+  "CMakeFiles/cn_baselines.dir/combining_tree.cpp.o.d"
+  "CMakeFiles/cn_baselines.dir/diffracting_tree.cpp.o"
+  "CMakeFiles/cn_baselines.dir/diffracting_tree.cpp.o.d"
+  "libcn_baselines.a"
+  "libcn_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cn_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

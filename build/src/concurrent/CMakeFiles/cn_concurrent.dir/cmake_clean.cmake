@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cn_concurrent.dir/concurrent_network.cpp.o"
+  "CMakeFiles/cn_concurrent.dir/concurrent_network.cpp.o.d"
+  "CMakeFiles/cn_concurrent.dir/harness.cpp.o"
+  "CMakeFiles/cn_concurrent.dir/harness.cpp.o.d"
+  "libcn_concurrent.a"
+  "libcn_concurrent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cn_concurrent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

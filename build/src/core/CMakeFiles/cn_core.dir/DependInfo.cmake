@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bitonic.cpp" "src/core/CMakeFiles/cn_core.dir/bitonic.cpp.o" "gcc" "src/core/CMakeFiles/cn_core.dir/bitonic.cpp.o.d"
+  "/root/repo/src/core/builder.cpp" "src/core/CMakeFiles/cn_core.dir/builder.cpp.o" "gcc" "src/core/CMakeFiles/cn_core.dir/builder.cpp.o.d"
+  "/root/repo/src/core/comparison.cpp" "src/core/CMakeFiles/cn_core.dir/comparison.cpp.o" "gcc" "src/core/CMakeFiles/cn_core.dir/comparison.cpp.o.d"
+  "/root/repo/src/core/periodic.cpp" "src/core/CMakeFiles/cn_core.dir/periodic.cpp.o" "gcc" "src/core/CMakeFiles/cn_core.dir/periodic.cpp.o.d"
+  "/root/repo/src/core/render.cpp" "src/core/CMakeFiles/cn_core.dir/render.cpp.o" "gcc" "src/core/CMakeFiles/cn_core.dir/render.cpp.o.d"
+  "/root/repo/src/core/sequential.cpp" "src/core/CMakeFiles/cn_core.dir/sequential.cpp.o" "gcc" "src/core/CMakeFiles/cn_core.dir/sequential.cpp.o.d"
+  "/root/repo/src/core/structure.cpp" "src/core/CMakeFiles/cn_core.dir/structure.cpp.o" "gcc" "src/core/CMakeFiles/cn_core.dir/structure.cpp.o.d"
+  "/root/repo/src/core/topology.cpp" "src/core/CMakeFiles/cn_core.dir/topology.cpp.o" "gcc" "src/core/CMakeFiles/cn_core.dir/topology.cpp.o.d"
+  "/root/repo/src/core/valency.cpp" "src/core/CMakeFiles/cn_core.dir/valency.cpp.o" "gcc" "src/core/CMakeFiles/cn_core.dir/valency.cpp.o.d"
+  "/root/repo/src/core/verify.cpp" "src/core/CMakeFiles/cn_core.dir/verify.cpp.o" "gcc" "src/core/CMakeFiles/cn_core.dir/verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cn_core.dir/bitonic.cpp.o"
+  "CMakeFiles/cn_core.dir/bitonic.cpp.o.d"
+  "CMakeFiles/cn_core.dir/builder.cpp.o"
+  "CMakeFiles/cn_core.dir/builder.cpp.o.d"
+  "CMakeFiles/cn_core.dir/comparison.cpp.o"
+  "CMakeFiles/cn_core.dir/comparison.cpp.o.d"
+  "CMakeFiles/cn_core.dir/periodic.cpp.o"
+  "CMakeFiles/cn_core.dir/periodic.cpp.o.d"
+  "CMakeFiles/cn_core.dir/render.cpp.o"
+  "CMakeFiles/cn_core.dir/render.cpp.o.d"
+  "CMakeFiles/cn_core.dir/sequential.cpp.o"
+  "CMakeFiles/cn_core.dir/sequential.cpp.o.d"
+  "CMakeFiles/cn_core.dir/structure.cpp.o"
+  "CMakeFiles/cn_core.dir/structure.cpp.o.d"
+  "CMakeFiles/cn_core.dir/topology.cpp.o"
+  "CMakeFiles/cn_core.dir/topology.cpp.o.d"
+  "CMakeFiles/cn_core.dir/valency.cpp.o"
+  "CMakeFiles/cn_core.dir/valency.cpp.o.d"
+  "CMakeFiles/cn_core.dir/verify.cpp.o"
+  "CMakeFiles/cn_core.dir/verify.cpp.o.d"
+  "libcn_core.a"
+  "libcn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cn_msg.dir/service.cpp.o"
+  "CMakeFiles/cn_msg.dir/service.cpp.o.d"
+  "libcn_msg.a"
+  "libcn_msg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cn_msg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

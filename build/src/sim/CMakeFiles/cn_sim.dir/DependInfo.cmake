@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/adversary.cpp" "src/sim/CMakeFiles/cn_sim.dir/adversary.cpp.o" "gcc" "src/sim/CMakeFiles/cn_sim.dir/adversary.cpp.o.d"
+  "/root/repo/src/sim/consistency.cpp" "src/sim/CMakeFiles/cn_sim.dir/consistency.cpp.o" "gcc" "src/sim/CMakeFiles/cn_sim.dir/consistency.cpp.o.d"
+  "/root/repo/src/sim/linearization.cpp" "src/sim/CMakeFiles/cn_sim.dir/linearization.cpp.o" "gcc" "src/sim/CMakeFiles/cn_sim.dir/linearization.cpp.o.d"
+  "/root/repo/src/sim/optimizer.cpp" "src/sim/CMakeFiles/cn_sim.dir/optimizer.cpp.o" "gcc" "src/sim/CMakeFiles/cn_sim.dir/optimizer.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/cn_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/cn_sim.dir/simulator.cpp.o.d"
+  "/root/repo/src/sim/timed_execution.cpp" "src/sim/CMakeFiles/cn_sim.dir/timed_execution.cpp.o" "gcc" "src/sim/CMakeFiles/cn_sim.dir/timed_execution.cpp.o.d"
+  "/root/repo/src/sim/timing.cpp" "src/sim/CMakeFiles/cn_sim.dir/timing.cpp.o" "gcc" "src/sim/CMakeFiles/cn_sim.dir/timing.cpp.o.d"
+  "/root/repo/src/sim/workload.cpp" "src/sim/CMakeFiles/cn_sim.dir/workload.cpp.o" "gcc" "src/sim/CMakeFiles/cn_sim.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

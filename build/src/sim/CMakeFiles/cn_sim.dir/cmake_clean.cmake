@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cn_sim.dir/adversary.cpp.o"
+  "CMakeFiles/cn_sim.dir/adversary.cpp.o.d"
+  "CMakeFiles/cn_sim.dir/consistency.cpp.o"
+  "CMakeFiles/cn_sim.dir/consistency.cpp.o.d"
+  "CMakeFiles/cn_sim.dir/linearization.cpp.o"
+  "CMakeFiles/cn_sim.dir/linearization.cpp.o.d"
+  "CMakeFiles/cn_sim.dir/optimizer.cpp.o"
+  "CMakeFiles/cn_sim.dir/optimizer.cpp.o.d"
+  "CMakeFiles/cn_sim.dir/simulator.cpp.o"
+  "CMakeFiles/cn_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/cn_sim.dir/timed_execution.cpp.o"
+  "CMakeFiles/cn_sim.dir/timed_execution.cpp.o.d"
+  "CMakeFiles/cn_sim.dir/timing.cpp.o"
+  "CMakeFiles/cn_sim.dir/timing.cpp.o.d"
+  "CMakeFiles/cn_sim.dir/workload.cpp.o"
+  "CMakeFiles/cn_sim.dir/workload.cpp.o.d"
+  "libcn_sim.a"
+  "libcn_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cn_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

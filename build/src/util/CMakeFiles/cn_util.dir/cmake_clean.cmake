@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cn_util.dir/cli.cpp.o"
+  "CMakeFiles/cn_util.dir/cli.cpp.o.d"
+  "CMakeFiles/cn_util.dir/stats.cpp.o"
+  "CMakeFiles/cn_util.dir/stats.cpp.o.d"
+  "CMakeFiles/cn_util.dir/table.cpp.o"
+  "CMakeFiles/cn_util.dir/table.cpp.o.d"
+  "libcn_util.a"
+  "libcn_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cn_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linearization_test.dir/linearization_test.cpp.o"
+  "CMakeFiles/linearization_test.dir/linearization_test.cpp.o.d"
+  "linearization_test"
+  "linearization_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linearization_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

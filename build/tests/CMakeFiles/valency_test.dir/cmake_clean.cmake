@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/valency_test.dir/valency_test.cpp.o"
+  "CMakeFiles/valency_test.dir/valency_test.cpp.o.d"
+  "valency_test"
+  "valency_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/valency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

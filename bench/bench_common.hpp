@@ -1,4 +1,7 @@
-// Shared helpers for the experiment harnesses in bench/.
+// Shared helpers for the experiment harnesses in bench/. All trace
+// production and trial sweeping goes through the engine registry
+// (src/engine): benches build a RunSpec, run it once with run_backend,
+// or fan trials out with the parallel sweeper.
 #pragma once
 
 #include <cstdint>
@@ -6,52 +9,65 @@
 #include <string>
 
 #include "core/constructions.hpp"
+#include "engine/engine.hpp"
 #include "sim/consistency.hpp"
-#include "sim/simulator.hpp"
-#include "sim/workload.hpp"
-#include "util/rng.hpp"
+#include "util/cli.hpp"
 #include "util/table.hpp"
 
 namespace cn::bench {
 
-/// Outcome of a randomized violation search.
-struct SearchResult {
-  std::uint64_t trials = 0;
-  std::uint64_t lin_violations = 0;   ///< Executions with a non-lin token.
-  std::uint64_t sc_violations = 0;    ///< Executions with a non-SC token.
-  double worst_f_nl = 0.0;
-  double worst_f_nsc = 0.0;
-};
+/// Sweeper thread count for bench binaries: `--threads N` when given,
+/// otherwise all hardware threads (aggregates are identical either way —
+/// the engine derives per-trial seeds deterministically).
+inline std::uint32_t sweep_threads(const CliArgs& args) {
+  return static_cast<std::uint32_t>(args.get_int("threads", 0));
+}
 
-/// Runs `trials` random workloads at the given wire-delay envelope and
-/// counts executions violating linearizability / sequential consistency.
-inline SearchResult search_violations(const Network& net, double c_min,
-                                      double c_max, std::uint64_t trials,
-                                      Xoshiro256& rng,
-                                      double local_delay_min = 0.0,
-                                      std::uint32_t processes = 8,
-                                      std::uint32_t tokens_per_process = 4) {
-  SearchResult out;
-  out.trials = trials;
-  for (std::uint64_t t = 0; t < trials; ++t) {
-    WorkloadSpec spec;
-    spec.processes = processes;
-    spec.tokens_per_process = tokens_per_process;
-    spec.c_min = c_min;
-    spec.c_max = c_max;
-    spec.local_delay_min = local_delay_min;
-    spec.local_delay_max = local_delay_min + 2.0;
-    spec.extreme_delays = true;
-    const TimedExecution exec = generate_workload(net, spec, rng);
-    const SimulationResult sim = simulate(exec);
-    if (!sim.ok()) continue;
-    const ConsistencyReport rep = analyze(sim.trace);
-    if (!rep.linearizable()) ++out.lin_violations;
-    if (!rep.sequentially_consistent()) ++out.sc_violations;
-    out.worst_f_nl = std::max(out.worst_f_nl, rep.f_nl);
-    out.worst_f_nsc = std::max(out.worst_f_nsc, rep.f_nsc);
-  }
-  return out;
+/// RunSpec for the randomized violation search every probe bench uses:
+/// the "simulator" backend with the closed-loop extreme-delay workload.
+inline engine::RunSpec random_search_spec(const Network& net, double c_min,
+                                          double c_max, std::uint64_t seed,
+                                          double local_delay_min = 0.0,
+                                          std::uint32_t processes = 8,
+                                          std::uint32_t tokens_per_process = 4) {
+  engine::RunSpec spec;
+  spec.backend = "simulator";
+  spec.net = &net;
+  spec.processes = processes;
+  spec.ops_per_process = tokens_per_process;
+  spec.c_min = c_min;
+  spec.c_max = c_max;
+  spec.local_delay_min = local_delay_min;
+  spec.seed = seed;
+  return spec;
+}
+
+/// Runs `trials` random workloads through the engine sweeper and counts
+/// executions violating linearizability / sequential consistency.
+inline engine::SweepStats search_violations(const engine::RunSpec& base,
+                                            std::uint64_t trials,
+                                            std::uint32_t threads = 0) {
+  engine::SweepSpec sweep;
+  sweep.base = base;
+  sweep.trials = trials;
+  sweep.threads = threads;
+  return engine::sweep_stats(sweep);
+}
+
+/// Single adversarial wave run through the engine's "wave" backend.
+inline engine::RunResult run_wave(const Network& net, std::uint32_t ell,
+                                  double c_min = 1.0, double wave_c_max = 0.0,
+                                  bool distinct_processes = false,
+                                  double wave3_extra_delay = 0.0) {
+  engine::RunSpec spec;
+  spec.backend = "wave";
+  spec.net = &net;
+  spec.ell = ell;
+  spec.c_min = c_min;
+  spec.wave_c_max = wave_c_max;
+  spec.distinct_processes = distinct_processes;
+  spec.wave3_extra_delay = wave3_extra_delay;
+  return engine::run_backend(spec);
 }
 
 inline std::string yes_no(bool b) { return b ? "yes" : "no"; }

@@ -1,6 +1,7 @@
 // E9 — Theorem 4.1 on real threads: recorded concurrent runs against the
-// shared-memory bitonic network, with and without the local-delay (C_L)
-// timer, feeding the same consistency analyzers as the simulator.
+// shared-memory bitonic network (the engine's "concurrent" backend),
+// with and without the local-delay (C_L) timer, feeding the same
+// consistency analyzers as the simulator.
 //
 // Per configuration: observed non-linearizability and non-sequential-
 // consistency fractions. With the C_L timer set above
@@ -9,8 +10,6 @@
 #include <iostream>
 
 #include "bench_common.hpp"
-#include "concurrent/concurrent_network.hpp"
-#include "concurrent/harness.hpp"
 #include "sim/timing.hpp"
 
 int main() {
@@ -25,44 +24,44 @@ int main() {
 
   struct Config {
     const char* name;
-    ConcurrentRunSpec spec;
+    std::uint64_t ops_per_thread;
+    std::uint64_t hop_min_ns, hop_max_ns, local_ns;
+    std::uint64_t seed;
   };
   const Config configs[] = {
-      {"unpaced, no local delay",
-       {.threads = 4, .ops_per_thread = 150, .seed = 1, .record_schedule = true}},
-      {"paced hops [20us,160us], no local delay",
-       {.threads = 4,
-        .ops_per_thread = 60,
-        .hop_delay_min_ns = kHopMin,
-        .hop_delay_max_ns = kHopMax,
-        .seed = 2,
-        .record_schedule = true}},
-      {"paced hops + C_L timer above the bound",
-       {.threads = 4,
-        .ops_per_thread = 60,
-        .hop_delay_min_ns = kHopMin,
-        .hop_delay_max_ns = kHopMax,
-        .local_delay_ns = cl_bound + 100'000,
-        .seed = 3,
-        .record_schedule = true}},
+      {"unpaced, no local delay", 150, 0, 0, 0, 1},
+      {"paced hops [20us,160us], no local delay", 60, kHopMin, kHopMax, 0, 2},
+      {"paced hops + C_L timer above the bound", 60, kHopMin, kHopMax,
+       cl_bound + 100'000, 3},
   };
 
   TablePrinter t({"configuration", "ops", "ops/s", "measured ratio",
                   "measured C_L us", "F_nl", "F_nsc", "SC?"});
   for (const Config& cfg : configs) {
-    ConcurrentNetwork net(topo);
-    const ConcurrentRunResult res = run_recorded(net, cfg.spec);
+    engine::RunSpec spec;
+    spec.backend = "concurrent";
+    spec.net = &topo;
+    spec.threads = 4;
+    spec.ops_per_thread = cfg.ops_per_thread;
+    spec.hop_delay_min_ns = cfg.hop_min_ns;
+    spec.hop_delay_max_ns = cfg.hop_max_ns;
+    spec.local_delay_ns = cfg.local_ns;
+    spec.seed = cfg.seed;
+    spec.record_schedule = true;
+    const engine::RunResult res = engine::run_backend(spec);
     if (!res.ok()) {
       std::cerr << cfg.name << ": " << res.error << "\n";
       return 1;
     }
-    const ConsistencyReport rep = analyze(res.trace);
-    const TimingParameters tp = measure_timing(res.schedule);
-    t.add_row({cfg.name, std::to_string(res.total_ops),
-               fmt_double(res.ops_per_sec, 0), fmt_double(tp.ratio(), 1),
+    const TimingParameters tp = measure_timing(res.exec);
+    t.add_row({cfg.name,
+               std::to_string(static_cast<std::uint64_t>(
+                   res.metric("total_ops"))),
+               fmt_double(res.metric("ops_per_sec"), 0),
+               fmt_double(tp.ratio(), 1),
                tp.C_L ? fmt_double(*tp.C_L * 1e6, 0) : "-",
-               fmt_double(rep.f_nl), fmt_double(rep.f_nsc),
-               cn::bench::yes_no(rep.sequentially_consistent())});
+               fmt_double(res.report.f_nl), fmt_double(res.report.f_nsc),
+               cn::bench::yes_no(res.report.sequentially_consistent())});
   }
   t.print(std::cout);
   std::cout << "\nShape check: the C_L timer targets the bound d(G)(c_max "

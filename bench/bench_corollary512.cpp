@@ -2,12 +2,11 @@
 // ℓ = lg w, the two inconsistency fractions diverge asymptotically —
 // F_nl = (w-1)/(2w-1) -> 1/2 while F_nsc = 1/(2w-1) -> 0 — at the price
 // of asynchrony ratio > 1 + d(G). This regenerates that series for both
-// network families up to w = 256.
+// network families up to w = 256, via the engine's "wave" backend.
 #include <iostream>
 
 #include "bench_common.hpp"
 #include "core/valency.hpp"
-#include "sim/adversary.hpp"
 
 namespace {
 
@@ -17,14 +16,14 @@ void series(const char* kind, cn::TablePrinter& t) {
     const Network net = std::string(kind) == "bitonic" ? make_bitonic(w)
                                                        : make_periodic(w);
     const SplitAnalysis split(net);
-    const WaveResult res =
-        run_wave_execution(net, split, {.ell = split.split_number()});
+    const engine::RunResult res =
+        cn::bench::run_wave(net, split.split_number());
     if (!res.ok()) {
       std::cerr << net.name() << ": " << res.error << "\n";
       continue;
     }
     t.add_row({net.name(), std::to_string(net.depth()),
-               fmt_double(res.required_ratio, 0),
+               fmt_double(res.metric("required_ratio"), 0),
                fmt_bound(res.report.f_nl, (w - 1.0) / (2.0 * w - 1.0), true),
                fmt_bound(res.report.f_nsc, 1.0 / (2.0 * w - 1.0), true)});
   }

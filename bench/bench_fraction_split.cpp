@@ -7,12 +7,12 @@
 //   F_nl  >= 1 - 1/(2 - 2^-ℓ)      (increases towards 1/2)
 //   F_nsc >= 2^-ℓ/(2 - 2^-ℓ)       (decreases towards 0)
 // which coincide at 1/3 for ℓ = 1 and reach (w-1)/(2w-1) and 1/(2w-1)
-// at ℓ = lg w (Corollaries 5.12/5.13).
+// at ℓ = lg w (Corollaries 5.12/5.13). Waves run through the engine's
+// "wave" backend.
 #include <iostream>
 
 #include "bench_common.hpp"
 #include "core/valency.hpp"
-#include "sim/adversary.hpp"
 
 namespace {
 
@@ -20,16 +20,18 @@ void sweep(const cn::Network& net, cn::TablePrinter& t) {
   using namespace cn;
   const SplitAnalysis split(net);
   for (std::uint32_t ell = 1; ell <= split.split_number(); ++ell) {
-    const WaveResult res = run_wave_execution(net, split, {.ell = ell});
+    const engine::RunResult res = cn::bench::run_wave(net, ell);
     if (!res.ok()) {
       std::cerr << net.name() << " ell=" << ell << ": " << res.error << "\n";
       continue;
     }
     t.add_row({net.name(), std::to_string(ell),
-               std::to_string(split.race_depth(ell)),
-               fmt_double(res.required_ratio, 2),
-               fmt_bound(res.report.f_nl, res.predicted_f_nl, true),
-               fmt_bound(res.report.f_nsc, res.predicted_f_nsc, true)});
+               std::to_string(
+                   static_cast<std::uint32_t>(res.metric("race_depth"))),
+               fmt_double(res.metric("required_ratio"), 2),
+               fmt_bound(res.report.f_nl, res.metric("predicted_f_nl"), true),
+               fmt_bound(res.report.f_nsc, res.metric("predicted_f_nsc"),
+                         true)});
   }
 }
 

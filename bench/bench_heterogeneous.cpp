@@ -6,55 +6,15 @@
 // Per hare-delay setting: how many operations each class completes in a
 // fixed simulated horizon, whether the hare itself stays sequentially
 // consistent (its own C_L^P is what matters — Lemma 4.4 is per-process),
-// and whether the paced processes do.
+// and whether the paced processes do. Trials run through the engine's
+// "sim_heterogeneous" backend on the parallel sweeper.
 #include <iostream>
 
 #include "bench_common.hpp"
-#include "sim/consistency.hpp"
-#include "sim/timing.hpp"
 
-namespace {
-
-using namespace cn;
-
-/// Closed-loop execution where process 0 uses `hare_delay` between its
-/// operations and every other process uses `tortoise_delay`. Wire delays
-/// are adversarially extreme in [c_min, c_max].
-TimedExecution heterogeneous_workload(const Network& net, double c_min,
-                                      double c_max, double hare_delay,
-                                      double tortoise_delay, double horizon,
-                                      Xoshiro256& rng) {
-  TimedExecution exec;
-  exec.net = &net;
-  const std::uint32_t d = net.depth();
-  TokenId next = 0;
-  for (ProcessId p = 0; p < net.fan_in(); ++p) {
-    const double local = p == 0 ? hare_delay : tortoise_delay;
-    double t = 0.0;
-    std::uint32_t k = 0;
-    while (t < horizon) {
-      TokenPlan plan;
-      plan.token = next++;
-      plan.process = p;
-      plan.source = p;
-      plan.rank = k + rng.unit() * 0.9;
-      plan.times.resize(d + 1);
-      plan.times[0] = t;
-      for (std::uint32_t h = 1; h <= d; ++h) {
-        plan.times[h] = plan.times[h - 1] + (rng.below(2) ? c_min : c_max);
-      }
-      t = plan.times[d] + local;
-      exec.plans.push_back(std::move(plan));
-      ++k;
-    }
-  }
-  return exec;
-}
-
-}  // namespace
-
-int main() {
+int main(int argc, char** argv) {
   using namespace cn;
+  const CliArgs args(argc, argv);
   const Network net = make_bitonic(8);
   const double c_min = 1.0, c_max = 4.0;
   const double bound = net.depth() * (c_max - 2.0 * c_min);  // Thm 4.1: 12
@@ -62,29 +22,33 @@ int main() {
             << " (c_min=1, c_max=4, Theorem 4.1 bound " << bound << ")\n\n";
   TablePrinter t({"hare C_L^0", "tortoise C_L", "hare ops", "others ops",
                   "hare SC?", "others SC?", "global SC?"});
-  Xoshiro256 rng(0x8E7);
   for (const double hare : {0.0, 4.0, 8.0, 12.1, 20.0}) {
     const double tortoise = bound + 0.1;
-    std::uint64_t hare_ops = 0, other_ops = 0;
-    bool hare_sc = true, others_sc = true, global_sc = true;
-    for (int trial = 0; trial < 60; ++trial) {
-      const TimedExecution exec = heterogeneous_workload(
-          net, c_min, c_max, hare, tortoise, /*horizon=*/400.0, rng);
-      const SimulationResult sim = simulate(exec);
-      if (!sim.ok()) continue;
-      for (const TokenRecord& r : sim.trace) {
-        (r.process == 0 ? hare_ops : other_ops) += 1;
-      }
-      hare_sc &= is_sequentially_consistent_for(sim.trace, 0);
-      for (ProcessId p = 1; p < net.fan_in(); ++p) {
-        others_sc &= is_sequentially_consistent_for(sim.trace, p);
-      }
-      global_sc &= is_sequentially_consistent(sim.trace);
-    }
+    engine::SweepSpec sweep;
+    sweep.base.backend = "sim_heterogeneous";
+    sweep.base.net = &net;
+    sweep.base.c_min = c_min;
+    sweep.base.c_max = c_max;
+    sweep.base.hare_delay = hare;
+    sweep.base.tortoise_delay = tortoise;
+    sweep.base.horizon = 400.0;
+    sweep.base.seed = 0x8E7;
+    sweep.trials = 60;
+    sweep.threads = cn::bench::sweep_threads(args);
+    const engine::SweepStats r = engine::sweep_stats(sweep);
+    const auto sum = [&r](const char* key) {
+      const auto it = r.metric_sums.find(key);
+      return it == r.metric_sums.end() ? 0.0 : it->second;
+    };
+    // The per-trial SC metrics are 0/1, so "every trial SC" means the
+    // sum equals the number of completed trials.
+    const bool hare_sc = sum("hare_sc") == static_cast<double>(r.completed);
+    const bool others_sc = sum("others_sc") == static_cast<double>(r.completed);
     t.add_row({fmt_double(hare, 1), fmt_double(tortoise, 1),
-               std::to_string(hare_ops), std::to_string(other_ops),
+               std::to_string(static_cast<std::uint64_t>(sum("hare_ops"))),
+               std::to_string(static_cast<std::uint64_t>(sum("other_ops"))),
                cn::bench::yes_no(hare_sc), cn::bench::yes_no(others_sc),
-               cn::bench::yes_no(global_sc)});
+               cn::bench::yes_no(r.sc_violations == 0)});
   }
   t.print(std::cout);
   std::cout << "\nShape check: Lemma 4.4 is per-process — the paced "

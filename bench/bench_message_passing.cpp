@@ -3,14 +3,15 @@
 // wires are messages with latencies in [c_min, c_max]. Sweeping the
 // latency ratio shows consistency degrading exactly where the
 // shared-memory theory predicts: never at ratio <= 2, increasingly often
-// beyond, and never under the Theorem 4.1 think-time regime.
+// beyond, and never under the Theorem 4.1 think-time regime. Runs fan
+// out over the engine's "msg" backend on the parallel sweeper.
 #include <iostream>
 
 #include "bench_common.hpp"
-#include "msg/service.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cn;
+  const CliArgs args(argc, argv);
   const Network net = make_bitonic(8);
   std::cout << "Ablation: message-passing service on " << net.name()
             << " — consistency vs latency ratio\n\n";
@@ -25,32 +26,30 @@ int main() {
     const double c_min = 1.0, c_max = row.ratio;
     const double local =
         row.thm41 ? net.depth() * (c_max - 2.0 * c_min) + 0.5 : 0.0;
-    std::uint64_t nl_runs = 0, nsc_runs = 0, msgs = 0, ops = 0;
-    double worst = 0.0;
-    constexpr std::uint64_t kRuns = 60;
-    for (std::uint64_t seed = 1; seed <= kRuns; ++seed) {
-      msg::MsgRunSpec spec;
-      spec.processes = 8;
-      spec.ops_per_process = 12;
-      spec.c_min = c_min;
-      spec.c_max = c_max;
-      spec.local_delay = local;
-      spec.slow_process_zero = true;  // heterogeneous c_min^P adversary
-      spec.seed = seed * 7919;
-      const auto res = msg::run_message_passing(net, spec);
-      if (!res.ok()) continue;
-      const ConsistencyReport rep = analyze(res.trace);
-      nl_runs += !rep.linearizable();
-      nsc_runs += !rep.sequentially_consistent();
-      worst = std::max(worst, rep.f_nl);
-      msgs += res.messages;
-      ops += res.trace.size();
-    }
+    engine::SweepSpec sweep;
+    sweep.base.backend = "msg";
+    sweep.base.net = &net;
+    sweep.base.processes = 8;
+    sweep.base.ops_per_process = 12;
+    sweep.base.c_min = c_min;
+    sweep.base.c_max = c_max;
+    sweep.base.local_delay_min = local;
+    sweep.base.slow_process_zero = true;  // heterogeneous c_min^P adversary
+    sweep.base.seed = 7919;
+    sweep.trials = 60;
+    sweep.threads = cn::bench::sweep_threads(args);
+    const engine::SweepStats r = engine::sweep_stats(sweep);
+    const auto msgs_it = r.metric_sums.find("messages");
+    const double msgs =
+        msgs_it == r.metric_sums.end() ? 0.0 : msgs_it->second;
     t.add_row({fmt_double(row.ratio, 1),
                row.thm41 ? fmt_double(local, 1) + " (Thm 4.1)" : "0",
-               std::to_string(kRuns), std::to_string(nl_runs),
-               std::to_string(nsc_runs), fmt_double(worst),
-               fmt_double(static_cast<double>(msgs) / ops, 1)});
+               std::to_string(r.trials), std::to_string(r.lin_violations),
+               std::to_string(r.sc_violations), fmt_double(r.worst_f_nl),
+               fmt_double(r.total_tokens > 0
+                              ? msgs / static_cast<double>(r.total_tokens)
+                              : 0.0,
+                          1)});
   }
   t.print(std::cout);
   std::cout << "\nShape check: ratio <= 2 is provably clean (LSST Cor 3.10 "

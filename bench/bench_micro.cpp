@@ -1,6 +1,7 @@
 // Microbenchmarks (google-benchmark): per-operation cost of the building
 // blocks — shared-memory balancer traversal, full network increments by
-// width and construction, the sequential engine, and the timed simulator.
+// width and construction, the sequential engine, the timed simulator,
+// and the experiment engine's dispatch + sweep overhead on top of them.
 #include <benchmark/benchmark.h>
 
 #include "baselines/diffracting_tree.hpp"
@@ -9,6 +10,7 @@
 #include "core/constructions.hpp"
 #include "core/sequential.hpp"
 #include "core/valency.hpp"
+#include "engine/engine.hpp"
 #include "sim/adversary.hpp"
 #include "sim/simulator.hpp"
 #include "sim/workload.hpp"
@@ -94,6 +96,41 @@ void BM_SplitAnalysis(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SplitAnalysis)->Arg(8)->Arg(32);
+
+// Engine dispatch on top of BM_SimulateRandomWorkload's work: registry
+// lookup, RunSpec plumbing, and the consistency analysis per run.
+void BM_EngineSimulatorRun(benchmark::State& state) {
+  const Network topo = make_bitonic(8);
+  engine::RunSpec spec;
+  spec.net = &topo;
+  spec.processes = 8;
+  spec.ops_per_process = 8;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    spec.seed = seed++;
+    benchmark::DoNotOptimize(engine::run_backend(spec));
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_EngineSimulatorRun);
+
+// Whole sweeps through the parallel sweeper, by worker count: the
+// scaling the bench binaries inherit from --threads.
+void BM_EngineSweep(benchmark::State& state) {
+  const Network topo = make_bitonic(8);
+  engine::SweepSpec sweep;
+  sweep.base.net = &topo;
+  sweep.base.processes = 8;
+  sweep.base.ops_per_process = 4;
+  sweep.base.c_max = 3.0;
+  sweep.trials = 64;
+  sweep.threads = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine::sweep_stats(sweep));
+  }
+  state.SetItemsProcessed(state.iterations() * sweep.trials);
+}
+BENCHMARK(BM_EngineSweep)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 }  // namespace
 

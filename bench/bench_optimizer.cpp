@@ -3,7 +3,7 @@
 //
 // Three contenders per asynchrony level ℓ (ratio just below ℓ):
 //   * the paper's wave constructions (best applicable split level),
-//   * the hill-climbing schedule adversary,
+//   * the hill-climbing schedule adversary ("optimizer" backend),
 //   * the theorem's ceiling.
 // The gap between the best lower bound found and the ceiling is the open
 // tightness question, quantified.
@@ -11,8 +11,6 @@
 
 #include "bench_common.hpp"
 #include "core/valency.hpp"
-#include "sim/adversary.hpp"
-#include "sim/optimizer.hpp"
 
 int main() {
   using namespace cn;
@@ -26,25 +24,24 @@ int main() {
     const double ratio = ell * 0.999;
     double wave_best = 0.0;
     for (std::uint32_t lvl = 1; lvl <= split.split_number(); ++lvl) {
-      WaveSpec ws;
-      ws.ell = lvl;
-      ws.c_min = 1.0;
-      ws.c_max = ratio;
-      const WaveResult res = run_wave_execution(net, split, ws);
+      const engine::RunResult res = cn::bench::run_wave(net, lvl, 1.0, ratio);
       if (res.ok()) wave_best = std::max(wave_best, res.report.f_nsc);
     }
-    OptimizerSpec os;
+    engine::RunSpec os;
+    os.backend = "optimizer";
+    os.net = &net;
     os.processes = 12;
-    os.tokens_per_process = 2;
+    os.ops_per_process = 2;
     os.c_min = 1.0;
     os.c_max = ratio;
-    os.iterations = 6000;
-    os.restarts = 6;
+    os.opt_iterations = 6000;
+    os.opt_restarts = 6;
     os.seed = 0xBEEF + ell;
-    const OptimizerResult opt = optimize_schedule(net, os);
+    const engine::RunResult opt = engine::run_backend(os);
     t.add_row({std::to_string(ell), fmt_double((ell - 2.0) / (ell - 1.0)),
-               fmt_double(wave_best), fmt_double(opt.best_fraction),
-               std::to_string(opt.evaluations)});
+               fmt_double(wave_best), fmt_double(opt.metric("best_fraction")),
+               std::to_string(
+                   static_cast<std::uint64_t>(opt.metric("evaluations")))});
   }
   t.print(std::cout);
   std::cout << "\nTwo findings. (1) No lower bound reaches the ceiling: "

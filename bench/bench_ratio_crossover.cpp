@@ -5,36 +5,31 @@
 // The paper's bounds are threshold phenomena: below the required ratio
 // the wave attack produces a fully consistent execution; above it the
 // fractions jump straight to their bound values. This series makes the
-// discontinuity visible (a "figure" in series form).
+// discontinuity visible (a "figure" in series form). Every wave runs
+// through the engine's "wave" backend.
 #include <iostream>
 
 #include "bench_common.hpp"
-#include "core/valency.hpp"
-#include "sim/adversary.hpp"
 
 int main() {
   using namespace cn;
   std::cout << "Ablation: ratio sweep across the Proposition 5.3 threshold\n\n";
   for (const std::uint32_t w : {8u, 16u}) {
     const Network net = make_bitonic(w);
-    const SplitAnalysis split(net);
-    const WaveResult probe = run_wave_execution(net, split, {.ell = 1});
-    const double threshold = probe.required_ratio;
+    const engine::RunResult probe = cn::bench::run_wave(net, /*ell=*/1);
+    const double threshold = probe.metric("required_ratio");
     std::cout << net.name() << "  threshold = " << fmt_double(threshold, 3)
               << "\n";
     TablePrinter t({"ratio", "ratio/threshold", "F_nl", "F_nsc"});
     for (const double frac :
          {0.50, 0.80, 0.95, 0.99, 0.999, 1.001, 1.01, 1.05, 1.25, 2.00}) {
-      WaveSpec spec;
-      spec.ell = 1;
-      spec.c_min = 1.0;
-      spec.c_max = threshold * frac;
-      const WaveResult res = run_wave_execution(net, split, spec);
+      const engine::RunResult res =
+          cn::bench::run_wave(net, /*ell=*/1, 1.0, threshold * frac);
       if (!res.ok()) {
         std::cerr << res.error << "\n";
         return 1;
       }
-      t.add_row({fmt_double(spec.c_max, 3), fmt_double(frac, 3),
+      t.add_row({fmt_double(threshold * frac, 3), fmt_double(frac, 3),
                  fmt_double(res.report.f_nl), fmt_double(res.report.f_nsc)});
     }
     t.print(std::cout);

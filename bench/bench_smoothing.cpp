@@ -6,11 +6,15 @@
 // A counting network must be 1-smooth with ordered outputs; single blocks
 // are not, and each extra block roughly halves the discrepancy — the
 // structural reason behind d(P(w)) = lg^2 w (paper Section 2.6.2).
+//
+// This probe exercises quiescent output vectors, not timed traces, so it
+// has no engine backend: it drives core/verify directly.
 #include <iostream>
 
 #include "bench_common.hpp"
 #include "core/verify.hpp"
 #include "util/bits.hpp"
+#include "util/rng.hpp"
 
 int main() {
   using namespace cn;

@@ -5,6 +5,9 @@
 //   depth d(G), shallowness s(G), influence radius irad(G),
 //   split depth sd(G), split number sp(G), continuous completeness and
 //   uniform splittability.
+//
+// Purely structural — no traces are produced, so nothing here goes
+// through an engine backend.
 #include <iostream>
 
 #include "bench_common.hpp"

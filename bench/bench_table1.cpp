@@ -6,71 +6,36 @@
 // Sufficient conditions are probed by randomized extreme-delay searches
 // AT the boundary (no violation may be found); necessary conditions by
 // exhibiting a violating execution just ABOVE the boundary (wave
-// construction where available, randomized search otherwise).
+// construction where available, randomized search otherwise). All
+// probes run through the engine registry; sweeps run on the parallel
+// sweeper (--threads N, default all cores) with thread-count-independent
+// aggregates.
 #include <iostream>
 
 #include "bench_common.hpp"
 #include "core/structure.hpp"
 #include "core/valency.hpp"
-#include "sim/adversary.hpp"
 
-namespace {
+int main(int argc, char** argv) {
+  using namespace cn;
+  const CliArgs args(argc, argv);
+  const std::uint32_t threads = cn::bench::sweep_threads(args);
 
-using namespace cn;
-using cn::bench::search_violations;
-using cn::bench::yes_no;
-
-/// Burst workload honoring a global-delay floor: tokens within a burst
-/// overlap freely; consecutive bursts are separated by at least `gap`
-/// (so every non-overlapping pair has C_g >= gap).
-TimedExecution burst_workload(const Network& net, double c_min, double c_max,
-                              double gap, std::uint32_t bursts,
-                              std::uint32_t burst_size, Xoshiro256& rng) {
-  TimedExecution exec;
-  exec.net = &net;
-  const std::uint32_t d = net.depth();
-  TokenId next = 0;
-  double t0 = 0.0;
-  for (std::uint32_t b = 0; b < bursts; ++b) {
-    double latest_exit = t0;
-    for (std::uint32_t i = 0; i < burst_size; ++i) {
-      TokenPlan p;
-      p.token = next;
-      p.process = next;  // all distinct processes: pure C_g probe
-      p.source = i % net.fan_in();
-      p.rank = rng.unit();
-      p.times.resize(d + 1);
-      p.times[0] = t0 + rng.uniform(0.0, 0.25 * c_min);
-      for (std::uint32_t h = 1; h <= d; ++h) {
-        p.times[h] = p.times[h - 1] + (rng.below(2) ? c_min : c_max);
-      }
-      latest_exit = std::max(latest_exit, p.times[d]);
-      exec.plans.push_back(std::move(p));
-      ++next;
-    }
-    t0 = latest_exit + gap;
-  }
-  return exec;
-}
-
-}  // namespace
-
-int main() {
   std::cout << "E1: Table 1 probe — necessary and sufficient timing "
                "conditions\n\n";
   TablePrinter t({"condition (Table 1 row)", "network", "probe",
                   "violations", "verdict"});
-  Xoshiro256 rng(0x7AB1E);
 
   // --- Sufficient: c_max/c_min <= 2 (LSST99 Cor 3.10; also MPT97 Thm 4.1
   // with s(G) = d(G) for uniform networks). Probe AT ratio 2.
   for (const Network& net :
        {make_bitonic(8), make_periodic(8), make_counting_tree(8)}) {
-    const auto r = search_violations(net, 1.0, 2.0, 400, rng);
+    const auto r = cn::bench::search_violations(
+        cn::bench::random_search_spec(net, 1.0, 2.0, /*seed=*/0x7AB1E), 400,
+        threads);
     t.add_row({"sufficient: ratio <= 2 [LSST Cor 3.10]", net.name(),
                "random x" + std::to_string(r.trials),
-               std::to_string(r.lin_violations) + " lin / " +
-                   std::to_string(r.sc_violations) + " SC",
+               engine::violation_cell(r),
                r.lin_violations == 0 ? "holds" : "REFUTED"});
   }
 
@@ -78,13 +43,13 @@ int main() {
   // threshold is (lg w + 3)/2; the wave attack violates just above it.
   for (const std::uint32_t w : {8u, 16u, 32u}) {
     const Network net = make_bitonic(w);
-    const SplitAnalysis split(net);
-    const WaveResult res = run_wave_execution(net, split, {.ell = 1});
-    const double thr = net.depth() / static_cast<double>(influence_radius(net)) + 1.0;
+    const engine::RunResult res = cn::bench::run_wave(net, /*ell=*/1);
+    const double thr =
+        net.depth() / static_cast<double>(influence_radius(net)) + 1.0;
     t.add_row({"necessary: ratio <= d/irad+1 = " + fmt_double(thr, 2) +
                    " [MPT97 Thm 3.1]",
                net.name(),
-               "wave at ratio " + fmt_double(res.timing.ratio(), 2),
+               "wave at ratio " + fmt_double(res.metric("ratio_used"), 2),
                res.ok() && !res.report.linearizable() ? "1 lin + 1 SC" : "none",
                res.ok() && !res.report.sequentially_consistent() ? "confirmed"
                                                                  : "NOT FOUND"});
@@ -98,12 +63,14 @@ int main() {
   // ratio.
   for (const Network& net :
        {make_bitonic(4), make_counting_tree(4), make_counting_tree(8)}) {
-    const auto r = search_violations(net, 1.0, 2.25, 4000, rng, 0.0,
-                                     /*processes=*/12, /*tokens=*/3);
+    const auto r = cn::bench::search_violations(
+        cn::bench::random_search_spec(net, 1.0, 2.25, /*seed=*/0x7AB1E, 0.0,
+                                      /*processes=*/12,
+                                      /*tokens_per_process=*/3),
+        4000, threads);
     t.add_row({"necessary: ratio <= 2 [LSST Thm 4.1/4.3]", net.name(),
                "random x" + std::to_string(r.trials) + " at ratio 2.25",
-               std::to_string(r.lin_violations) + " lin / " +
-                   std::to_string(r.sc_violations) + " SC",
+               engine::violation_cell(r),
                r.lin_violations > 0 ? "confirmed" : "NOT FOUND"});
   }
 
@@ -114,19 +81,23 @@ int main() {
     const Network net = make_bitonic(w);
     const double c_min = 1.0, c_max = 6.0;
     const double bound = net.depth() * (c_max - 2 * c_min);
-    std::uint64_t violations = 0;
-    const std::uint32_t trials = 100;
-    for (std::uint32_t k = 0; k < trials; ++k) {
-      const TimedExecution exec = burst_workload(net, c_min, c_max,
-                                                 bound * 1.01, 4, w, rng);
-      const SimulationResult sim = simulate(exec);
-      if (sim.ok() && !is_linearizable(sim.trace)) ++violations;
-    }
+    engine::SweepSpec sweep;
+    sweep.base.backend = "sim_burst";
+    sweep.base.net = &net;
+    sweep.base.c_min = c_min;
+    sweep.base.c_max = c_max;
+    sweep.base.burst_gap = bound * 1.01;
+    sweep.base.bursts = 4;
+    sweep.base.burst_size = w;
+    sweep.base.seed = 0x7AB1E;
+    sweep.trials = 100;
+    sweep.threads = threads;
+    const engine::SweepStats r = engine::sweep_stats(sweep);
     t.add_row({"sufficient: d(c_max-2c_min) < C_g [LSST Cor 3.7]", net.name(),
-               "bursts x" + std::to_string(trials) + ", gap > " +
+               "bursts x" + std::to_string(r.trials) + ", gap > " +
                    fmt_double(bound, 0),
-               std::to_string(violations) + " lin",
-               violations == 0 ? "holds" : "REFUTED"});
+               engine::violation_cell(r),
+               r.lin_violations == 0 ? "holds" : "REFUTED"});
   }
 
   t.print(std::cout);

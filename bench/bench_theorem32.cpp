@@ -2,10 +2,11 @@
 // distinguish sequential consistency from linearizability.
 //
 // For each network: build a base execution that is non-linearizable but
-// sequentially consistent (the distinct-process wave variant), apply the
-// Lemma 3.1 token-insertion transform, and show the transformed execution
-// (i) violates sequential consistency and (ii) satisfies the same
-// c_min/c_max envelope with no smaller global delay C_g.
+// sequentially consistent (the distinct-process wave variant, produced
+// by the engine's "wave" backend), apply the Lemma 3.1 token-insertion
+// transform, and show the transformed execution (i) violates sequential
+// consistency and (ii) satisfies the same c_min/c_max envelope with no
+// smaller global delay C_g.
 #include <iostream>
 #include <optional>
 
@@ -29,9 +30,9 @@ int main() {
                   "C_g trans", "inserted tokens"});
   for (const std::uint32_t w : {4u, 8u, 16u, 32u}) {
     for (const Network& net : {make_bitonic(w), make_periodic(w)}) {
-      const SplitAnalysis split(net);
-      const WaveResult base = run_wave_execution(
-          net, split, {.ell = 1, .distinct_processes = true});
+      const engine::RunResult base =
+          cn::bench::run_wave(net, /*ell=*/1, 1.0, 0.0,
+                              /*distinct_processes=*/true);
       if (!base.ok()) {
         std::cerr << net.name() << ": " << base.error << "\n";
         return 1;

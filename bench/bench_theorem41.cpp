@@ -11,16 +11,18 @@
 //
 // The sweep prints, per C_L: whether the Theorem 4.1 premise holds,
 // whether the adversarial wave still violates SC / linearizability, and
-// the violation rate of a randomized search with local delay floor C_L.
+// the violation rate of a randomized engine sweep with local delay
+// floor C_L.
 #include <iostream>
 
 #include "bench_common.hpp"
 #include "core/valency.hpp"
-#include "sim/adversary.hpp"
 #include "sim/timing.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cn;
+  const CliArgs args(argc, argv);
+  const std::uint32_t threads = cn::bench::sweep_threads(args);
   const Network net = make_bitonic(8);
   const SplitAnalysis split(net);
   const double c_min = 1.0, c_max = 8.0;
@@ -37,28 +39,27 @@ int main() {
   TablePrinter t({"C_L", "premise d(c_max-2c_min)<C_L", "wave breaks SC?",
                   "wave breaks lin?", "random SC viol.", "random lin viol.",
                   "worst F_nsc"});
-  Xoshiro256 rng(31337);
   for (const double cl : {0.0, 3.0, 6.0, 9.0, 12.0, 14.9, 15.1, 18.0, 24.0,
                           30.0, 36.0, 36.1, 42.0}) {
-    WaveSpec spec;
-    spec.ell = 1;
-    spec.c_min = c_min;
-    spec.c_max = c_max;
-    spec.wave3_extra_delay = cl;
-    const WaveResult same_proc = run_wave_execution(net, split, spec);
+    const engine::RunResult same_proc =
+        cn::bench::run_wave(net, /*ell=*/1, c_min, c_max,
+                            /*distinct_processes=*/false,
+                            /*wave3_extra_delay=*/cl);
     // Corollary 4.5's linearizability witness renames every token to its
     // own process, so any C_L floor is VACUOUSLY satisfied — wave 3 may
     // re-enter immediately. This is why C_L separates the two conditions.
-    spec.distinct_processes = true;
-    spec.wave3_extra_delay = 0.0;
-    const WaveResult diff_proc = run_wave_execution(net, split, spec);
+    const engine::RunResult diff_proc =
+        cn::bench::run_wave(net, /*ell=*/1, c_min, c_max,
+                            /*distinct_processes=*/true);
     if (!same_proc.ok() || !diff_proc.ok()) {
-      std::cerr << "wave failed: " << same_proc.error << diff_proc.error << "\n";
+      std::cerr << "wave failed: " << same_proc.error << diff_proc.error
+                << "\n";
       return 1;
     }
-    const auto rand = cn::bench::search_violations(net, c_min, c_max,
-                                                   /*trials=*/150, rng,
-                                                   /*local_delay_min=*/cl);
+    const auto rand = cn::bench::search_violations(
+        cn::bench::random_search_spec(net, c_min, c_max, /*seed=*/31337,
+                                      /*local_delay_min=*/cl),
+        /*trials=*/150, threads);
     TimingCondition cond{.c_min = c_min, .c_max = c_max};
     cond.C_L_at_least = cl;
     t.add_row({fmt_double(cl, 1),

@@ -3,22 +3,18 @@
 // queue-lock counter, a software combining tree, and a diffracting tree.
 //
 // One binary so the comparison appears as a single table: ops/second per
-// structure per thread count. Absolute numbers depend on the host; the
-// shape the paper's motivation predicts on a multiprocessor is that the
-// centralized counter degrades under contention while the distributed
-// structures hold up. (On a single hardware thread, contention cannot
-// manifest as cache-line ping-pong, so the centralized counter tends to
-// stay fastest — the table still shows the per-op cost of each
-// structure's code path.)
+// structure per thread count, every structure behind its engine backend
+// (record_trace off, so the measurement is the bare code path).
+// Absolute numbers depend on the host; the shape the paper's motivation
+// predicts on a multiprocessor is that the centralized counter degrades
+// under contention while the distributed structures hold up. (On a
+// single hardware thread, contention cannot manifest as cache-line
+// ping-pong, so the centralized counter tends to stay fastest — the
+// table still shows the per-op cost of each structure's code path.)
 #include <iostream>
+#include <thread>
 
-#include "baselines/combining_tree.hpp"
-#include "baselines/diffracting_tree.hpp"
-#include "baselines/fetch_inc_counter.hpp"
-#include "baselines/mcs_counter.hpp"
 #include "bench_common.hpp"
-#include "concurrent/concurrent_network.hpp"
-#include "concurrent/harness.hpp"
 
 int main() {
   using namespace cn;
@@ -35,46 +31,40 @@ int main() {
   const std::uint32_t thread_counts[] = {1, 2, 4, 8};
   constexpr std::uint64_t kOps = 20'000;
 
-  auto bench_all = [&](const std::string& name, auto make_next) {
-    std::vector<std::string> row{name};
-    for (const std::uint32_t threads : thread_counts) {
-      auto next = make_next();
-      const double ops = run_throughput(threads, kOps / threads, next);
-      row.push_back(fmt_double(ops / 1e6, 3) + "M");
-    }
-    t.add_row(row);
+  struct Row {
+    std::string label;
+    std::string backend;
+    const Network* net;       ///< Topology for network backends.
+    std::uint32_t width = 0;  ///< Tree width for baseline tree backends.
+  };
+  const Row rows[] = {
+      {"fetch&inc (single atomic)", "fetch_inc", nullptr, 0},
+      {"MCS queue-lock counter", "mcs", nullptr, 0},
+      {"combining tree (16)", "combining_tree", nullptr, 16},
+      {"diffracting tree (8)", "diffracting_tree", nullptr, 8},
+      {"bitonic network (8)", "concurrent", &bitonic8, 0},
+      {"periodic network (8)", "concurrent", &periodic8, 0},
   };
 
-  bench_all("fetch&inc (single atomic)", [&] {
-    auto c = std::make_shared<FetchIncCounter>();
-    return std::function<std::uint64_t(std::uint32_t)>(
-        [c](std::uint32_t) { return c->next(); });
-  });
-  bench_all("MCS queue-lock counter", [&] {
-    auto c = std::make_shared<McsCounter>();
-    return std::function<std::uint64_t(std::uint32_t)>(
-        [c](std::uint32_t th) { return c->next(th); });
-  });
-  bench_all("combining tree (16)", [&] {
-    auto c = std::make_shared<CombiningTree>(16);
-    return std::function<std::uint64_t(std::uint32_t)>(
-        [c](std::uint32_t th) { return c->next(th); });
-  });
-  bench_all("diffracting tree (8)", [&] {
-    auto c = std::make_shared<DiffractingTree>(8);
-    return std::function<std::uint64_t(std::uint32_t)>(
-        [c](std::uint32_t th) { return c->next(th); });
-  });
-  bench_all("bitonic network (8)", [&] {
-    auto c = std::make_shared<ConcurrentNetwork>(bitonic8);
-    return std::function<std::uint64_t(std::uint32_t)>(
-        [c](std::uint32_t th) { return c->increment(th % 8); });
-  });
-  bench_all("periodic network (8)", [&] {
-    auto c = std::make_shared<ConcurrentNetwork>(periodic8);
-    return std::function<std::uint64_t(std::uint32_t)>(
-        [c](std::uint32_t th) { return c->increment(th % 8); });
-  });
+  for (const Row& row : rows) {
+    std::vector<std::string> cells{row.label};
+    for (const std::uint32_t threads : thread_counts) {
+      engine::RunSpec spec;
+      spec.backend = row.backend;
+      spec.net = row.net;
+      if (row.width > 0) spec.width = row.width;
+      spec.threads = threads;
+      spec.ops_per_thread = kOps / threads;
+      spec.record_trace = false;  // bare throughput, no recording overhead
+      const engine::RunResult res = engine::run_backend(spec);
+      if (!res.ok()) {
+        std::cerr << row.label << ": " << res.error << "\n";
+        return 1;
+      }
+      cells.push_back(fmt_double(res.metric("ops_per_sec") / 1e6, 3) + "M");
+    }
+    t.add_row(cells);
+  }
 
   t.print(std::cout);
   std::cout << "\nShape notes: the bitonic network costs ~d(G)+1 = "

@@ -2,22 +2,22 @@
 // fraction is at most (ℓ-2)/(ℓ-1).
 //
 // For each ℓ we hunt for the worst F_nsc we can produce with ratio just
-// below ℓ — randomized extreme-delay searches plus every wave attack
-// whose required ratio fits — and print it against the bound.
+// below ℓ — randomized extreme-delay engine sweeps plus every wave
+// attack whose required ratio fits — and print it against the bound.
 #include <algorithm>
 #include <iostream>
 
 #include "bench_common.hpp"
 #include "core/valency.hpp"
-#include "sim/adversary.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cn;
+  const CliArgs args(argc, argv);
+  const std::uint32_t threads = cn::bench::sweep_threads(args);
   std::cout << "E5: upper bound on F_nsc under bounded asynchrony "
                "(Theorem 5.4)\n\n";
   TablePrinter t({"network", "ell (ratio < ell)", "bound (ell-2)/(ell-1)",
                   "worst F_nsc found", "how"});
-  Xoshiro256 rng(0xE5);
   for (const std::uint32_t w : {8u, 16u}) {
     const Network net = make_bitonic(w);
     const SplitAnalysis split(net);
@@ -28,16 +28,14 @@ int main() {
       std::string how = "random search";
       // Randomized extreme-delay search at this ratio.
       const auto rand = cn::bench::search_violations(
-          net, 1.0, ratio, /*trials=*/300, rng, 0.0, /*processes=*/w,
-          /*tokens_per_process=*/4);
+          cn::bench::random_search_spec(net, 1.0, ratio, /*seed=*/0xE5, 0.0,
+                                        /*processes=*/w,
+                                        /*tokens_per_process=*/4),
+          /*trials=*/300, threads);
       worst = rand.worst_f_nsc;
       // Wave attacks whose required ratio fits under ell.
       for (std::uint32_t lvl = 1; lvl <= split.split_number(); ++lvl) {
-        WaveSpec spec;
-        spec.ell = lvl;
-        spec.c_min = 1.0;
-        spec.c_max = ratio;
-        const WaveResult res = run_wave_execution(net, split, spec);
+        const engine::RunResult res = cn::bench::run_wave(net, lvl, 1.0, ratio);
         if (res.ok() && res.report.f_nsc > worst) {
           worst = res.report.f_nsc;
           how = "wave ell=" + std::to_string(lvl);

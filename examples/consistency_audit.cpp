@@ -1,16 +1,18 @@
 // Consistency audit of adversarial schedules: reconstructs the paper's
-// three-wave execution at a chosen split level on a chosen network,
-// prints every token's interval and value, and reports the inconsistency
-// fractions — a worked tour of Section 5.
+// three-wave execution at a chosen split level on a chosen network
+// through the experiment engine's "wave" backend, prints every token's
+// interval and value, and reports the inconsistency fractions — a worked
+// tour of Section 5.
 //
 //   ./consistency_audit [--network bitonic|periodic] [--width 8] [--ell 1]
 //                       [--transform]   # also run the Theorem 3.2 transform
+//                       [--json]        # dump the engine RunResult as JSON
 #include <algorithm>
 #include <iostream>
 #include <string>
 
-#include "core/constructions.hpp"
 #include "core/valency.hpp"
+#include "engine/engine.hpp"
 #include "sim/adversary.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -18,40 +20,42 @@
 int main(int argc, char** argv) {
   using namespace cn;
   const CliArgs args(argc, argv);
-  const auto width = static_cast<std::uint32_t>(args.get_int("width", 8));
-  const auto ell = static_cast<std::uint32_t>(args.get_int("ell", 1));
-  const Network net = args.get("network", "bitonic") == "periodic"
-                          ? make_periodic(width)
-                          : make_bitonic(width);
 
-  const SplitAnalysis split(net);
-  if (!split.applicable()) {
-    std::cerr << net.name() << " has no split structure\n";
-    return 1;
-  }
-  std::cout << net.name() << ": depth=" << net.depth()
-            << " sd=" << split.split_depth() << " sp=" << split.split_number()
-            << "\n";
+  engine::RunSpec spec;
+  spec.backend = "wave";
+  spec.network = args.get("network", "bitonic");
+  spec.width = static_cast<std::uint32_t>(args.get_int("width", 8));
+  spec.ell = static_cast<std::uint32_t>(args.get_int("ell", 1));
 
-  const WaveResult res = run_wave_execution(net, split, {.ell = ell});
+  const engine::RunResult res = engine::run_backend(spec);
   if (!res.ok()) {
     std::cerr << "wave construction failed: " << res.error << "\n";
     return 1;
   }
-  std::cout << "three-wave execution at ell=" << ell
-            << " (ratio used " << fmt_double(res.timing.ratio(), 3)
-            << ", threshold " << fmt_double(res.required_ratio, 3) << ")\n\n";
+  if (args.get_bool("json", false)) {
+    std::cout << engine::to_json(res) << "\n";
+    return 0;
+  }
 
+  const Network& net = *res.exec.net;
+  const SplitAnalysis split(net);
+  std::cout << net.name() << ": depth=" << net.depth()
+            << " sd=" << split.split_depth() << " sp=" << split.split_number()
+            << "\n";
+  std::cout << "three-wave execution at ell=" << spec.ell << " (ratio used "
+            << fmt_double(res.metric("ratio_used"), 3) << ", threshold "
+            << fmt_double(res.metric("required_ratio"), 3) << ")\n\n";
+
+  const auto wave1 = static_cast<TokenId>(res.metric("wave1_size"));
+  const auto wave2 = static_cast<TokenId>(res.metric("wave2_size"));
   TablePrinter t({"token", "process", "wave", "enters", "exits", "value",
                   "non-lin?", "non-SC?"});
   auto flagged = [](const std::vector<TokenId>& v, TokenId tok) {
     return std::find(v.begin(), v.end(), tok) != v.end();
   };
   for (const TokenRecord& r : res.trace) {
-    const std::string wave = r.token < res.wave1_size ? "1"
-                             : r.token < res.wave1_size + res.wave2_size
-                                 ? "2"
-                                 : "3";
+    const std::string wave =
+        r.token < wave1 ? "1" : r.token < wave1 + wave2 ? "2" : "3";
     t.add_row({std::to_string(r.token), std::to_string(r.process), wave,
                fmt_double(r.t_in, 1), fmt_double(r.t_out, 1),
                std::to_string(r.value),
@@ -61,14 +65,19 @@ int main(int argc, char** argv) {
   }
   t.print(std::cout);
   std::cout << "\nF_nl=" << fmt_double(res.report.f_nl) << " (paper bound "
-            << fmt_double(res.predicted_f_nl) << ")   F_nsc="
+            << fmt_double(res.metric("predicted_f_nl")) << ")   F_nsc="
             << fmt_double(res.report.f_nsc) << " (paper bound "
-            << fmt_double(res.predicted_f_nsc) << ")\n";
+            << fmt_double(res.metric("predicted_f_nsc")) << ")\n";
 
   if (args.get_bool("transform", false)) {
     std::cout << "\n--- Theorem 3.2 transform ---\n";
-    const WaveResult base =
-        run_wave_execution(net, split, {.ell = ell, .distinct_processes = true});
+    engine::RunSpec base_spec = spec;
+    base_spec.distinct_processes = true;
+    const engine::RunResult base = engine::run_backend(base_spec);
+    if (!base.ok()) {
+      std::cerr << "base wave failed: " << base.error << "\n";
+      return 1;
+    }
     const Theorem32Result tr = run_theorem32_transform(net, base.exec);
     if (!tr.ok()) {
       std::cerr << "transform failed: " << tr.error << "\n";

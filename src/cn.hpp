@@ -7,6 +7,7 @@
 //   msg         — message-passing substrate (actors + latencies)
 //   concurrent  — shared-memory implementation (threads + atomics)
 //   baselines   — fetch&inc, MCS, combining tree, diffracting tree
+//   engine      — backend registry + parallel sweeper + results pipeline
 #pragma once
 
 #include "util/bits.hpp"            // IWYU pragma: export
@@ -45,3 +46,5 @@
 #include "baselines/diffracting_tree.hpp"     // IWYU pragma: export
 #include "baselines/fetch_inc_counter.hpp"    // IWYU pragma: export
 #include "baselines/mcs_counter.hpp"          // IWYU pragma: export
+
+#include "engine/engine.hpp"                  // IWYU pragma: export

@@ -1,0 +1,100 @@
+#include "engine/backend.hpp"
+
+#include <map>
+#include <mutex>
+
+#include "core/constructions.hpp"
+#include "sim/consistency.hpp"
+#include "util/bits.hpp"
+
+namespace cn::engine {
+
+namespace {
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, std::unique_ptr<TraceSource>> backends;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+std::once_flag builtin_once;
+
+void ensure_builtins() {
+  // register_builtin_backends lives in backends.cpp; calling it here
+  // keeps that translation unit (and its self-registrations) linked even
+  // from a static library.
+  std::call_once(builtin_once, register_builtin_backends);
+}
+
+}  // namespace
+
+bool register_backend(const std::string& key, BackendFactory factory) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  if (r.backends.count(key) > 0) return false;
+  r.backends.emplace(key, factory());
+  return true;
+}
+
+const TraceSource* find_backend(const std::string& key) {
+  ensure_builtins();
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  const auto it = r.backends.find(key);
+  return it == r.backends.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> backend_names() {
+  ensure_builtins();
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<std::string> names;
+  names.reserve(r.backends.size());
+  for (const auto& [key, _] : r.backends) names.push_back(key);
+  return names;
+}
+
+const Network* resolve_network(const RunSpec& spec,
+                               std::shared_ptr<const Network>& owned,
+                               std::string& error) {
+  if (spec.net != nullptr) return spec.net;
+  if (spec.width < 2 || !is_pow2(spec.width)) {
+    error = "width must be a power of two >= 2";
+    return nullptr;
+  }
+  if (spec.network == "bitonic") {
+    owned = std::make_shared<Network>(make_bitonic(spec.width));
+  } else if (spec.network == "periodic") {
+    owned = std::make_shared<Network>(make_periodic(spec.width));
+  } else if (spec.network == "counting_tree") {
+    owned = std::make_shared<Network>(make_counting_tree(spec.width));
+  } else if (spec.network == "block_cascade") {
+    owned = std::make_shared<Network>(make_block_cascade(spec.width, spec.blocks));
+  } else {
+    error = "unknown network '" + spec.network + "'";
+    return nullptr;
+  }
+  return owned.get();
+}
+
+RunResult run_backend(const RunSpec& spec) {
+  const TraceSource* src = find_backend(spec.backend);
+  if (src == nullptr) {
+    RunResult out;
+    out.backend = spec.backend;
+    out.error = "unknown backend '" + spec.backend + "'";
+    return out;
+  }
+  RunResult out = src->run(spec);
+  out.backend = spec.backend;
+  if (out.ok() && out.report.total == 0 && !out.trace.empty()) {
+    out.report = analyze(out.trace);
+  }
+  return out;
+}
+
+}  // namespace cn::engine

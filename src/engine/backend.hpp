@@ -1,0 +1,69 @@
+// TraceSource: the one interface every trace producer implements, and
+// the string-keyed registry that makes each of them a plug-in. Adding a
+// backend is: derive from TraceSource, call register_backend in
+// register_builtin_backends (or from your own translation unit), and
+// every sweep driver, bench binary, and test can reach it by name.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/run_result.hpp"
+#include "engine/run_spec.hpp"
+
+namespace cn::engine {
+
+/// A named producer of traces. Implementations must be stateless (or
+/// internally synchronized): the sweeper calls run() concurrently from
+/// many threads on the same instance.
+class TraceSource {
+ public:
+  virtual ~TraceSource() = default;
+
+  virtual std::string name() const = 0;
+
+  /// One-line description shown by list_backends-style tooling.
+  virtual std::string description() const { return {}; }
+
+  /// Produces one trace for the given spec. Must be deterministic per
+  /// spec.seed for simulation backends; real-thread backends are
+  /// deterministic only in shape. On failure, returns a RunResult whose
+  /// error is non-empty — never throws for invalid specs.
+  virtual RunResult run(const RunSpec& spec) const = 0;
+};
+
+using BackendFactory = std::function<std::unique_ptr<TraceSource>()>;
+
+/// Registers a backend under `key`. Returns false (and leaves the
+/// registry unchanged) if the key is already taken.
+bool register_backend(const std::string& key, BackendFactory factory);
+
+/// Looks a backend up by key; nullptr when absent. The returned pointer
+/// stays valid for the program's lifetime.
+const TraceSource* find_backend(const std::string& key);
+
+/// All registered keys, sorted.
+std::vector<std::string> backend_names();
+
+/// Resolves spec.backend in the registry, runs it, and fills in the
+/// consistency report (analyze on the produced trace) unless the backend
+/// already did. Unknown backend keys yield an error result.
+RunResult run_backend(const RunSpec& spec);
+
+/// Resolves the spec's network: spec.net when non-null, otherwise a
+/// freshly constructed network (by spec.network/width/blocks) returned
+/// through `owned`. Returns nullptr and sets `error` when the name is
+/// unknown. Backends should use this instead of reading spec.net.
+const Network* resolve_network(const RunSpec& spec,
+                               std::shared_ptr<const Network>& owned,
+                               std::string& error);
+
+/// Registers the built-in backends (simulator, sim_burst,
+/// sim_heterogeneous, wave, msg, concurrent, fetch_inc, mcs,
+/// combining_tree, diffracting_tree, optimizer). Called lazily by the
+/// registry itself; safe to call repeatedly.
+void register_builtin_backends();
+
+}  // namespace cn::engine

@@ -1,0 +1,521 @@
+// The built-in TraceSource backends: every way this repository can
+// produce a trace, behind the one RunSpec/RunResult interface.
+//
+//   simulator          random closed-loop workload -> timed simulator
+//   sim_burst          burst workload honoring a C_g floor (LSST Cor 3.7)
+//   sim_heterogeneous  hare/tortoise per-process C_L^P mix (Section 2.3)
+//   wave               the three-wave adversary (Prop 5.3 / Thm 5.11)
+//   optimizer          annealed schedule adversary (Open Problem 4)
+//   msg                message-passing actor service (Section 2.3 remark)
+//   concurrent         shared-memory network on real threads
+//   fetch_inc / mcs / combining_tree / diffracting_tree
+//                      baseline counters on real threads
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "baselines/combining_tree.hpp"
+#include "baselines/diffracting_tree.hpp"
+#include "baselines/fetch_inc_counter.hpp"
+#include "baselines/mcs_counter.hpp"
+#include "concurrent/concurrent_network.hpp"
+#include "concurrent/harness.hpp"
+#include "core/valency.hpp"
+#include "engine/backend.hpp"
+#include "msg/service.hpp"
+#include "sim/adversary.hpp"
+#include "sim/optimizer.hpp"
+#include "sim/simulator.hpp"
+#include "sim/workload.hpp"
+#include "util/rng.hpp"
+#include "util/spin_barrier.hpp"
+
+namespace cn::engine {
+
+namespace {
+
+/// Shared scaffolding: resolve the network, bail out with an error
+/// result when that fails.
+struct Resolved {
+  RunResult result;
+  const Network* net = nullptr;
+
+  explicit Resolved(const RunSpec& spec) {
+    net = resolve_network(spec, result.owned_net, result.error);
+  }
+  bool ok() const noexcept { return net != nullptr; }
+};
+
+/// Runs a TimedExecution through the simulator and fills the result.
+void finish_simulated(RunResult& out, TimedExecution exec) {
+  SimulationResult sim = simulate(exec);
+  if (!sim.ok()) {
+    out.error = "simulation failed: " + sim.error;
+    return;
+  }
+  out.trace = std::move(sim.trace);
+  out.exec = std::move(exec);
+}
+
+// ---------------------------------------------------------------------
+// simulator: the randomized closed-loop workload generator.
+// ---------------------------------------------------------------------
+class SimulatorBackend final : public TraceSource {
+ public:
+  std::string name() const override { return "simulator"; }
+  std::string description() const override {
+    return "random closed-loop workload through the timed simulator";
+  }
+
+  RunResult run(const RunSpec& spec) const override {
+    Resolved r(spec);
+    if (!r.ok()) return std::move(r.result);
+    WorkloadSpec wl;
+    wl.processes = spec.processes;
+    wl.tokens_per_process = spec.ops_per_process;
+    wl.c_min = spec.c_min;
+    wl.c_max = spec.c_max;
+    wl.local_delay_min = spec.local_delay_min;
+    wl.local_delay_max = spec.local_delay_max >= 0.0
+                             ? spec.local_delay_max
+                             : spec.local_delay_min + 2.0;
+    wl.extreme_delays = spec.extreme_delays;
+    Xoshiro256 rng(spec.seed);
+    finish_simulated(r.result, generate_workload(*r.net, wl, rng));
+    return std::move(r.result);
+  }
+};
+
+// ---------------------------------------------------------------------
+// sim_burst: bursts separated by a global-delay floor (pure C_g probe).
+// ---------------------------------------------------------------------
+class BurstBackend final : public TraceSource {
+ public:
+  std::string name() const override { return "sim_burst"; }
+  std::string description() const override {
+    return "burst workload honoring a global-delay (C_g) floor";
+  }
+
+  RunResult run(const RunSpec& spec) const override {
+    Resolved r(spec);
+    if (!r.ok()) return std::move(r.result);
+    const Network& net = *r.net;
+    Xoshiro256 rng(spec.seed);
+    TimedExecution exec;
+    exec.net = &net;
+    const std::uint32_t d = net.depth();
+    TokenId next = 0;
+    double t0 = 0.0;
+    for (std::uint32_t b = 0; b < spec.bursts; ++b) {
+      double latest_exit = t0;
+      for (std::uint32_t i = 0; i < spec.burst_size; ++i) {
+        TokenPlan p;
+        p.token = next;
+        p.process = next;  // all distinct processes: pure C_g probe
+        p.source = i % net.fan_in();
+        p.rank = rng.unit();
+        p.times.resize(d + 1);
+        p.times[0] = t0 + rng.uniform(0.0, 0.25 * spec.c_min);
+        for (std::uint32_t h = 1; h <= d; ++h) {
+          p.times[h] =
+              p.times[h - 1] + (rng.below(2) ? spec.c_min : spec.c_max);
+        }
+        latest_exit = std::max(latest_exit, p.times[d]);
+        exec.plans.push_back(std::move(p));
+        ++next;
+      }
+      t0 = latest_exit + spec.burst_gap;
+    }
+    finish_simulated(r.result, std::move(exec));
+    return std::move(r.result);
+  }
+};
+
+// ---------------------------------------------------------------------
+// sim_heterogeneous: hare (process 0) vs tortoise local delays.
+// ---------------------------------------------------------------------
+class HeterogeneousBackend final : public TraceSource {
+ public:
+  std::string name() const override { return "sim_heterogeneous"; }
+  std::string description() const override {
+    return "per-process local delays: hare process 0 vs paced tortoises";
+  }
+
+  RunResult run(const RunSpec& spec) const override {
+    Resolved r(spec);
+    if (!r.ok()) return std::move(r.result);
+    const Network& net = *r.net;
+    Xoshiro256 rng(spec.seed);
+    TimedExecution exec;
+    exec.net = &net;
+    const std::uint32_t d = net.depth();
+    TokenId next = 0;
+    for (ProcessId p = 0; p < net.fan_in(); ++p) {
+      const double local = p == 0 ? spec.hare_delay : spec.tortoise_delay;
+      double t = 0.0;
+      std::uint32_t k = 0;
+      while (t < spec.horizon) {
+        TokenPlan plan;
+        plan.token = next++;
+        plan.process = p;
+        plan.source = p;
+        plan.rank = k + rng.unit() * 0.9;
+        plan.times.resize(d + 1);
+        plan.times[0] = t;
+        for (std::uint32_t h = 1; h <= d; ++h) {
+          plan.times[h] =
+              plan.times[h - 1] + (rng.below(2) ? spec.c_min : spec.c_max);
+        }
+        t = plan.times[d] + local;
+        exec.plans.push_back(std::move(plan));
+        ++k;
+      }
+    }
+    finish_simulated(r.result, std::move(exec));
+    if (!r.result.ok()) return std::move(r.result);
+    std::uint64_t hare_ops = 0, other_ops = 0;
+    for (const TokenRecord& rec : r.result.trace) {
+      (rec.process == 0 ? hare_ops : other_ops) += 1;
+    }
+    bool others_sc = true;
+    for (ProcessId p = 1; p < net.fan_in(); ++p) {
+      others_sc &= is_sequentially_consistent_for(r.result.trace, p);
+    }
+    r.result.metrics["hare_ops"] = static_cast<double>(hare_ops);
+    r.result.metrics["other_ops"] = static_cast<double>(other_ops);
+    r.result.metrics["hare_sc"] =
+        is_sequentially_consistent_for(r.result.trace, 0) ? 1.0 : 0.0;
+    r.result.metrics["others_sc"] = others_sc ? 1.0 : 0.0;
+    return std::move(r.result);
+  }
+};
+
+// ---------------------------------------------------------------------
+// wave: the paper's three-wave adversarial execution.
+// ---------------------------------------------------------------------
+class WaveBackend final : public TraceSource {
+ public:
+  std::string name() const override { return "wave"; }
+  std::string description() const override {
+    return "three-wave adversary at a split level (Prop 5.3 / Thm 5.11)";
+  }
+
+  RunResult run(const RunSpec& spec) const override {
+    Resolved r(spec);
+    if (!r.ok()) return std::move(r.result);
+    const SplitAnalysis split(*r.net);
+    if (!split.applicable()) {
+      r.result.error = "network has no split structure";
+      return std::move(r.result);
+    }
+    WaveSpec ws;
+    ws.ell = spec.ell;
+    ws.c_min = spec.c_min;
+    ws.c_max = spec.wave_c_max;
+    ws.distinct_processes = spec.distinct_processes;
+    ws.wave3_extra_delay = spec.wave3_extra_delay;
+    WaveResult wave = run_wave_execution(*r.net, split, ws);
+    if (!wave.ok()) {
+      r.result.error = wave.error;
+      return std::move(r.result);
+    }
+    r.result.trace = std::move(wave.trace);
+    r.result.report = std::move(wave.report);
+    r.result.exec = std::move(wave.exec);
+    r.result.metrics["required_ratio"] = wave.required_ratio;
+    r.result.metrics["ratio_used"] = wave.timing.ratio();
+    r.result.metrics["predicted_f_nl"] = wave.predicted_f_nl;
+    r.result.metrics["predicted_f_nsc"] = wave.predicted_f_nsc;
+    r.result.metrics["wave1_size"] = static_cast<double>(wave.wave1_size);
+    r.result.metrics["wave2_size"] = static_cast<double>(wave.wave2_size);
+    r.result.metrics["wave3_size"] = static_cast<double>(wave.wave3_size);
+    r.result.metrics["race_depth"] =
+        static_cast<double>(split.race_depth(spec.ell));
+    return std::move(r.result);
+  }
+};
+
+// ---------------------------------------------------------------------
+// optimizer: hill-climbing schedule adversary.
+// ---------------------------------------------------------------------
+class OptimizerBackend final : public TraceSource {
+ public:
+  std::string name() const override { return "optimizer"; }
+  std::string description() const override {
+    return "annealed schedule search maximizing an inconsistency fraction";
+  }
+
+  RunResult run(const RunSpec& spec) const override {
+    Resolved r(spec);
+    if (!r.ok()) return std::move(r.result);
+    OptimizerSpec os;
+    os.processes = spec.processes;
+    os.tokens_per_process = spec.ops_per_process;
+    os.c_min = spec.c_min;
+    os.c_max = spec.c_max;
+    os.local_delay_min = spec.local_delay_min;
+    os.objective = spec.opt_objective_nonlin
+                       ? OptimizerSpec::Objective::kMaxNonLin
+                       : OptimizerSpec::Objective::kMaxNonSC;
+    os.iterations = spec.opt_iterations;
+    os.restarts = spec.opt_restarts;
+    os.seed = spec.seed;
+    OptimizerResult opt = optimize_schedule(*r.net, os);
+    r.result.report = std::move(opt.report);
+    r.result.exec = std::move(opt.best);
+    const SimulationResult sim = simulate(r.result.exec);
+    if (sim.ok()) r.result.trace = sim.trace;
+    r.result.metrics["best_fraction"] = opt.best_fraction;
+    r.result.metrics["evaluations"] = static_cast<double>(opt.evaluations);
+    return std::move(r.result);
+  }
+};
+
+// ---------------------------------------------------------------------
+// msg: the message-passing actor service.
+// ---------------------------------------------------------------------
+class MsgBackend final : public TraceSource {
+ public:
+  std::string name() const override { return "msg"; }
+  std::string description() const override {
+    return "message-passing actor service with latencies in [c_min, c_max]";
+  }
+
+  RunResult run(const RunSpec& spec) const override {
+    Resolved r(spec);
+    if (!r.ok()) return std::move(r.result);
+    msg::MsgRunSpec ms;
+    ms.processes = spec.processes;
+    ms.ops_per_process = spec.ops_per_process;
+    ms.c_min = spec.c_min;
+    ms.c_max = spec.c_max;
+    ms.extreme_latencies = spec.extreme_delays;
+    ms.local_delay = spec.local_delay_min;
+    ms.result_latency = spec.result_latency;
+    ms.seed = spec.seed;
+    ms.slow_process_zero = spec.slow_process_zero;
+    msg::MsgRunResult mr = run_message_passing(*r.net, ms);
+    if (!mr.ok()) {
+      r.result.error = mr.error;
+      return std::move(r.result);
+    }
+    r.result.trace = std::move(mr.trace);
+    r.result.metrics["messages"] = static_cast<double>(mr.messages);
+    r.result.metrics["sim_time"] = mr.sim_time;
+    return std::move(r.result);
+  }
+};
+
+// ---------------------------------------------------------------------
+// concurrent: the shared-memory network on real threads.
+// ---------------------------------------------------------------------
+class ConcurrentBackend final : public TraceSource {
+ public:
+  std::string name() const override { return "concurrent"; }
+  std::string description() const override {
+    return "shared-memory counting network driven by real threads";
+  }
+
+  RunResult run(const RunSpec& spec) const override {
+    Resolved r(spec);
+    if (!r.ok()) return std::move(r.result);
+    ConcurrentNetwork net(*r.net);
+    if (!spec.record_trace) {
+      const std::uint32_t fan_in = r.net->fan_in();
+      const double ops = run_throughput(
+          spec.threads, spec.ops_per_thread,
+          [&net, fan_in](std::uint32_t th) {
+            return net.increment(th % fan_in);
+          });
+      r.result.metrics["ops_per_sec"] = ops;
+      r.result.metrics["total_ops"] =
+          static_cast<double>(spec.threads) * spec.ops_per_thread;
+      return std::move(r.result);
+    }
+    ConcurrentRunSpec cs;
+    cs.threads = spec.threads;
+    cs.ops_per_thread = spec.ops_per_thread;
+    cs.hop_delay_min_ns = spec.hop_delay_min_ns;
+    cs.hop_delay_max_ns = spec.hop_delay_max_ns;
+    cs.local_delay_ns = spec.local_delay_ns;
+    cs.seed = spec.seed;
+    cs.record_schedule = spec.record_schedule;
+    ConcurrentRunResult cr = run_recorded(net, cs);
+    if (!cr.ok()) {
+      r.result.error = cr.error;
+      return std::move(r.result);
+    }
+    r.result.trace = std::move(cr.trace);
+    r.result.exec = std::move(cr.schedule);
+    // The schedule's net pointer refers to the harness-local wrapper's
+    // topology, which is the resolved network — keep it pointed there.
+    if (spec.record_schedule) r.result.exec.net = r.net;
+    r.result.metrics["total_ops"] = static_cast<double>(cr.total_ops);
+    r.result.metrics["elapsed_sec"] = cr.elapsed_sec;
+    r.result.metrics["ops_per_sec"] = cr.ops_per_sec;
+    return std::move(r.result);
+  }
+};
+
+// ---------------------------------------------------------------------
+// Baseline counters: a generic recorded / throughput runner over any
+// `next(thread) -> value` functor, mirroring the harness conventions.
+// ---------------------------------------------------------------------
+using Clock = std::chrono::steady_clock;
+
+double to_seconds(Clock::time_point t) {
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+std::uint64_t to_ns(Clock::time_point t) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t.time_since_epoch())
+          .count());
+}
+
+template <typename Next>
+void run_counter(RunResult& out, const RunSpec& spec, Next&& next) {
+  if (spec.threads == 0 || spec.ops_per_thread == 0) {
+    out.error = "empty run";
+    return;
+  }
+  if (!spec.record_trace) {
+    const double ops = run_throughput(
+        spec.threads, spec.ops_per_thread,
+        std::function<std::uint64_t(std::uint32_t)>(next));
+    out.metrics["ops_per_sec"] = ops;
+    out.metrics["total_ops"] =
+        static_cast<double>(spec.threads) * spec.ops_per_thread;
+    return;
+  }
+  std::vector<Trace> partial(spec.threads);
+  SpinBarrier barrier(spec.threads);
+  std::vector<std::thread> workers;
+  workers.reserve(spec.threads);
+  const auto t_start = Clock::now();
+  for (std::uint32_t t = 0; t < spec.threads; ++t) {
+    workers.emplace_back([&, t] {
+      Trace& mine = partial[t];
+      mine.reserve(spec.ops_per_thread);
+      barrier.arrive_and_wait();
+      for (std::uint64_t k = 0; k < spec.ops_per_thread; ++k) {
+        const auto in = Clock::now();
+        const std::uint64_t v = next(t);
+        const auto fin = Clock::now();
+        TokenRecord rec;
+        rec.token = static_cast<TokenId>(t * spec.ops_per_thread + k);
+        rec.process = t;
+        rec.source = t;
+        rec.sink = 0;
+        rec.value = v;
+        rec.t_in = to_seconds(in);
+        rec.t_out = to_seconds(fin);
+        rec.first_seq = to_ns(in);
+        rec.last_seq = to_ns(fin);
+        mine.push_back(rec);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - t_start).count();
+  for (Trace& p : partial) {
+    out.trace.insert(out.trace.end(), p.begin(), p.end());
+  }
+  const double total = static_cast<double>(spec.threads) * spec.ops_per_thread;
+  out.metrics["total_ops"] = total;
+  out.metrics["elapsed_sec"] = elapsed;
+  out.metrics["ops_per_sec"] = elapsed > 0 ? total / elapsed : 0.0;
+}
+
+class FetchIncBackend final : public TraceSource {
+ public:
+  std::string name() const override { return "fetch_inc"; }
+  std::string description() const override {
+    return "single shared fetch&increment counter";
+  }
+
+  RunResult run(const RunSpec& spec) const override {
+    RunResult out;
+    FetchIncCounter c;
+    run_counter(out, spec, [&c](std::uint32_t) { return c.next(); });
+    return out;
+  }
+};
+
+class McsBackend final : public TraceSource {
+ public:
+  std::string name() const override { return "mcs"; }
+  std::string description() const override {
+    return "MCS queue-lock protected counter";
+  }
+
+  RunResult run(const RunSpec& spec) const override {
+    RunResult out;
+    McsCounter c;
+    run_counter(out, spec, [&c](std::uint32_t th) { return c.next(th); });
+    return out;
+  }
+};
+
+class CombiningTreeBackend final : public TraceSource {
+ public:
+  std::string name() const override { return "combining_tree"; }
+  std::string description() const override {
+    return "software combining tree counter";
+  }
+
+  RunResult run(const RunSpec& spec) const override {
+    RunResult out;
+    std::uint32_t capacity = 2;
+    while (capacity < spec.threads) capacity *= 2;
+    capacity = std::max(capacity, spec.width);
+    CombiningTree c(capacity);
+    run_counter(out, spec, [&c](std::uint32_t th) { return c.next(th); });
+    return out;
+  }
+};
+
+class DiffractingTreeBackend final : public TraceSource {
+ public:
+  std::string name() const override { return "diffracting_tree"; }
+  std::string description() const override {
+    return "diffracting tree counter with prism exchangers";
+  }
+
+  RunResult run(const RunSpec& spec) const override {
+    RunResult out;
+    DiffractingTree c(spec.width);
+    run_counter(out, spec, [&c](std::uint32_t th) { return c.next(th); });
+    if (out.ok()) {
+      out.metrics["diffracted"] = static_cast<double>(c.total_diffracted());
+    }
+    return out;
+  }
+};
+
+template <typename T>
+BackendFactory factory() {
+  return [] { return std::make_unique<T>(); };
+}
+
+}  // namespace
+
+void register_builtin_backends() {
+  register_backend("simulator", factory<SimulatorBackend>());
+  register_backend("sim_burst", factory<BurstBackend>());
+  register_backend("sim_heterogeneous", factory<HeterogeneousBackend>());
+  register_backend("wave", factory<WaveBackend>());
+  register_backend("optimizer", factory<OptimizerBackend>());
+  register_backend("msg", factory<MsgBackend>());
+  register_backend("concurrent", factory<ConcurrentBackend>());
+  register_backend("fetch_inc", factory<FetchIncBackend>());
+  register_backend("mcs", factory<McsBackend>());
+  register_backend("combining_tree", factory<CombiningTreeBackend>());
+  register_backend("diffracting_tree", factory<DiffractingTreeBackend>());
+}
+
+}  // namespace cn::engine

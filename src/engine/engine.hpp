@@ -1,0 +1,10 @@
+// Umbrella header for the experiment engine: one backend interface
+// (backend.hpp), one parallel sweep driver (sweep.hpp), one results
+// pipeline (results.hpp), all speaking RunSpec / RunResult.
+#pragma once
+
+#include "engine/backend.hpp"     // IWYU pragma: export
+#include "engine/results.hpp"     // IWYU pragma: export
+#include "engine/run_result.hpp"  // IWYU pragma: export
+#include "engine/run_spec.hpp"    // IWYU pragma: export
+#include "engine/sweep.hpp"       // IWYU pragma: export

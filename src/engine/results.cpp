@@ -1,0 +1,145 @@
+#include "engine/results.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace cn::engine {
+
+namespace {
+
+/// Shortest round-trip double formatting (printf %.17g trimmed): stable
+/// across platforms for the values we emit, and never locale-dependent.
+std::string json_double(double v) {
+  if (std::isnan(v)) return "null";
+  if (std::isinf(v)) return v > 0 ? "1e999" : "-1e999";
+  char buf[64];
+  // Try increasing precision until the value round-trips.
+  for (int prec = 6; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+std::string json_string(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+class JsonObject {
+ public:
+  void add_raw(const std::string& key, const std::string& raw) {
+    body_ += (body_.empty() ? "" : ",");
+    body_ += json_string(key) + ":" + raw;
+  }
+  void add(const std::string& key, const std::string& value) {
+    add_raw(key, json_string(value));
+  }
+  void add(const std::string& key, double value) {
+    add_raw(key, json_double(value));
+  }
+  void add(const std::string& key, std::uint64_t value) {
+    add_raw(key, std::to_string(value));
+  }
+  std::string str() const { return "{" + body_ + "}"; }
+
+ private:
+  std::string body_;
+};
+
+std::string metrics_json(const std::map<std::string, double>& metrics) {
+  JsonObject m;
+  for (const auto& [key, value] : metrics) m.add(key, value);
+  return m.str();
+}
+
+}  // namespace
+
+std::string to_json(const RunResult& result) {
+  JsonObject o;
+  o.add("backend", result.backend);
+  o.add_raw("ok", result.ok() ? "true" : "false");
+  if (!result.ok()) o.add("error", result.error);
+  o.add("tokens", static_cast<std::uint64_t>(result.trace.size()));
+  o.add("non_linearizable",
+        static_cast<std::uint64_t>(result.report.non_linearizable.size()));
+  o.add("non_sequentially_consistent",
+        static_cast<std::uint64_t>(
+            result.report.non_sequentially_consistent.size()));
+  o.add("f_nl", result.report.f_nl);
+  o.add("f_nsc", result.report.f_nsc);
+  o.add_raw("metrics", metrics_json(result.metrics));
+  return o.str();
+}
+
+std::string to_json(const SweepStats& stats) {
+  JsonObject o;
+  o.add("trials", stats.trials);
+  o.add("completed", stats.completed);
+  o.add("errors", stats.errors);
+  if (stats.errors > 0) o.add("first_error", stats.first_error);
+  o.add("lin_violations", stats.lin_violations);
+  o.add("sc_violations", stats.sc_violations);
+  o.add("worst_f_nl", stats.worst_f_nl);
+  o.add("worst_f_nsc", stats.worst_f_nsc);
+  o.add("total_tokens", stats.total_tokens);
+  o.add_raw("metric_sums", metrics_json(stats.metric_sums));
+  return o.str();
+}
+
+std::string describe(const RunSpec& spec) {
+  std::string net = spec.net != nullptr
+                        ? spec.net->name()
+                        : spec.network + "(" + std::to_string(spec.width) + ")";
+  return spec.backend + " on " + net;
+}
+
+std::string format_report(const RunSpec& spec, const SweepStats& stats) {
+  TablePrinter t({"sweep", "trials", "completed", "errors", "lin viol.",
+                  "SC viol.", "worst F_nl", "worst F_nsc", "tokens"});
+  t.add_row({describe(spec), std::to_string(stats.trials),
+             std::to_string(stats.completed), std::to_string(stats.errors),
+             std::to_string(stats.lin_violations),
+             std::to_string(stats.sc_violations), fmt_double(stats.worst_f_nl),
+             fmt_double(stats.worst_f_nsc),
+             std::to_string(stats.total_tokens)});
+  std::ostringstream os;
+  t.print(os);
+  if (stats.errors > 0) {
+    os << "first error: " << stats.first_error << "\n";
+  }
+  return os.str();
+}
+
+std::string violation_cell(const SweepStats& stats) {
+  std::string cell = std::to_string(stats.lin_violations) + " lin / " +
+                     std::to_string(stats.sc_violations) + " SC";
+  if (stats.errors > 0) {
+    cell += " (" + std::to_string(stats.errors) + " err)";
+  }
+  return cell;
+}
+
+}  // namespace cn::engine

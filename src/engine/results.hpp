@@ -1,0 +1,36 @@
+// The structured results pipeline: one RunResult / SweepStats in, JSON
+// and the repository's plain-text table format out. Everything emitted
+// here is deterministic — wall-clock fields are deliberately excluded —
+// so a sweep report is byte-identical at any sweeper thread count.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "engine/run_result.hpp"
+#include "engine/run_spec.hpp"
+#include "engine/sweep.hpp"
+
+namespace cn::engine {
+
+/// Serializes a single run: backend, consistency fractions, violation
+/// token counts, trace size, metrics. The trace itself is summarized,
+/// not dumped.
+std::string to_json(const RunResult& result);
+
+/// Serializes sweep aggregates (wall_sec excluded).
+std::string to_json(const SweepStats& stats);
+
+/// Spec echo used in reports, e.g. "simulator on bitonic(8)".
+std::string describe(const RunSpec& spec);
+
+/// Multi-line deterministic aggregate report in the existing table
+/// format: trials / completed / errors / violation counts / worst
+/// fractions. This is the report the acceptance check diffs across
+/// thread counts.
+std::string format_report(const RunSpec& spec, const SweepStats& stats);
+
+/// Convenience fragments for bench tables.
+std::string violation_cell(const SweepStats& stats);  ///< "3 lin / 1 SC"
+
+}  // namespace cn::engine

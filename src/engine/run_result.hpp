@@ -1,0 +1,47 @@
+// RunResult: the uniform product of every engine backend — a trace, its
+// consistency analysis, optionally the timed execution behind it, and a
+// flat map of backend-specific scalar metrics. The results pipeline
+// (results.hpp) serializes this one shape to JSON and tables.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/topology.hpp"
+#include "sim/consistency.hpp"
+#include "sim/timed_execution.hpp"
+#include "sim/trace.hpp"
+
+namespace cn::engine {
+
+struct RunResult {
+  std::string backend;     ///< Registry key that produced this result.
+  Trace trace;             ///< One record per completed operation.
+  ConsistencyReport report;  ///< analyze(trace); empty on error.
+
+  /// The timed execution behind the trace, when the backend has one
+  /// (simulator family, wave adversary, concurrent with record_schedule).
+  /// exec.net points at the spec's network or at owned_net.
+  TimedExecution exec;
+
+  /// Backend-specific scalar outputs, e.g. "ops_per_sec", "messages",
+  /// "required_ratio", "predicted_f_nl". Keys are sorted (std::map) so
+  /// serialization is deterministic.
+  std::map<std::string, double> metrics;
+
+  std::string error;  ///< Non-empty when the run failed.
+
+  /// When the engine built the network itself (spec.net == nullptr) it
+  /// lives here so exec/trace stay valid for the result's lifetime.
+  std::shared_ptr<const Network> owned_net;
+
+  bool ok() const noexcept { return error.empty(); }
+
+  double metric(const std::string& key, double fallback = 0.0) const {
+    const auto it = metrics.find(key);
+    return it == metrics.end() ? fallback : it->second;
+  }
+};
+
+}  // namespace cn::engine

@@ -1,0 +1,88 @@
+// RunSpec: the single parameter block every trace-producing backend in
+// the experiment engine consumes. One struct covers the knobs of all
+// registered backends (simulator workloads, adversarial waves, the
+// message-passing service, the shared-memory harness, and the baseline
+// counters); each backend reads the subset it understands and ignores
+// the rest, so a sweep driver can be written once against RunSpec.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/topology.hpp"
+
+namespace cn::engine {
+
+struct RunSpec {
+  /// Registry key of the backend that should produce the trace
+  /// (see backend.hpp; e.g. "simulator", "wave", "msg", "concurrent").
+  std::string backend = "simulator";
+
+  /// Topology. When `net` is non-null it is used directly (the caller
+  /// keeps it alive); otherwise the engine constructs the network named
+  /// by `network`/`width` and owns it for the lifetime of the result.
+  const Network* net = nullptr;
+  std::string network = "bitonic";  ///< bitonic | periodic | counting_tree
+                                    ///< | block_cascade
+  std::uint32_t width = 8;
+  std::uint32_t blocks = 1;         ///< block_cascade only.
+
+  // --- Workload shape (closed-loop backends) -------------------------
+  std::uint32_t processes = 8;
+  std::uint32_t ops_per_process = 4;
+
+  // --- Timing model (the paper's Section 2.3 parameters) -------------
+  double c_min = 1.0;   ///< Minimum wire delay.
+  double c_max = 2.0;   ///< Maximum wire delay.
+  /// Local inter-operation delay envelope (the C_L knob of Theorem 4.1).
+  /// When local_delay_max < 0 it defaults to local_delay_min + 2.
+  double local_delay_min = 0.0;
+  double local_delay_max = -1.0;
+  /// Draw wire delays from the two-point set {c_min, c_max} instead of
+  /// the full interval — the adversarially extreme choice.
+  bool extreme_delays = true;
+
+  /// Base seed. The sweeper derives per-trial seeds from this
+  /// deterministically, independent of thread count.
+  std::uint64_t seed = 1;
+
+  // --- "wave" backend (three-wave adversary, Prop 5.3 / Thm 5.11) ----
+  std::uint32_t ell = 1;            ///< Split level.
+  bool distinct_processes = false;  ///< Corollary 4.5 base variant.
+  double wave3_extra_delay = 0.0;   ///< C_L floor imposed before wave 3.
+  /// For "wave": 0 means "choose c_max just above the required ratio".
+  double wave_c_max = 0.0;
+
+  // --- "sim_burst" backend (LSST Cor 3.7 C_g probe) -------------------
+  double burst_gap = 0.0;
+  std::uint32_t bursts = 4;
+  std::uint32_t burst_size = 8;
+
+  // --- "sim_heterogeneous" backend (Section 2.3 per-process C_L^P) ----
+  double hare_delay = 0.0;      ///< Process 0's inter-operation delay.
+  double tortoise_delay = 0.0;  ///< Everyone else's.
+  double horizon = 400.0;       ///< Simulated-time horizon per process.
+
+  // --- "msg" backend ---------------------------------------------------
+  double result_latency = 0.1;
+  bool slow_process_zero = false;
+
+  // --- "concurrent" + baseline-counter backends (real threads) --------
+  std::uint32_t threads = 4;
+  std::uint64_t ops_per_thread = 100;
+  std::uint64_t hop_delay_min_ns = 0;
+  std::uint64_t hop_delay_max_ns = 0;
+  std::uint64_t local_delay_ns = 0;
+  bool record_schedule = false;
+  /// When false, counter backends skip per-operation trace recording and
+  /// only measure throughput (metrics: ops_per_sec) — the recording
+  /// clock calls would otherwise dominate the measurement.
+  bool record_trace = true;
+
+  // --- "optimizer" backend (annealed schedule adversary) --------------
+  std::uint32_t opt_iterations = 1500;
+  std::uint32_t opt_restarts = 4;
+  bool opt_objective_nonlin = false;  ///< Default objective is max F_nsc.
+};
+
+}  // namespace cn::engine

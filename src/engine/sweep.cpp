@@ -1,0 +1,111 @@
+#include "engine/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "engine/backend.hpp"
+#include "util/rng.hpp"
+
+namespace cn::engine {
+
+namespace {
+
+/// Compact per-trial record kept when full results are not requested.
+struct TrialSummary {
+  bool ok = false;
+  bool non_lin = false;
+  bool non_sc = false;
+  double f_nl = 0.0;
+  double f_nsc = 0.0;
+  std::uint64_t tokens = 0;
+  std::map<std::string, double> metrics;
+  std::string error;
+};
+
+TrialSummary summarize(const RunResult& r) {
+  TrialSummary s;
+  s.ok = r.ok();
+  if (!s.ok) {
+    s.error = r.error;
+    return s;
+  }
+  s.non_lin = !r.report.linearizable();
+  s.non_sc = !r.report.sequentially_consistent();
+  s.f_nl = r.report.f_nl;
+  s.f_nsc = r.report.f_nsc;
+  s.tokens = r.trace.size();
+  s.metrics = r.metrics;
+  return s;
+}
+
+}  // namespace
+
+std::uint64_t trial_seed(std::uint64_t base_seed, std::uint64_t trial) {
+  SplitMix64 outer(base_seed);
+  SplitMix64 inner(outer.next() ^ (0x9e3779b97f4a7c15ULL * (trial + 1)));
+  return inner.next();
+}
+
+SweepOutcome sweep(const SweepSpec& spec) {
+  SweepOutcome out;
+  out.stats.trials = spec.trials;
+  if (spec.trials == 0) return out;
+
+  const std::uint32_t hw = std::max(1u, std::thread::hardware_concurrency());
+  const std::uint32_t workers = std::min<std::uint64_t>(
+      spec.threads == 0 ? hw : spec.threads, spec.trials);
+
+  std::vector<TrialSummary> summaries(spec.trials);
+  if (spec.keep_results) out.results.resize(spec.trials);
+
+  const auto t_start = std::chrono::steady_clock::now();
+  std::atomic<std::uint64_t> next_trial{0};
+  auto work = [&] {
+    for (;;) {
+      const std::uint64_t t =
+          next_trial.fetch_add(1, std::memory_order_relaxed);
+      if (t >= spec.trials) return;
+      RunSpec rs = spec.base;
+      rs.seed = trial_seed(spec.base.seed, t);
+      RunResult r = run_backend(rs);
+      summaries[t] = summarize(r);
+      if (spec.keep_results) out.results[t] = std::move(r);
+    }
+  };
+  if (workers <= 1) {
+    work();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::uint32_t w = 0; w < workers; ++w) pool.emplace_back(work);
+    for (std::thread& th : pool) th.join();
+  }
+  out.stats.wall_sec = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t_start)
+                           .count();
+
+  // Serial reduction in trial order: every aggregate (including the
+  // floating-point sums) is independent of the worker count.
+  SweepStats& st = out.stats;
+  for (const TrialSummary& s : summaries) {
+    if (!s.ok) {
+      ++st.errors;
+      if (st.first_error.empty()) st.first_error = s.error;
+      continue;
+    }
+    ++st.completed;
+    st.lin_violations += s.non_lin;
+    st.sc_violations += s.non_sc;
+    st.worst_f_nl = std::max(st.worst_f_nl, s.f_nl);
+    st.worst_f_nsc = std::max(st.worst_f_nsc, s.f_nsc);
+    st.total_tokens += s.tokens;
+    for (const auto& [key, value] : s.metrics) st.metric_sums[key] += value;
+  }
+  return out;
+}
+
+SweepStats sweep_stats(const SweepSpec& spec) { return sweep(spec).stats; }
+
+}  // namespace cn::engine

@@ -1,0 +1,70 @@
+// The parallel trial sweeper: runs `trials` independent backend runs of
+// one RunSpec, deriving a per-trial seed from the base seed so that the
+// aggregate is bit-identical at ANY sweeper thread count. This replaces
+// the serial `for (trial) { generate; simulate; analyze; }` loop that
+// every bench binary used to hand-roll.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "engine/run_result.hpp"
+#include "engine/run_spec.hpp"
+
+namespace cn::engine {
+
+struct SweepSpec {
+  RunSpec base;                ///< Per-trial spec; seed is the base seed.
+  std::uint64_t trials = 100;
+  /// Sweeper worker threads. 0 = hardware concurrency. Aggregates are
+  /// deterministic regardless of this value.
+  std::uint32_t threads = 0;
+  /// Keep every per-trial RunResult (in trial order) in the outcome.
+  /// Costs memory proportional to trials x trace size; leave off for
+  /// large sweeps that only need the aggregates.
+  bool keep_results = false;
+};
+
+/// Order-independent aggregate of a sweep. Everything here except
+/// `wall_sec` is a pure function of (base spec, trials) — the
+/// deterministic report must not include wall_sec.
+struct SweepStats {
+  std::uint64_t trials = 0;
+  std::uint64_t completed = 0;  ///< Trials that produced a trace.
+  std::uint64_t errors = 0;     ///< Trials whose backend failed.
+  std::string first_error;      ///< Error of the lowest-index failed trial.
+
+  std::uint64_t lin_violations = 0;  ///< Completed trials with a non-lin token.
+  std::uint64_t sc_violations = 0;   ///< Completed trials with a non-SC token.
+  double worst_f_nl = 0.0;
+  double worst_f_nsc = 0.0;
+  std::uint64_t total_tokens = 0;    ///< Trace records across completed trials.
+
+  /// Per-trial backend metrics summed in trial order (deterministic).
+  std::map<std::string, double> metric_sums;
+
+  double wall_sec = 0.0;  ///< Wall time; EXCLUDED from reports/JSON.
+};
+
+struct SweepOutcome {
+  SweepStats stats;
+  /// Per-trial results in trial order; filled only when keep_results.
+  std::vector<RunResult> results;
+};
+
+/// Deterministic per-trial seed: a SplitMix64 hash of the base seed and
+/// the trial index. Identical at any thread count, well spread even for
+/// consecutive base seeds.
+std::uint64_t trial_seed(std::uint64_t base_seed, std::uint64_t trial);
+
+/// Runs the sweep. Trials are distributed over `threads` workers; the
+/// reduction into SweepStats happens serially in trial order afterwards,
+/// which is what makes the aggregate thread-count independent.
+SweepOutcome sweep(const SweepSpec& spec);
+
+/// Convenience: sweep and return just the stats.
+SweepStats sweep_stats(const SweepSpec& spec);
+
+}  // namespace cn::engine

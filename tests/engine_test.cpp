@@ -1,0 +1,234 @@
+// Experiment engine: registry coverage, backend parity with the direct
+// pipeline, sweep determinism across thread counts, and error surfacing
+// (failed trials must be counted, not silently folded into `trials`).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/constructions.hpp"
+#include "engine/engine.hpp"
+#include "sim/consistency.hpp"
+#include "sim/simulator.hpp"
+#include "sim/workload.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace cn;
+
+TEST(EngineRegistry, BuiltinsRegistered) {
+  const std::set<std::string> expected = {
+      "simulator", "sim_burst",      "sim_heterogeneous", "wave",
+      "optimizer", "msg",            "concurrent",        "fetch_inc",
+      "mcs",       "combining_tree", "diffracting_tree"};
+  const std::vector<std::string> names = engine::backend_names();
+  const std::set<std::string> have(names.begin(), names.end());
+  for (const std::string& key : expected) {
+    EXPECT_TRUE(have.count(key)) << "missing backend: " << key;
+    const engine::TraceSource* src = engine::find_backend(key);
+    ASSERT_NE(src, nullptr);
+    EXPECT_EQ(src->name(), key);
+    EXPECT_FALSE(src->description().empty());
+  }
+  EXPECT_EQ(engine::find_backend("no_such_backend"), nullptr);
+}
+
+TEST(EngineRegistry, UnknownBackendIsAnErrorResult) {
+  engine::RunSpec spec;
+  spec.backend = "no_such_backend";
+  const engine::RunResult res = engine::run_backend(spec);
+  EXPECT_FALSE(res.ok());
+  EXPECT_NE(res.error.find("no_such_backend"), std::string::npos);
+}
+
+// The simulator backend must be a pure repackaging of the direct
+// generate_workload -> simulate -> analyze pipeline: same seed, same
+// trace, same report.
+TEST(EngineBackends, SimulatorParityWithDirectPipeline) {
+  const Network net = make_bitonic(8);
+
+  engine::RunSpec spec;
+  spec.net = &net;
+  spec.processes = 6;
+  spec.ops_per_process = 5;
+  spec.c_min = 1.0;
+  spec.c_max = 2.75;
+  spec.local_delay_min = 0.5;
+  spec.seed = 0xD1CE;
+  const engine::RunResult res = engine::run_backend(spec);
+  ASSERT_TRUE(res.ok()) << res.error;
+
+  WorkloadSpec wl;
+  wl.processes = 6;
+  wl.tokens_per_process = 5;
+  wl.c_min = 1.0;
+  wl.c_max = 2.75;
+  wl.local_delay_min = 0.5;
+  wl.local_delay_max = 0.5 + 2.0;  // RunSpec default: local_delay_min + 2
+  Xoshiro256 rng(0xD1CE);
+  const TimedExecution exec = generate_workload(net, wl, rng);
+  const SimulationResult sim = simulate(exec);
+  ASSERT_TRUE(sim.ok());
+  const ConsistencyReport direct = analyze(sim.trace);
+
+  ASSERT_EQ(res.trace.size(), sim.trace.size());
+  for (std::size_t i = 0; i < sim.trace.size(); ++i) {
+    EXPECT_EQ(res.trace[i].token, sim.trace[i].token);
+    EXPECT_EQ(res.trace[i].process, sim.trace[i].process);
+    EXPECT_EQ(res.trace[i].value, sim.trace[i].value);
+    EXPECT_DOUBLE_EQ(res.trace[i].t_in, sim.trace[i].t_in);
+    EXPECT_DOUBLE_EQ(res.trace[i].t_out, sim.trace[i].t_out);
+  }
+  EXPECT_EQ(res.report.non_linearizable, direct.non_linearizable);
+  EXPECT_EQ(res.report.non_sequentially_consistent,
+            direct.non_sequentially_consistent);
+  EXPECT_DOUBLE_EQ(res.report.f_nl, direct.f_nl);
+  EXPECT_DOUBLE_EQ(res.report.f_nsc, direct.f_nsc);
+}
+
+// Named-network resolution must agree with passing the network in.
+TEST(EngineBackends, NamedNetworkMatchesExplicitNetwork) {
+  engine::RunSpec by_name;
+  by_name.network = "periodic";
+  by_name.width = 8;
+  by_name.seed = 17;
+
+  const Network net = make_periodic(8);
+  engine::RunSpec by_ptr = by_name;
+  by_ptr.net = &net;
+
+  const engine::RunResult a = engine::run_backend(by_name);
+  const engine::RunResult b = engine::run_backend(by_ptr);
+  ASSERT_TRUE(a.ok()) << a.error;
+  ASSERT_TRUE(b.ok()) << b.error;
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (std::size_t i = 0; i < a.trace.size(); ++i) {
+    EXPECT_EQ(a.trace[i].value, b.trace[i].value);
+    EXPECT_DOUBLE_EQ(a.trace[i].t_out, b.trace[i].t_out);
+  }
+}
+
+TEST(EngineBackends, WaveBackendReportsSplitMetrics) {
+  engine::RunSpec spec;
+  spec.backend = "wave";
+  spec.network = "bitonic";
+  spec.width = 8;
+  spec.ell = 1;
+  const engine::RunResult res = engine::run_backend(spec);
+  ASSERT_TRUE(res.ok()) << res.error;
+  EXPECT_GT(res.metric("required_ratio"), 1.0);
+  EXPECT_GT(res.metric("ratio_used"), res.metric("required_ratio") - 1e-9);
+  EXPECT_GT(res.metric("wave1_size"), 0.0);
+  // The three-wave execution is the paper's F_nl = F_nsc = 1/3 witness.
+  EXPECT_GT(res.report.f_nl, 0.0);
+  EXPECT_GT(res.report.f_nsc, 0.0);
+}
+
+TEST(EngineSweep, TrialSeedIsPureAndSpread) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t t = 0; t < 256; ++t) {
+    const std::uint64_t s = engine::trial_seed(42, t);
+    EXPECT_EQ(s, engine::trial_seed(42, t));  // pure function of (base, t)
+    seen.insert(s);
+  }
+  EXPECT_EQ(seen.size(), 256u);                        // no collisions
+  EXPECT_NE(engine::trial_seed(42, 0), engine::trial_seed(43, 0));
+}
+
+// The acceptance criterion: aggregates (and the formatted report built
+// from them) must be byte-identical at any sweeper thread count.
+TEST(EngineSweep, DeterministicAcrossThreadCounts) {
+  engine::SweepSpec sweep;
+  sweep.base.network = "bitonic";
+  sweep.base.width = 8;
+  sweep.base.c_max = 3.0;  // past the ratio-2 bound so violations occur
+  sweep.base.seed = 0xFEED;
+  sweep.trials = 96;
+
+  sweep.threads = 1;
+  const engine::SweepStats one = engine::sweep_stats(sweep);
+  sweep.threads = 2;
+  const engine::SweepStats two = engine::sweep_stats(sweep);
+  sweep.threads = 8;
+  const engine::SweepStats eight = engine::sweep_stats(sweep);
+
+  for (const engine::SweepStats* s : {&two, &eight}) {
+    EXPECT_EQ(s->trials, one.trials);
+    EXPECT_EQ(s->completed, one.completed);
+    EXPECT_EQ(s->errors, one.errors);
+    EXPECT_EQ(s->lin_violations, one.lin_violations);
+    EXPECT_EQ(s->sc_violations, one.sc_violations);
+    EXPECT_EQ(s->worst_f_nl, one.worst_f_nl);    // exact, not approximate
+    EXPECT_EQ(s->worst_f_nsc, one.worst_f_nsc);
+    EXPECT_EQ(s->total_tokens, one.total_tokens);
+    EXPECT_EQ(s->metric_sums, one.metric_sums);  // summed in trial order
+    EXPECT_EQ(engine::format_report(sweep.base, *s),
+              engine::format_report(sweep.base, one));
+    EXPECT_EQ(engine::to_json(*s), engine::to_json(one));
+  }
+  EXPECT_EQ(one.completed, one.trials);
+  EXPECT_GT(one.total_tokens, 0u);
+}
+
+// keep_results returns per-trial results in trial order, matching a
+// direct run with the derived seed.
+TEST(EngineSweep, KeepResultsMatchesDirectRuns) {
+  engine::SweepSpec sweep;
+  sweep.base.network = "bitonic";
+  sweep.base.width = 4;
+  sweep.base.processes = 4;
+  sweep.base.ops_per_process = 2;
+  sweep.base.seed = 99;
+  sweep.trials = 5;
+  sweep.threads = 3;
+  sweep.keep_results = true;
+  const engine::SweepOutcome out = engine::sweep(sweep);
+  ASSERT_EQ(out.results.size(), 5u);
+  for (std::uint64_t t = 0; t < 5; ++t) {
+    engine::RunSpec direct = sweep.base;
+    direct.seed = engine::trial_seed(99, t);
+    const engine::RunResult ref = engine::run_backend(direct);
+    ASSERT_TRUE(out.results[t].ok());
+    ASSERT_EQ(out.results[t].trace.size(), ref.trace.size());
+    for (std::size_t i = 0; i < ref.trace.size(); ++i) {
+      EXPECT_EQ(out.results[t].trace[i].value, ref.trace[i].value);
+    }
+  }
+}
+
+// The old bench loop silently dropped failed simulations while still
+// counting them toward `trials`. Failures must now be surfaced.
+TEST(EngineSweep, ErrorsAreCountedAndFirstErrorPropagates) {
+  engine::SweepSpec sweep;
+  sweep.base.network = "bitonic";
+  sweep.base.width = 6;  // not a power of two: every trial fails
+  sweep.trials = 7;
+  sweep.threads = 4;
+  const engine::SweepStats stats = engine::sweep_stats(sweep);
+  EXPECT_EQ(stats.trials, 7u);
+  EXPECT_EQ(stats.completed, 0u);
+  EXPECT_EQ(stats.errors, 7u);
+  EXPECT_FALSE(stats.first_error.empty());
+  EXPECT_EQ(stats.total_tokens, 0u);
+  // And the human-readable report carries them.
+  const std::string report = engine::format_report(sweep.base, stats);
+  EXPECT_NE(report.find("first error:"), std::string::npos);
+  EXPECT_NE(engine::to_json(stats).find("first_error"), std::string::npos);
+}
+
+TEST(EngineResults, JsonShapes) {
+  engine::RunSpec spec;
+  spec.network = "bitonic";
+  spec.width = 4;
+  spec.processes = 4;
+  spec.ops_per_process = 2;
+  const engine::RunResult res = engine::run_backend(spec);
+  ASSERT_TRUE(res.ok()) << res.error;
+  const std::string j = engine::to_json(res);
+  EXPECT_NE(j.find("\"backend\":\"simulator\""), std::string::npos);
+  EXPECT_NE(j.find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(j.find("\"tokens\":8"), std::string::npos);
+  EXPECT_EQ(engine::describe(spec), "simulator on bitonic(4)");
+}
+
+}  // namespace

@@ -4,6 +4,7 @@
 // or fan trials out with the parallel sweeper.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <iostream>
 #include <string>
@@ -71,5 +72,27 @@ inline engine::RunResult run_wave(const Network& net, std::uint32_t ell,
 }
 
 inline std::string yes_no(bool b) { return b ? "yes" : "no"; }
+
+/// Calibrated wall-clock rate: repeats `batch()` — each call performing
+/// `batch_units` units of work — until `min_seconds` of measured time has
+/// accumulated, then returns units per second. One untimed warm-up batch
+/// runs first so cold caches and lazy allocations don't pollute the rate.
+/// Used by bench_micro's --json mode, where rates must be reproducible
+/// without google-benchmark's reporter in the loop.
+template <class Batch>
+inline double measure_rate(std::uint64_t batch_units, double min_seconds,
+                           Batch&& batch) {
+  using clock = std::chrono::steady_clock;
+  batch();  // warm-up, untimed
+  std::uint64_t units = 0;
+  const auto start = clock::now();
+  double elapsed = 0.0;
+  do {
+    batch();
+    units += batch_units;
+    elapsed = std::chrono::duration<double>(clock::now() - start).count();
+  } while (elapsed < min_seconds);
+  return static_cast<double>(units) / elapsed;
+}
 
 }  // namespace cn::bench

@@ -1,13 +1,30 @@
 // Microbenchmarks (google-benchmark): per-operation cost of the building
 // blocks — shared-memory balancer traversal, full network increments by
-// width and construction, the sequential engine, the timed simulator,
-// and the experiment engine's dispatch + sweep overhead on top of them.
+// width and construction, the sequential engine (compiled fast path vs
+// the preserved graph-walking reference), the timed simulator, and the
+// experiment engine's dispatch + sweep overhead on top of them.
+//
+// Two modes:
+//   * default: google-benchmark over the registered BM_* cases; traversal
+//     and engine benches report steps/sec and trials/sec via items/sec.
+//   * --json [--out=FILE] [--min-seconds=S]: hand-rolled calibrated
+//     measurements of the reference-vs-compiled traversal rate and the
+//     fresh-context-vs-reused-arena trial rate, written as JSON (default
+//     BENCH_micro.json). This is the tracked perf baseline; see
+//     EXPERIMENTS.md for how to read it.
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
 
 #include "baselines/diffracting_tree.hpp"
 #include "baselines/fetch_inc_counter.hpp"
+#include "bench_common.hpp"
 #include "concurrent/concurrent_network.hpp"
 #include "core/constructions.hpp"
+#include "core/reference_state.hpp"
 #include "core/sequential.hpp"
 #include "core/valency.hpp"
 #include "engine/engine.hpp"
@@ -18,6 +35,11 @@
 namespace {
 
 using namespace cn;
+
+/// Token ids index a per-state vector, so state memory grows with the
+/// largest id. Resetting (or rebuilding) the state every batch keeps the
+/// long-running traversal loops at a bounded footprint.
+constexpr std::uint32_t kTraversalBatch = 1u << 16;
 
 void BM_FetchInc(benchmark::State& state) {
   FetchIncCounter c;
@@ -55,16 +77,55 @@ void BM_DiffractingTreeIncrement(benchmark::State& state) {
 }
 BENCHMARK(BM_DiffractingTreeIncrement)->Arg(4)->Arg(8)->Arg(16);
 
+/// Transitions (balancer hops + the counter step) per token: the unit of
+/// the traversal benches' items/sec, measured once from a recorded run.
+std::size_t hops_per_token(const Network& topo) {
+  NetworkState probe(topo);
+  probe.set_recording(true);
+  probe.shepherd(0, 0, 0);
+  return probe.log().size();
+}
+
+// Compiled fast path: flat routing tables, arena reset between batches.
 void BM_SequentialEngineTraversal(benchmark::State& state) {
   const Network topo = make_bitonic(static_cast<std::uint32_t>(state.range(0)));
+  const std::size_t hops = hops_per_token(topo);
+  const std::uint32_t src_mask = topo.fan_in() - 1;  // fan-in is pow2
   NetworkState engine(topo);
   TokenId next = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(engine.shepherd(next, next, next % topo.fan_in()));
+    if (next == kTraversalBatch) {
+      next = 0;
+      engine.reset();
+    }
+    benchmark::DoNotOptimize(engine.shepherd(next, next, next & src_mask));
     ++next;
   }
+  state.SetItemsProcessed(state.iterations() * hops);
+  state.SetLabel("steps/sec (items); hops/token=" + std::to_string(hops));
 }
 BENCHMARK(BM_SequentialEngineTraversal)->Arg(8)->Arg(32);
+
+// The preserved graph-walking engine (core/reference_state.hpp): the
+// "before" side of the compiled fast path's steps/sec comparison.
+void BM_ReferenceEngineTraversal(benchmark::State& state) {
+  const Network topo = make_bitonic(static_cast<std::uint32_t>(state.range(0)));
+  const std::size_t hops = hops_per_token(topo);
+  const std::uint32_t src_mask = topo.fan_in() - 1;  // fan-in is pow2
+  auto engine = std::make_unique<ReferenceNetworkState>(topo);
+  TokenId next = 0;
+  for (auto _ : state) {
+    if (next == kTraversalBatch) {
+      next = 0;
+      engine = std::make_unique<ReferenceNetworkState>(topo);
+    }
+    benchmark::DoNotOptimize(engine->shepherd(next, next, next & src_mask));
+    ++next;
+  }
+  state.SetItemsProcessed(state.iterations() * hops);
+  state.SetLabel("steps/sec (items); hops/token=" + std::to_string(hops));
+}
+BENCHMARK(BM_ReferenceEngineTraversal)->Arg(8)->Arg(32);
 
 void BM_SimulateRandomWorkload(benchmark::State& state) {
   const Network topo = make_bitonic(8);
@@ -79,6 +140,23 @@ void BM_SimulateRandomWorkload(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 64);
 }
 BENCHMARK(BM_SimulateRandomWorkload);
+
+// Same workload through a reused SimArena: compiled tables, heap storage,
+// and per-token buffers survive across trials.
+void BM_SimulateRandomWorkloadArena(benchmark::State& state) {
+  const Network topo = make_bitonic(8);
+  Xoshiro256 rng(1);
+  WorkloadSpec spec;
+  spec.processes = 8;
+  spec.tokens_per_process = 8;
+  SimArena arena;
+  for (auto _ : state) {
+    const TimedExecution exec = generate_workload(topo, spec, rng);
+    benchmark::DoNotOptimize(simulate(exec, arena));
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_SimulateRandomWorkloadArena);
 
 void BM_WaveConstruction(benchmark::State& state) {
   const Network topo = make_bitonic(static_cast<std::uint32_t>(state.range(0)));
@@ -98,7 +176,8 @@ void BM_SplitAnalysis(benchmark::State& state) {
 BENCHMARK(BM_SplitAnalysis)->Arg(8)->Arg(32);
 
 // Engine dispatch on top of BM_SimulateRandomWorkload's work: registry
-// lookup, RunSpec plumbing, and the consistency analysis per run.
+// lookup, RunSpec plumbing, and the consistency analysis per run. Items
+// are trials, so items/sec reads as trials/sec.
 void BM_EngineSimulatorRun(benchmark::State& state) {
   const Network topo = make_bitonic(8);
   engine::RunSpec spec;
@@ -110,9 +189,28 @@ void BM_EngineSimulatorRun(benchmark::State& state) {
     spec.seed = seed++;
     benchmark::DoNotOptimize(engine::run_backend(spec));
   }
-  state.SetItemsProcessed(state.iterations() * 64);
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("trials/sec (items), fresh context");
 }
 BENCHMARK(BM_EngineSimulatorRun);
+
+// The sweep workers' configuration: one RunContext reused across trials.
+void BM_EngineSimulatorRunArena(benchmark::State& state) {
+  const Network topo = make_bitonic(8);
+  engine::RunSpec spec;
+  spec.net = &topo;
+  spec.processes = 8;
+  spec.ops_per_process = 8;
+  engine::RunContext ctx;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    spec.seed = seed++;
+    benchmark::DoNotOptimize(engine::run_backend(spec, ctx));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("trials/sec (items), reused arena");
+}
+BENCHMARK(BM_EngineSimulatorRunArena);
 
 // Whole sweeps through the parallel sweeper, by worker count: the
 // scaling the bench binaries inherit from --threads.
@@ -132,6 +230,181 @@ void BM_EngineSweep(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineSweep)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
+// ---------------------------------------------------------------------------
+// --json mode: the tracked perf baseline (BENCH_micro.json).
+// ---------------------------------------------------------------------------
+
+struct TraversalRates {
+  std::size_t hops = 0;
+  double ref_tokens_per_sec = 0.0;
+  double fast_tokens_per_sec = 0.0;
+
+  double ref_steps_per_sec() const { return ref_tokens_per_sec * hops; }
+  double fast_steps_per_sec() const { return fast_tokens_per_sec * hops; }
+  double speedup() const { return fast_tokens_per_sec / ref_tokens_per_sec; }
+};
+
+/// Reference graph walk vs compiled fast path on bitonic B(width).
+///
+/// The two sides are measured in short alternating rounds and each side
+/// keeps its best rate. On a shared machine a load spike inside one
+/// side's window would otherwise skew the ratio arbitrarily; max-of-rates
+/// (the classic min-of-times estimator) converges on the undisturbed
+/// cost of each side, which is the quantity the speedup claim is about.
+TraversalRates measure_traversal(std::uint32_t width, double min_seconds) {
+  constexpr int kRounds = 4;
+  const Network topo = make_bitonic(width);
+  const std::uint32_t src_mask = topo.fan_in() - 1;  // fan-in is pow2
+  TraversalRates r;
+  r.hops = hops_per_token(topo);
+  NetworkState fast_engine(topo);
+  const double round_seconds = min_seconds / kRounds;
+  for (int round = 0; round < kRounds; ++round) {
+    r.ref_tokens_per_sec = std::max(
+        r.ref_tokens_per_sec,
+        cn::bench::measure_rate(kTraversalBatch, round_seconds, [&] {
+          // No reset() on the reference engine: rebuild per batch (the
+          // construction cost amortizes over 65536 traversals).
+          ReferenceNetworkState engine(topo);
+          for (TokenId t = 0; t < kTraversalBatch; ++t) {
+            benchmark::DoNotOptimize(engine.shepherd(t, t, t & src_mask));
+          }
+        }));
+    r.fast_tokens_per_sec = std::max(
+        r.fast_tokens_per_sec,
+        cn::bench::measure_rate(kTraversalBatch, round_seconds, [&] {
+          fast_engine.reset();
+          for (TokenId t = 0; t < kTraversalBatch; ++t) {
+            benchmark::DoNotOptimize(fast_engine.shepherd(t, t, t & src_mask));
+          }
+        }));
+  }
+  return r;
+}
+
+struct TrialRates {
+  double fresh_per_sec = 0.0;
+  double arena_per_sec = 0.0;
+
+  double speedup() const { return arena_per_sec / fresh_per_sec; }
+};
+
+/// Engine trial throughput on bitonic B(8), fresh RunContext per trial
+/// (recompiles the routing tables every time) vs one reused arena (the
+/// sweep workers' configuration).
+TrialRates measure_trials(double min_seconds) {
+  const Network topo = make_bitonic(8);
+  engine::RunSpec spec;
+  spec.net = &topo;
+  spec.processes = 8;
+  spec.ops_per_process = 8;
+  constexpr std::uint64_t kBatch = 64;
+  constexpr int kRounds = 4;
+  TrialRates r;
+  engine::RunContext ctx;
+  std::uint64_t seed = 1;
+  const double round_seconds = min_seconds / kRounds;
+  // Alternating rounds, max of rates — same noise defense as
+  // measure_traversal.
+  for (int round = 0; round < kRounds; ++round) {
+    r.fresh_per_sec = std::max(
+        r.fresh_per_sec, cn::bench::measure_rate(kBatch, round_seconds, [&] {
+          for (std::uint64_t i = 0; i < kBatch; ++i) {
+            spec.seed = seed++;
+            benchmark::DoNotOptimize(engine::run_backend(spec));
+          }
+        }));
+    r.arena_per_sec = std::max(
+        r.arena_per_sec, cn::bench::measure_rate(kBatch, round_seconds, [&] {
+          for (std::uint64_t i = 0; i < kBatch; ++i) {
+            spec.seed = seed++;
+            benchmark::DoNotOptimize(engine::run_backend(spec, ctx));
+          }
+        }));
+  }
+  return r;
+}
+
+std::string json_traversal(std::uint32_t width, const TraversalRates& r) {
+  std::ostringstream os;
+  os << std::setprecision(6);
+  os << "  \"traversal_bitonic" << width << "\": {\n"
+     << "    \"hops_per_token\": " << r.hops << ",\n"
+     << "    \"reference_graph_walk\": {\n"
+     << "      \"tokens_per_sec\": " << r.ref_tokens_per_sec << ",\n"
+     << "      \"ns_per_token\": " << 1e9 / r.ref_tokens_per_sec << ",\n"
+     << "      \"steps_per_sec\": " << r.ref_steps_per_sec() << "\n"
+     << "    },\n"
+     << "    \"compiled_fast_path\": {\n"
+     << "      \"tokens_per_sec\": " << r.fast_tokens_per_sec << ",\n"
+     << "      \"ns_per_token\": " << 1e9 / r.fast_tokens_per_sec << ",\n"
+     << "      \"steps_per_sec\": " << r.fast_steps_per_sec() << "\n"
+     << "    },\n"
+     << "    \"steps_per_sec_speedup\": " << r.speedup() << "\n"
+     << "  }";
+  return os.str();
+}
+
+int json_main(const CliArgs& args) {
+#ifndef NDEBUG
+  std::cerr << "bench_micro --json: WARNING: this is a debug build; the "
+               "tracked baseline must come from -O2 (Release).\n";
+#endif
+  const double min_seconds = args.get_double("min-seconds", 0.5);
+  const std::string out_path = args.get("out", "BENCH_micro.json");
+
+  const TraversalRates t8 = measure_traversal(8, min_seconds);
+  const TraversalRates t32 = measure_traversal(32, min_seconds);
+  const TrialRates trials = measure_trials(min_seconds);
+
+  std::ostringstream os;
+  os << std::setprecision(6);
+  os << "{\n"
+     << "  \"bench\": \"bench_micro --json\",\n"
+#ifdef NDEBUG
+     << "  \"build\": \"release\",\n"
+#else
+     << "  \"build\": \"debug\",\n"
+#endif
+     << json_traversal(8, t8) << ",\n"
+     << json_traversal(32, t32) << ",\n"
+     << "  \"engine_bitonic8\": {\n"
+     << "    \"trials_per_sec_fresh_context\": " << trials.fresh_per_sec
+     << ",\n"
+     << "    \"trials_per_sec_reused_arena\": " << trials.arena_per_sec
+     << ",\n"
+     << "    \"trials_per_sec_speedup\": " << trials.speedup() << "\n"
+     << "  }\n"
+     << "}\n";
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "bench_micro --json: cannot write " << out_path << "\n";
+    return 1;
+  }
+  out << os.str();
+
+  std::cout << "traversal B(8):  reference " << std::setprecision(4)
+            << t8.ref_steps_per_sec() / 1e6 << "M steps/s, compiled "
+            << t8.fast_steps_per_sec() / 1e6 << "M steps/s ("
+            << t8.speedup() << "x)\n"
+            << "traversal B(32): reference " << t32.ref_steps_per_sec() / 1e6
+            << "M steps/s, compiled " << t32.fast_steps_per_sec() / 1e6
+            << "M steps/s (" << t32.speedup() << "x)\n"
+            << "engine B(8):     " << trials.fresh_per_sec / 1e3
+            << "k trials/s fresh context, " << trials.arena_per_sec / 1e3
+            << "k trials/s reused arena (" << trials.speedup() << "x)\n"
+            << "wrote " << out_path << "\n";
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const cn::CliArgs args(argc, argv);
+  if (args.has("json")) return json_main(args);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

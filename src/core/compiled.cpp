@@ -1,0 +1,96 @@
+#include "core/compiled.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/bits.hpp"
+
+namespace cn {
+
+CompiledNetwork::CompiledNetwork(const Network& net)
+    : net_(&net),
+      num_balancers_(net.num_balancers()),
+      fan_in_(net.fan_in()),
+      fan_out_(net.fan_out()),
+      routes_(net.num_wires()),
+      source_wires_(net.fan_in()),
+      in_offset_(net.num_balancers() + 1, 0),
+      out_offset_(net.num_balancers() + 1, 0),
+      bal_fan_out_(net.num_balancers()),
+      rr_mask_(net.num_balancers()) {
+  for (std::uint32_t i = 0; i < fan_in_; ++i) {
+    source_wires_[i] = net.source_wire(i);
+  }
+  for (NodeIndex b = 0; b < num_balancers_; ++b) {
+    const Balancer& bal = net.balancer(b);
+    in_offset_[b + 1] = in_offset_[b] + bal.fan_in();
+    out_offset_[b + 1] = out_offset_[b] + bal.fan_out();
+    bal_fan_out_[b] = bal.fan_out();
+    rr_mask_[b] = is_pow2(bal.fan_out())
+                      ? static_cast<PortIndex>(bal.fan_out() - 1)
+                      : kNoMask;
+  }
+  out_wires_.resize(out_offset_[num_balancers_]);
+  for (NodeIndex b = 0; b < num_balancers_; ++b) {
+    const Balancer& bal = net.balancer(b);
+    for (PortIndex j = 0; j < bal.fan_out(); ++j) {
+      out_wires_[out_offset_[b] + j] = bal.out[j];
+    }
+  }
+  for (WireIndex w = 0; w < net.num_wires(); ++w) {
+    const Endpoint& to = net.wire(w).to;
+    Route& r = routes_[w];
+    r.node = to.index;
+    if (to.kind == Endpoint::Kind::kBalancer) {
+      r.in_slot = in_offset_[to.index] + to.port;
+      r.out_base = out_offset_[to.index];
+      r.rr_mask = rr_mask_[to.index];
+      r.is_sink = 0;
+    } else if (to.kind == Endpoint::Kind::kSink) {
+      r.in_slot = 0;
+      r.out_base = 0;
+      r.rr_mask = 0;
+      r.is_sink = 1;
+    } else {
+      // Network validation forbids wires into a source; keep the compiled
+      // view honest anyway.
+      throw std::invalid_argument(
+          "CompiledNetwork: wire terminates at a source endpoint");
+    }
+  }
+  out_routes_.resize(out_wires_.size());
+  for (std::size_t k = 0; k < out_wires_.size(); ++k) {
+    out_routes_[k] = routes_[out_wires_[k]];
+  }
+  inlets_.resize(in_offset_[num_balancers_]);
+  for (WireIndex w = 0; w < net.num_wires(); ++w) {
+    const Wire& wire = net.wire(w);
+    if (wire.to.kind != Endpoint::Kind::kBalancer) continue;
+    Inlet& in = inlets_[in_offset_[wire.to.index] + wire.to.port];
+    in.wire = w;
+    in.origin = wire.from.index;
+    if (wire.from.kind == Endpoint::Kind::kSource) {
+      in.origin_port = 0;
+      in.from_source = 1;
+    } else {
+      in.origin_port = wire.from.port;
+      in.from_source = 0;
+    }
+  }
+}
+
+CompiledState::CompiledState(const CompiledNetwork& compiled)
+    : bal_through(compiled.num_balancers(), 0),
+      counter_next(compiled.fan_out()),
+      source_count(compiled.fan_in(), 0),
+      compiled_(&compiled) {
+  for (std::uint32_t j = 0; j < compiled.fan_out(); ++j) counter_next[j] = j;
+}
+
+void CompiledState::reset() {
+  std::fill(bal_through.begin(), bal_through.end(), 0);
+  for (std::uint32_t j = 0; j < counter_next.size(); ++j) counter_next[j] = j;
+  std::fill(source_count.begin(), source_count.end(), 0);
+}
+
+}  // namespace cn

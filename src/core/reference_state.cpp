@@ -1,0 +1,132 @@
+#include "core/reference_state.hpp"
+
+#include <stdexcept>
+
+namespace cn {
+
+ReferenceNetworkState::ReferenceNetworkState(const Network& net)
+    : net_(&net),
+      balancer_pos_(net.num_balancers(), 0),
+      counter_next_(net.fan_out()),
+      source_count_(net.fan_in(), 0),
+      sink_count_(net.fan_out(), 0),
+      in_offset_(net.num_balancers() + 1, 0),
+      out_offset_(net.num_balancers() + 1, 0) {
+  for (std::uint32_t j = 0; j < net.fan_out(); ++j) counter_next_[j] = j;
+  for (NodeIndex b = 0; b < net.num_balancers(); ++b) {
+    in_offset_[b + 1] = in_offset_[b] + net.balancer(b).fan_in();
+    out_offset_[b + 1] = out_offset_[b] + net.balancer(b).fan_out();
+  }
+  in_counts_.assign(in_offset_.back(), 0);
+  out_counts_.assign(out_offset_.back(), 0);
+}
+
+ReferenceNetworkState::TokenState& ReferenceNetworkState::token_ref(
+    TokenId token) {
+  if (token >= tokens_.size()) {
+    throw std::logic_error("NetworkState: unknown token");
+  }
+  return tokens_[token];
+}
+
+const ReferenceNetworkState::TokenState& ReferenceNetworkState::token_ref(
+    TokenId token) const {
+  if (token >= tokens_.size()) {
+    throw std::logic_error("NetworkState: unknown token");
+  }
+  return tokens_[token];
+}
+
+void ReferenceNetworkState::enter(TokenId token, ProcessId proc,
+                                  std::uint32_t source) {
+  if (source >= net_->fan_in()) {
+    throw std::invalid_argument("NetworkState::enter: bad input wire");
+  }
+  if (token >= tokens_.size()) tokens_.resize(token + 1);
+  TokenState& ts = tokens_[token];
+  if (ts.entered) {
+    throw std::invalid_argument("NetworkState::enter: token id reused");
+  }
+  ts.entered = true;
+  ts.process = proc;
+  ts.wire = net_->source_wire(source);
+  ++source_count_[source];
+  ++total_entered_;
+  ++in_flight_;
+}
+
+bool ReferenceNetworkState::done(TokenId token) const {
+  return token_ref(token).finished;
+}
+
+Value ReferenceNetworkState::value(TokenId token) const {
+  const TokenState& ts = token_ref(token);
+  if (!ts.finished) throw std::logic_error("NetworkState::value: token in flight");
+  return ts.value;
+}
+
+ProcessId ReferenceNetworkState::process_of(TokenId token) const {
+  return token_ref(token).process;
+}
+
+Step ReferenceNetworkState::step(TokenId token) {
+  TokenState& ts = token_ref(token);
+  if (!ts.entered || ts.finished) {
+    throw std::logic_error("NetworkState::step: token not in flight");
+  }
+  const Wire& wire = net_->wire(ts.wire);
+  Step st;
+  st.process = ts.process;
+  st.token = token;
+  if (wire.to.kind == Endpoint::Kind::kBalancer) {
+    const NodeIndex b = wire.to.index;
+    const Balancer& bal = net_->balancer(b);
+    const PortIndex in_port = wire.to.port;
+    const PortIndex out_port = balancer_pos_[b];
+    balancer_pos_[b] = static_cast<PortIndex>((out_port + 1) % bal.fan_out());
+    ++in_counts_[in_offset_[b] + in_port];
+    ++out_counts_[out_offset_[b] + out_port];
+    ts.wire = bal.out[out_port];
+    st.kind = Step::Kind::kBalancer;
+    st.node = b;
+    st.in_port = in_port;
+    st.out_port = out_port;
+  } else {
+    const std::uint32_t sink = wire.to.index;
+    const Value v = counter_next_[sink];
+    counter_next_[sink] += net_->fan_out();
+    ++sink_count_[sink];
+    ++total_exited_;
+    --in_flight_;
+    ts.finished = true;
+    ts.value = v;
+    st.kind = Step::Kind::kCounter;
+    st.node = sink;
+    st.value = v;
+  }
+  if (recording_) log_.push_back(st);
+  return st;
+}
+
+Value ReferenceNetworkState::traverse(TokenId token) {
+  while (!token_ref(token).finished) step(token);
+  return token_ref(token).value;
+}
+
+Value ReferenceNetworkState::shepherd(TokenId token, ProcessId proc,
+                                      std::uint32_t source) {
+  enter(token, proc, source);
+  return traverse(token);
+}
+
+std::uint64_t ReferenceNetworkState::balancer_in_count(NodeIndex b,
+                                                       PortIndex i) const {
+  return in_counts_.at(in_offset_.at(b) + i);
+}
+
+std::uint64_t ReferenceNetworkState::balancer_out_count(NodeIndex b,
+                                                        PortIndex j) const {
+  return out_counts_.at(out_offset_.at(b) + j);
+}
+
+}  // namespace cn

@@ -5,20 +5,16 @@
 namespace cn {
 
 NetworkState::NetworkState(const Network& net)
-    : net_(&net),
-      balancer_pos_(net.num_balancers(), 0),
-      counter_next_(net.fan_out()),
-      source_count_(net.fan_in(), 0),
-      sink_count_(net.fan_out(), 0),
-      in_offset_(net.num_balancers() + 1, 0),
-      out_offset_(net.num_balancers() + 1, 0) {
-  for (std::uint32_t j = 0; j < net.fan_out(); ++j) counter_next_[j] = j;
-  for (NodeIndex b = 0; b < net.num_balancers(); ++b) {
-    in_offset_[b + 1] = in_offset_[b] + net.balancer(b).fan_in();
-    out_offset_[b + 1] = out_offset_[b] + net.balancer(b).fan_out();
-  }
-  in_counts_.assign(in_offset_.back(), 0);
-  out_counts_.assign(out_offset_.back(), 0);
+    : NetworkState(std::make_shared<const CompiledNetwork>(net)) {}
+
+NetworkState::NetworkState(std::shared_ptr<const CompiledNetwork> compiled)
+    : compiled_(std::move(compiled)), state_(*compiled_) {}
+
+void NetworkState::reset() {
+  state_.reset();
+  tokens_.clear();
+  in_flight_ = 0;
+  log_.clear();
 }
 
 NetworkState::TokenState& NetworkState::token_ref(TokenId token) {
@@ -36,19 +32,25 @@ const NetworkState::TokenState& NetworkState::token_ref(TokenId token) const {
 }
 
 void NetworkState::enter(TokenId token, ProcessId proc, std::uint32_t source) {
-  if (source >= net_->fan_in()) {
+  if (source >= compiled_->fan_in()) {
     throw std::invalid_argument("NetworkState::enter: bad input wire");
   }
-  if (token >= tokens_.size()) tokens_.resize(token + 1);
+  // Ascending ids (the common pattern) take the inlinable push_back path
+  // instead of a resize call per token; sparse ids still resize exactly,
+  // so which ids throw "unknown token" is unchanged.
+  if (token == tokens_.size()) {
+    tokens_.emplace_back();
+  } else if (token > tokens_.size()) {
+    tokens_.resize(token + 1);
+  }
   TokenState& ts = tokens_[token];
   if (ts.entered) {
     throw std::invalid_argument("NetworkState::enter: token id reused");
   }
   ts.entered = true;
   ts.process = proc;
-  ts.wire = net_->source_wire(source);
-  ++source_count_[source];
-  ++total_entered_;
+  ts.wire = compiled_->source_wire(source);
+  ++state_.source_count[source];
   ++in_flight_;
 }
 
@@ -69,30 +71,23 @@ Step NetworkState::step(TokenId token) {
   if (!ts.entered || ts.finished) {
     throw std::logic_error("NetworkState::step: token not in flight");
   }
-  const Wire& wire = net_->wire(ts.wire);
+  const CompiledNetwork& net = *compiled_;
+  const CompiledNetwork::Route route = net.route(ts.wire);
   Step st;
   st.process = ts.process;
   st.token = token;
-  if (wire.to.kind == Endpoint::Kind::kBalancer) {
-    const NodeIndex b = wire.to.index;
-    const Balancer& bal = net_->balancer(b);
-    const PortIndex in_port = wire.to.port;
-    const PortIndex out_port = balancer_pos_[b];
-    balancer_pos_[b] =
-        static_cast<PortIndex>((out_port + 1) % bal.fan_out());
-    ++in_counts_[in_offset_[b] + in_port];
-    ++out_counts_[out_offset_[b] + out_port];
-    ts.wire = bal.out[out_port];
+  if (!route.is_sink) {
+    const NodeIndex b = route.node;
+    const PortIndex out_port = net.port_of(route, state_.bal_through[b]++);
+    ts.wire = net.out_wire_at(route.out_base + out_port);
     st.kind = Step::Kind::kBalancer;
     st.node = b;
-    st.in_port = in_port;
+    st.in_port = static_cast<PortIndex>(route.in_slot - net.in_offset(b));
     st.out_port = out_port;
   } else {
-    const std::uint32_t sink = wire.to.index;
-    const Value v = counter_next_[sink];
-    counter_next_[sink] += net_->fan_out();
-    ++sink_count_[sink];
-    ++total_exited_;
+    const std::uint32_t sink = route.node;
+    const Value v = state_.counter_next[sink];
+    state_.counter_next[sink] += net.fan_out();
     --in_flight_;
     ts.finished = true;
     ts.value = v;
@@ -104,22 +99,131 @@ Step NetworkState::step(TokenId token) {
   return st;
 }
 
+bool NetworkState::step_fast(TokenId token) {
+  if (recording_) return step(token).kind == Step::Kind::kCounter;
+  TokenState& ts = token_ref(token);
+  if (!ts.entered || ts.finished) {
+    throw std::logic_error("NetworkState::step: token not in flight");
+  }
+  const CompiledNetwork& net = *compiled_;
+  const CompiledNetwork::Route route = net.route(ts.wire);
+  if (!route.is_sink) {
+    const PortIndex out_port =
+        net.port_of(route, state_.bal_through[route.node]++);
+    ts.wire = net.out_wire_at(route.out_base + out_port);
+    return false;
+  }
+  const std::uint32_t sink = route.node;
+  const Value v = state_.counter_next[sink];
+  state_.counter_next[sink] += net.fan_out();
+  --in_flight_;
+  ts.finished = true;
+  ts.value = v;
+  return true;
+}
+
 Value NetworkState::traverse(TokenId token) {
-  while (!token_ref(token).finished) step(token);
-  return token_ref(token).value;
+  if (recording_) {
+    while (!token_ref(token).finished) step(token);
+    return token_ref(token).value;
+  }
+  TokenState& ts = token_ref(token);
+  if (ts.finished) return ts.value;
+  if (!ts.entered) {
+    throw std::logic_error("NetworkState::step: token not in flight");
+  }
+  return run_to_counter(compiled_->route(ts.wire), ts);
+}
+
+// Hot loop: one route load plus ONE 64-bit increment per hop — the whole
+// history bookkeeping is reconstructed from bal_through by the accessors,
+// not counted here. Hops route-to-route via out_route_at so the only
+// serial dependence is a single 16-byte load. The wire index is
+// deliberately not tracked: ts.wire stays wherever the caller left it,
+// which is unobservable once the token finishes (every accessor either
+// throws or reads value/finished first, the in-flight scan in
+// balancer_in_count skips finished tokens, and reset() clears it).
+Value NetworkState::run_to_counter(CompiledNetwork::Route route,
+                                   TokenState& ts) {
+  const CompiledNetwork& net = *compiled_;
+  for (;;) {
+    if (!route.is_sink) {
+      const PortIndex out_port =
+          net.port_of(route, state_.bal_through[route.node]++);
+      route = net.out_route_at(route.out_base + out_port);
+    } else {
+      const std::uint32_t sink = route.node;
+      const Value v = state_.counter_next[sink];
+      state_.counter_next[sink] += net.fan_out();
+      --in_flight_;
+      ts.finished = true;
+      ts.value = v;
+      return v;
+    }
+  }
 }
 
 Value NetworkState::shepherd(TokenId token, ProcessId proc, std::uint32_t source) {
-  enter(token, proc, source);
-  return traverse(token);
+  if (recording_) {
+    enter(token, proc, source);
+    return traverse(token);
+  }
+  // Fused non-recording fast path. The token completes inside this call,
+  // so the intermediate states enter + traverse would pass through — the
+  // token parked on the source wire, ts.wire maintained per hop — are
+  // unobservable; skip them and feed the source wire's route straight to
+  // the hot loop. Validation and error messages are identical to enter().
+  if (source >= compiled_->fan_in()) {
+    throw std::invalid_argument("NetworkState::enter: bad input wire");
+  }
+  if (token == tokens_.size()) {
+    tokens_.emplace_back();
+  } else if (token > tokens_.size()) {
+    tokens_.resize(token + 1);
+  }
+  TokenState& ts = tokens_[token];
+  if (ts.entered) {
+    throw std::invalid_argument("NetworkState::enter: token id reused");
+  }
+  ts.entered = true;
+  ts.process = proc;
+  ++state_.source_count[source];
+  ++in_flight_;  // run_to_counter undoes this; kept so the loop is shared.
+  return run_to_counter(compiled_->route(compiled_->source_wire(source)), ts);
 }
 
 std::uint64_t NetworkState::balancer_in_count(NodeIndex b, PortIndex i) const {
-  return in_counts_.at(in_offset_.at(b) + i);
+  // x_i is reconstructed, not counted: wires are point-to-point, so every
+  // token the upstream node emitted onto the in-wire has entered (b, i) —
+  // except the ones still parked on that wire awaiting their balancer
+  // transition. ts.wire is exact for every unfinished token (enter and
+  // the step paths maintain it, and traverse runs to completion before
+  // control can reach this accessor).
+  const CompiledNetwork::Inlet in =
+      compiled_->inlet(compiled_->in_offset_checked(b) + i);
+  std::uint64_t arrived;
+  if (in.from_source) {
+    arrived = state_.source_count[in.origin];
+  } else {
+    const std::uint64_t t = state_.bal_through[in.origin];
+    const std::uint64_t k = compiled_->balancer_fan_out(in.origin);
+    arrived = (t + k - 1 - in.origin_port) / k;
+  }
+  std::uint64_t parked = 0;
+  for (const TokenState& ts : tokens_) {
+    if (ts.entered && !ts.finished && ts.wire == in.wire) ++parked;
+  }
+  return arrived - parked;
 }
 
 std::uint64_t NetworkState::balancer_out_count(NodeIndex b, PortIndex j) const {
-  return out_counts_.at(out_offset_.at(b) + j);
+  // Round-robin assigns token i (0-based) to port i mod k, so after T
+  // tokens exactly ceil((T - j) / k) have left port j. bal_through.at
+  // supplies the bounds check on b; valid ports (j < k) cannot underflow
+  // the numerator.
+  const std::uint64_t t = state_.bal_through.at(b);
+  const std::uint64_t k = compiled_->balancer_fan_out(b);
+  return (t + k - 1 - j) / k;
 }
 
 }  // namespace cn

@@ -6,18 +6,25 @@
 // the interleaving completely by choosing which token to step next; this is
 // exactly the power the paper's adversary has, and it is what the timed
 // simulator (src/sim) and the proof reconstructions build on.
+//
+// Routing is delegated to the flat tables of core/compiled.hpp: one
+// CompiledNetwork is built per Network (either privately by the
+// NetworkState(Network) constructor or shared via the CompiledNetwork
+// constructor) and each hop is an indexed load instead of a graph walk.
+// Step semantics, history variables, recording, and error behavior are
+// unchanged; core/reference_state.hpp preserves the original graph-walking
+// implementation as the executable specification, and the two are held
+// byte-identical by tests/compiled_test.cpp.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "core/compiled.hpp"
 #include "core/topology.hpp"
 
 namespace cn {
-
-using TokenId = std::uint32_t;
-using ProcessId = std::uint32_t;
-using Value = std::uint64_t;
 
 /// One transition step (paper Section 2.1/2.2): either a balancer
 /// transition BAL_p(T, B, i, j) or a counter transition COUNT_p(T, C, v).
@@ -31,14 +38,31 @@ struct Step {
   PortIndex in_port = 0;   ///< kBalancer only.
   PortIndex out_port = 0;  ///< kBalancer only.
   Value value = 0;         ///< kCounter only.
+
+  friend bool operator==(const Step&, const Step&) = default;
 };
 
 /// Dynamic state of a balancing network plus in-flight token positions.
 class NetworkState {
  public:
+  /// Compiles the network's routing tables privately. Prefer the shared
+  /// overload when many states run over the same network.
   explicit NetworkState(const Network& net);
 
-  const Network& network() const noexcept { return *net_; }
+  /// Builds on already-compiled routing tables; `compiled` (and the
+  /// Network behind it) must outlive this state. This is the arena path:
+  /// one CompiledNetwork per network, many resettable states.
+  explicit NetworkState(std::shared_ptr<const CompiledNetwork> compiled);
+
+  const Network& network() const noexcept { return compiled_->network(); }
+  const CompiledNetwork& compiled() const noexcept { return *compiled_; }
+
+  /// Rewinds to the freshly-constructed state — no tokens, zeroed history
+  /// variables, counters handing out their sink index, empty step log —
+  /// while keeping every allocation. The recording toggle (configuration,
+  /// not execution state) is preserved. This is what lets a sweep worker
+  /// reuse one state across trials instead of reallocating ~8 vectors.
+  void reset();
 
   // --- token lifecycle --------------------------------------------------
 
@@ -61,6 +85,12 @@ class NetworkState {
   /// Throws std::logic_error if the token is unknown or already done.
   Step step(TokenId token);
 
+  /// Fast-path step: identical state evolution to step() but skips
+  /// materializing the Step record. Returns true when the token crossed
+  /// its counter (finished). Falls back to step() while recording so the
+  /// log stays complete.
+  bool step_fast(TokenId token);
+
   /// Steps the token to completion; returns the value it received.
   Value traverse(TokenId token);
 
@@ -77,11 +107,16 @@ class NetworkState {
   // --- component state --------------------------------------------------
 
   /// Round-robin position of balancer b: the output port the next token
-  /// will take (paper's balancer state s, 0-indexed).
-  PortIndex balancer_position(NodeIndex b) const { return balancer_pos_.at(b); }
+  /// will take (paper's balancer state s, 0-indexed). Reconstructed from
+  /// the balancer's token throughput; see CompiledState::bal_through.
+  PortIndex balancer_position(NodeIndex b) const {
+    return compiled_->position_of(b, state_.bal_through.at(b));
+  }
 
   /// Next value counter j will hand out (j, j + w_out, j + 2*w_out, ...).
-  Value counter_next(std::uint32_t sink) const { return counter_next_.at(sink); }
+  Value counter_next(std::uint32_t sink) const {
+    return state_.counter_next.at(sink);
+  }
 
   // --- history variables (paper Section 2.2, property 4) -----------------
 
@@ -90,15 +125,30 @@ class NetworkState {
   /// Tokens that have exited balancer b on output port j so far (y_j).
   std::uint64_t balancer_out_count(NodeIndex b, PortIndex j) const;
   /// Tokens that have exited the network on output wire j so far.
-  std::uint64_t sink_count(std::uint32_t sink) const { return sink_count_.at(sink); }
+  /// Counter j hands out j, j + w, j + 2w, ...: its next value encodes
+  /// how many tokens it has counted.
+  std::uint64_t sink_count(std::uint32_t sink) const {
+    return (state_.counter_next.at(sink) - sink) / compiled_->fan_out();
+  }
   /// Tokens that have entered the network on input wire i so far.
   std::uint64_t source_count(std::uint32_t source) const {
-    return source_count_.at(source);
+    return state_.source_count.at(source);
   }
-  /// Total tokens that have entered the network.
-  std::uint64_t total_entered() const noexcept { return total_entered_; }
-  /// Total tokens that have exited (traversed a counter).
-  std::uint64_t total_exited() const noexcept { return total_exited_; }
+  /// Total tokens that have entered the network (sum of source counts).
+  std::uint64_t total_entered() const noexcept {
+    std::uint64_t n = 0;
+    for (const std::uint64_t c : state_.source_count) n += c;
+    return n;
+  }
+  /// Total tokens that have exited (sum of per-sink exit counts).
+  std::uint64_t total_exited() const noexcept {
+    std::uint64_t n = 0;
+    const std::uint32_t w = compiled_->fan_out();
+    for (std::uint32_t j = 0; j < w; ++j) {
+      n += (state_.counter_next[j] - j) / w;
+    }
+    return n;
+  }
 
   // --- step recording ----------------------------------------------------
 
@@ -119,19 +169,14 @@ class NetworkState {
   TokenState& token_ref(TokenId token);
   const TokenState& token_ref(TokenId token) const;
 
-  const Network* net_;
-  std::vector<PortIndex> balancer_pos_;
-  std::vector<Value> counter_next_;
+  /// Runs a token from `route` to its counter (the shared hot loop of
+  /// traverse and the fused shepherd fast path); fills ts and returns the
+  /// counted value.
+  Value run_to_counter(CompiledNetwork::Route route, TokenState& ts);
+
+  std::shared_ptr<const CompiledNetwork> compiled_;
+  CompiledState state_;
   std::vector<TokenState> tokens_;
-  std::vector<std::uint64_t> source_count_;
-  std::vector<std::uint64_t> sink_count_;
-  // Flattened per-port history variables; offsets per balancer.
-  std::vector<std::uint64_t> in_counts_;
-  std::vector<std::uint64_t> out_counts_;
-  std::vector<std::size_t> in_offset_;
-  std::vector<std::size_t> out_offset_;
-  std::uint64_t total_entered_ = 0;
-  std::uint64_t total_exited_ = 0;
   std::uint32_t in_flight_ = 0;
   bool recording_ = false;
   std::vector<Step> log_;

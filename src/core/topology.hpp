@@ -23,6 +23,13 @@ using NodeIndex = std::uint32_t;
 using WireIndex = std::uint32_t;
 using PortIndex = std::uint16_t;
 
+// Execution-level identifiers live here (rather than core/sequential.hpp)
+// so the compiled routing tables (core/compiled.hpp) can speak them
+// without depending on the stepping engine.
+using TokenId = std::uint32_t;
+using ProcessId = std::uint32_t;
+using Value = std::uint64_t;
+
 inline constexpr WireIndex kInvalidWire = std::numeric_limits<WireIndex>::max();
 
 /// One endpoint of a wire: a source output, a balancer port, or a sink input.

@@ -81,7 +81,7 @@ const Network* resolve_network(const RunSpec& spec,
   return owned.get();
 }
 
-RunResult run_backend(const RunSpec& spec) {
+RunResult run_backend(const RunSpec& spec, RunContext& ctx) {
   const TraceSource* src = find_backend(spec.backend);
   if (src == nullptr) {
     RunResult out;
@@ -89,12 +89,17 @@ RunResult run_backend(const RunSpec& spec) {
     out.error = "unknown backend '" + spec.backend + "'";
     return out;
   }
-  RunResult out = src->run(spec);
+  RunResult out = src->run(spec, ctx);
   out.backend = spec.backend;
   if (out.ok() && out.report.total == 0 && !out.trace.empty()) {
     out.report = analyze(out.trace);
   }
   return out;
+}
+
+RunResult run_backend(const RunSpec& spec) {
+  RunContext ctx;
+  return run_backend(spec, ctx);
 }
 
 }  // namespace cn::engine

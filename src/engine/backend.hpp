@@ -12,12 +12,22 @@
 
 #include "engine/run_result.hpp"
 #include "engine/run_spec.hpp"
+#include "sim/simulator.hpp"
 
 namespace cn::engine {
 
+/// Per-worker reusable resources threaded through run_backend: one
+/// simulation arena (compiled routing tables + state buffers) that
+/// repeated trials on the same network share instead of reallocating.
+/// One RunContext per thread — it is not synchronized.
+struct RunContext {
+  SimArena arena;
+};
+
 /// A named producer of traces. Implementations must be stateless (or
 /// internally synchronized): the sweeper calls run() concurrently from
-/// many threads on the same instance.
+/// many threads on the same instance. Per-call mutable scratch lives in
+/// the caller-owned RunContext.
 class TraceSource {
  public:
   virtual ~TraceSource() = default;
@@ -32,6 +42,15 @@ class TraceSource {
   /// deterministic only in shape. On failure, returns a RunResult whose
   /// error is non-empty — never throws for invalid specs.
   virtual RunResult run(const RunSpec& spec) const = 0;
+
+  /// Arena-aware entry point. Backends that simulate override this to
+  /// reuse ctx.arena across calls; the default ignores the context. The
+  /// result must be identical to run(spec) — the context only removes
+  /// allocation work.
+  virtual RunResult run(const RunSpec& spec, RunContext& ctx) const {
+    (void)ctx;
+    return run(spec);
+  }
 };
 
 using BackendFactory = std::function<std::unique_ptr<TraceSource>()>;
@@ -51,6 +70,10 @@ std::vector<std::string> backend_names();
 /// consistency report (analyze on the produced trace) unless the backend
 /// already did. Unknown backend keys yield an error result.
 RunResult run_backend(const RunSpec& spec);
+
+/// Same, reusing the caller's per-worker context (see RunContext). The
+/// sweeper calls this with one context per worker thread.
+RunResult run_backend(const RunSpec& spec, RunContext& ctx);
 
 /// Resolves the spec's network: spec.net when non-null, otherwise a
 /// freshly constructed network (by spec.network/width/blocks) returned

@@ -49,9 +49,10 @@ struct Resolved {
   bool ok() const noexcept { return net != nullptr; }
 };
 
-/// Runs a TimedExecution through the simulator and fills the result.
-void finish_simulated(RunResult& out, TimedExecution exec) {
-  SimulationResult sim = simulate(exec);
+/// Runs a TimedExecution through the simulator and fills the result,
+/// reusing the worker's arena (compiled tables + trial buffers).
+void finish_simulated(RunResult& out, TimedExecution exec, SimArena& arena) {
+  SimulationResult sim = simulate(exec, arena);
   if (!sim.ok()) {
     out.error = "simulation failed: " + sim.error;
     return;
@@ -71,6 +72,11 @@ class SimulatorBackend final : public TraceSource {
   }
 
   RunResult run(const RunSpec& spec) const override {
+    RunContext ctx;
+    return run(spec, ctx);
+  }
+
+  RunResult run(const RunSpec& spec, RunContext& ctx) const override {
     Resolved r(spec);
     if (!r.ok()) return std::move(r.result);
     WorkloadSpec wl;
@@ -84,7 +90,7 @@ class SimulatorBackend final : public TraceSource {
                              : spec.local_delay_min + 2.0;
     wl.extreme_delays = spec.extreme_delays;
     Xoshiro256 rng(spec.seed);
-    finish_simulated(r.result, generate_workload(*r.net, wl, rng));
+    finish_simulated(r.result, generate_workload(*r.net, wl, rng), ctx.arena);
     return std::move(r.result);
   }
 };
@@ -100,6 +106,11 @@ class BurstBackend final : public TraceSource {
   }
 
   RunResult run(const RunSpec& spec) const override {
+    RunContext ctx;
+    return run(spec, ctx);
+  }
+
+  RunResult run(const RunSpec& spec, RunContext& ctx) const override {
     Resolved r(spec);
     if (!r.ok()) return std::move(r.result);
     const Network& net = *r.net;
@@ -129,7 +140,7 @@ class BurstBackend final : public TraceSource {
       }
       t0 = latest_exit + spec.burst_gap;
     }
-    finish_simulated(r.result, std::move(exec));
+    finish_simulated(r.result, std::move(exec), ctx.arena);
     return std::move(r.result);
   }
 };
@@ -145,6 +156,11 @@ class HeterogeneousBackend final : public TraceSource {
   }
 
   RunResult run(const RunSpec& spec) const override {
+    RunContext ctx;
+    return run(spec, ctx);
+  }
+
+  RunResult run(const RunSpec& spec, RunContext& ctx) const override {
     Resolved r(spec);
     if (!r.ok()) return std::move(r.result);
     const Network& net = *r.net;
@@ -174,7 +190,7 @@ class HeterogeneousBackend final : public TraceSource {
         ++k;
       }
     }
-    finish_simulated(r.result, std::move(exec));
+    finish_simulated(r.result, std::move(exec), ctx.arena);
     if (!r.result.ok()) return std::move(r.result);
     std::uint64_t hare_ops = 0, other_ops = 0;
     for (const TokenRecord& rec : r.result.trace) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <memory>
 #include <thread>
 
 #include "engine/backend.hpp"
@@ -22,6 +23,13 @@ struct TrialSummary {
   std::uint64_t tokens = 0;
   std::map<std::string, double> metrics;
   std::string error;
+};
+
+/// One summary per trial, padded to cache-line multiples so adjacent
+/// trials written by different workers never share a line (the same
+/// false-sharing discipline as PaddedAtomic in concurrent_network.hpp).
+struct alignas(64) TrialSlot {
+  TrialSummary summary;
 };
 
 TrialSummary summarize(const RunResult& r) {
@@ -57,20 +65,36 @@ SweepOutcome sweep(const SweepSpec& spec) {
   const std::uint32_t workers = std::min<std::uint64_t>(
       spec.threads == 0 ? hw : spec.threads, spec.trials);
 
-  std::vector<TrialSummary> summaries(spec.trials);
+  // Resolve the topology once for the whole sweep: every trial shares one
+  // Network (and hence one set of compiled routing tables per worker
+  // arena) instead of rebuilding it per trial. On resolution failure the
+  // base spec is left untouched so each trial reports the same error the
+  // backend would have produced — error accounting is unchanged.
+  RunSpec base = spec.base;
+  std::shared_ptr<const Network> sweep_net;
+  if (base.net == nullptr) {
+    std::string resolve_error;
+    const Network* net = resolve_network(base, sweep_net, resolve_error);
+    if (net != nullptr && sweep_net != nullptr) base.net = net;
+  }
+
+  std::vector<TrialSlot> summaries(spec.trials);
   if (spec.keep_results) out.results.resize(spec.trials);
 
   const auto t_start = std::chrono::steady_clock::now();
   std::atomic<std::uint64_t> next_trial{0};
   auto work = [&] {
+    RunContext ctx;  // per-worker arena: compiled tables + trial buffers
     for (;;) {
       const std::uint64_t t =
           next_trial.fetch_add(1, std::memory_order_relaxed);
       if (t >= spec.trials) return;
-      RunSpec rs = spec.base;
+      RunSpec rs = base;
       rs.seed = trial_seed(spec.base.seed, t);
-      RunResult r = run_backend(rs);
-      summaries[t] = summarize(r);
+      RunResult r = run_backend(rs, ctx);
+      // Results referencing the sweep-owned network must keep it alive.
+      if (sweep_net != nullptr) r.owned_net = sweep_net;
+      summaries[t].summary = summarize(r);
       if (spec.keep_results) out.results[t] = std::move(r);
     }
   };
@@ -89,7 +113,8 @@ SweepOutcome sweep(const SweepSpec& spec) {
   // Serial reduction in trial order: every aggregate (including the
   // floating-point sums) is independent of the worker count.
   SweepStats& st = out.stats;
-  for (const TrialSummary& s : summaries) {
+  for (const TrialSlot& slot : summaries) {
+    const TrialSummary& s = slot.summary;
     if (!s.ok) {
       ++st.errors;
       if (st.first_error.empty()) st.first_error = s.error;

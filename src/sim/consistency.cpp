@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <map>
+#include <stdexcept>
+#include <string>
 
 namespace cn {
 
@@ -100,10 +102,14 @@ bool is_sequentially_consistent_for(const Trace& trace, ProcessId process) {
 }
 
 Trace remove_tokens(const Trace& trace, const std::vector<TokenId>& tokens) {
+  // Sorted lookup: O((n + m) log m) instead of the old O(n * m) std::find
+  // scan — this sits inside the exhaustive 2^k search below.
+  std::vector<TokenId> removal(tokens);
+  std::sort(removal.begin(), removal.end());
   Trace out;
   out.reserve(trace.size());
   for (const TokenRecord& r : trace) {
-    if (std::find(tokens.begin(), tokens.end(), r.token) == tokens.end()) {
+    if (!std::binary_search(removal.begin(), removal.end(), r.token)) {
       out.push_back(r);
     }
   }
@@ -120,6 +126,16 @@ std::size_t min_removal_for_linearizability(const Trace& trace) {
   const std::vector<TokenId> candidates = non_linearizable_tokens(trace);
   if (candidates.empty()) return 0;
   const std::size_t n = candidates.size();
+  // The subset walk below shifts 1ull by n, which is undefined behavior
+  // for n >= 64 — and a 2^n search is hopeless long before that. Refuse
+  // clearly instead of silently misbehaving.
+  if (n > kMaxExhaustiveCandidates) {
+    throw std::invalid_argument(
+        "min_removal_for_linearizability: " + std::to_string(n) +
+        " non-linearizable tokens exceeds the exhaustive-search cap of " +
+        std::to_string(kMaxExhaustiveCandidates) +
+        " (2^n subsets; use the Lemma 5.1 bound instead)");
+  }
   std::size_t best = n;
   for (std::uint64_t mask = 0; mask < (1ull << n); ++mask) {
     const auto size = static_cast<std::size_t>(__builtin_popcountll(mask));

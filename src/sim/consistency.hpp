@@ -47,11 +47,18 @@ bool is_sequentially_consistent_for(const Trace& trace, ProcessId process);
 /// Removes the given tokens from the trace (by token id).
 Trace remove_tokens(const Trace& trace, const std::vector<TokenId>& tokens);
 
+/// Largest candidate-set size min_removal_for_linearizability will search
+/// exhaustively: 2^n subsets, and shifting past 63 bits is undefined
+/// behavior, so the search refuses (std::invalid_argument) above this.
+inline constexpr std::size_t kMaxExhaustiveCandidates = 24;
+
 /// The least number of NON-LINEARIZABLE tokens whose removal makes the
 /// trace linearizable (the numerator of the paper's absolute
 /// non-linearizability fraction, Section 5.1 — removal is restricted to
 /// non-linearizable tokens by definition), found by exhaustive subset
-/// search. Exponential — intended for property tests with small traces.
+/// search. Exponential — intended for property tests with small traces;
+/// throws std::invalid_argument when more than kMaxExhaustiveCandidates
+/// tokens are non-linearizable.
 /// Lemma 5.1 asserts this equals analyze(trace).non_linearizable.size().
 std::size_t min_removal_for_linearizability(const Trace& trace);
 

@@ -1,8 +1,7 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
-#include <map>
-#include <queue>
+#include <limits>
 #include <vector>
 
 namespace cn {
@@ -22,59 +21,115 @@ struct Event {
   }
 };
 
+/// Min-heap comparator: std::push_heap/pop_heap build a max-heap with
+/// respect to the comparator, so "greater" puts the earliest (time, rank,
+/// token) event on top. The comparator is a total order over any set of
+/// pending events (at most one event per token is pending), so the pop
+/// sequence is unique regardless of heap internals.
+constexpr auto event_after = [](const Event& a, const Event& b) { return a > b; };
+
+constexpr TokenId kNoToken = std::numeric_limits<TokenId>::max();
+
 }  // namespace
 
-SimulationResult simulate(const TimedExecution& exec) {
+/// Per-call buffers, kept allocated across calls.
+struct SimArena::Scratch {
+  std::vector<Event> heap;
+  std::vector<const TokenPlan*> plan_of;
+  std::vector<TokenRecord> records;
+  std::vector<TokenId> in_flight_of_process;
+};
+
+SimArena::SimArena() : scratch_(std::make_unique<Scratch>()) {}
+SimArena::~SimArena() = default;
+SimArena::SimArena(SimArena&&) noexcept = default;
+SimArena& SimArena::operator=(SimArena&&) noexcept = default;
+
+NetworkState& SimArena::acquire(const Network& net) {
+  // Cached by address; the shape check catches the (unlikely) case of a
+  // different Network later living at the same address. Identical name
+  // and shape means an identical construction, hence identical tables.
+  if (net_ == &net && compiled_ != nullptr &&
+      compiled_->num_wires() == net.num_wires() &&
+      compiled_->num_balancers() == net.num_balancers() &&
+      compiled_->fan_in() == net.fan_in() &&
+      compiled_->fan_out() == net.fan_out()) {
+    state_->reset();
+    return *state_;
+  }
+  compiled_ = std::make_shared<const CompiledNetwork>(net);
+  state_ = std::make_unique<NetworkState>(compiled_);
+  net_ = &net;
+  return *state_;
+}
+
+SimulationResult simulate_with(const TimedExecution& exec, SimArena& arena,
+                               bool record_steps) {
   SimulationResult result;
   result.error = validate(exec);
   if (!result.error.empty()) return result;
 
   const Network& net = *exec.net;
-  NetworkState state(net);
+  NetworkState& state = arena.acquire(net);
+  state.set_recording(record_steps);
+  SimArena::Scratch& scr = *arena.scratch_;
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> pq;
-  // Index from token id to its plan, for record-keeping.
-  std::vector<const TokenPlan*> plan_of;
+  TokenId max_token = 0;
+  ProcessId max_process = 0;
   for (const TokenPlan& p : exec.plans) {
-    if (p.token >= plan_of.size()) plan_of.resize(p.token + 1, nullptr);
-    plan_of[p.token] = &p;
-    pq.push({p.times[0], p.rank, p.token, 0});
+    if (p.token == kNoToken) {
+      result.error = "token id " + std::to_string(kNoToken) + " is reserved";
+      return result;
+    }
+    max_token = std::max(max_token, p.token);
+    max_process = std::max(max_process, p.process);
   }
 
-  std::vector<TokenRecord> records(plan_of.size());
+  scr.plan_of.assign(max_token + 1, nullptr);
+  scr.records.assign(max_token + 1, TokenRecord{});
   // Paper Section 2.2, rule 3: all steps of a process's token must
   // precede all steps of its next token IN THE STEP SEQUENCE. Equal times
   // with adverse ranks could interleave them, so track in-flight tokens
   // per process and reject such schedules.
-  std::map<ProcessId, TokenId> in_flight_of_process;
+  scr.in_flight_of_process.assign(max_process + 1, kNoToken);
+  scr.heap.clear();
+  scr.heap.reserve(exec.plans.size());
+  for (const TokenPlan& p : exec.plans) {
+    scr.plan_of[p.token] = &p;
+    scr.heap.push_back({p.times[0], p.rank, p.token, 0});
+  }
+  std::make_heap(scr.heap.begin(), scr.heap.end(), event_after);
+
   std::uint64_t seq = 0;
-  while (!pq.empty()) {
-    const Event ev = pq.top();
-    pq.pop();
-    const TokenPlan& plan = *plan_of[ev.token];
+  while (!scr.heap.empty()) {
+    std::pop_heap(scr.heap.begin(), scr.heap.end(), event_after);
+    const Event ev = scr.heap.back();
+    scr.heap.pop_back();
+    const TokenPlan& plan = *scr.plan_of[ev.token];
     if (ev.hop == 0) {
-      const auto [it, fresh] =
-          in_flight_of_process.try_emplace(plan.process, plan.token);
-      if (!fresh) {
+      TokenId& slot = scr.in_flight_of_process[plan.process];
+      if (slot != kNoToken) {
         result.error = "process " + std::to_string(plan.process) +
                        " issued token " + std::to_string(plan.token) +
-                       " while token " + std::to_string(it->second) +
+                       " while token " + std::to_string(slot) +
                        " was still in flight (step-order overlap)";
         return result;
       }
+      slot = plan.token;
       state.enter(plan.token, plan.process, plan.source);
-      records[ev.token].first_seq = seq;
+      scr.records[ev.token].first_seq = seq;
     }
-    const Step st = state.step(plan.token);
+    const bool finished = state.step_fast(plan.token);
     ++seq;
-    if (st.kind == Step::Kind::kCounter) {
-      in_flight_of_process.erase(plan.process);
-      TokenRecord& rec = records[ev.token];
+    if (finished) {
+      scr.in_flight_of_process[plan.process] = kNoToken;
+      const Value v = state.value(plan.token);
+      TokenRecord& rec = scr.records[ev.token];
       rec.token = plan.token;
       rec.process = plan.process;
       rec.source = plan.source;
-      rec.sink = st.node;
-      rec.value = st.value;
+      rec.sink = static_cast<std::uint32_t>(v % net.fan_out());
+      rec.value = v;
       rec.t_in = plan.t_in();
       rec.t_out = plan.t_out();
       rec.last_seq = seq - 1;
@@ -91,13 +146,32 @@ SimulationResult simulate(const TimedExecution& exec) {
                        "network is not uniform";
         return result;
       }
-      pq.push({plan.times[ev.hop + 1], plan.rank, plan.token, ev.hop + 1});
+      scr.heap.push_back({plan.times[ev.hop + 1], plan.rank, plan.token,
+                          ev.hop + 1});
+      std::push_heap(scr.heap.begin(), scr.heap.end(), event_after);
     }
   }
 
   result.trace.reserve(exec.plans.size());
-  for (const TokenPlan& p : exec.plans) result.trace.push_back(records[p.token]);
+  for (const TokenPlan& p : exec.plans) {
+    result.trace.push_back(scr.records[p.token]);
+  }
+  if (record_steps) result.steps = state.log();
   return result;
+}
+
+SimulationResult simulate(const TimedExecution& exec) {
+  SimArena arena;
+  return simulate_with(exec, arena, /*record_steps=*/false);
+}
+
+SimulationResult simulate(const TimedExecution& exec, SimArena& arena) {
+  return simulate_with(exec, arena, /*record_steps=*/false);
+}
+
+SimulationResult simulate_recorded(const TimedExecution& exec) {
+  SimArena arena;
+  return simulate_with(exec, arena, /*record_steps=*/true);
 }
 
 }  // namespace cn

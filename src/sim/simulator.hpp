@@ -4,10 +4,21 @@
 // The simulator IS the paper's execution model: the adversary fixes when
 // every token crosses every layer; the balancer round-robin semantics
 // then determine routing and values deterministically.
+//
+// The hot path is non-recording: tokens advance through the compiled
+// routing tables (NetworkState::step_fast) without materializing Step
+// records, in-flight tokens are tracked in a per-process vector instead
+// of a std::map, and the event queue is a reserved binary heap. Callers
+// that want the full step log use simulate_recorded(). Repeated
+// simulations of the same network should share a SimArena: it caches the
+// compiled tables and reuses every per-trial buffer.
 #pragma once
 
+#include <memory>
 #include <string>
+#include <vector>
 
+#include "core/sequential.hpp"
 #include "sim/timed_execution.hpp"
 #include "sim/trace.hpp"
 
@@ -16,13 +27,56 @@ namespace cn {
 struct SimulationResult {
   Trace trace;            ///< One record per token, in token-plan order.
   std::string error;      ///< Non-empty if the execution was invalid.
+  /// The full step sequence, in execution order; filled only by
+  /// simulate_recorded() — the default path skips it.
+  std::vector<Step> steps;
 
   bool ok() const noexcept { return error.empty(); }
+};
+
+/// Reusable simulation arena: the compiled routing tables plus every
+/// buffer simulate() needs per call (network state, event heap, token
+/// records, per-process in-flight slots). Keep one per worker thread and
+/// pass it to simulate() so back-to-back trials on the same network stop
+/// reallocating.
+///
+/// The compiled tables are cached by network address (plus a shape/name
+/// check): reusing one arena across *different* Network objects is safe
+/// but recompiles on every switch.
+class SimArena {
+ public:
+  SimArena();
+  ~SimArena();
+  SimArena(SimArena&&) noexcept;
+  SimArena& operator=(SimArena&&) noexcept;
+  SimArena(const SimArena&) = delete;
+  SimArena& operator=(const SimArena&) = delete;
+
+  /// A reset NetworkState over `net`: compiles and caches the flat
+  /// routing tables on first use, recompiling only when `net` changes.
+  NetworkState& acquire(const Network& net);
+
+ private:
+  friend SimulationResult simulate_with(const TimedExecution& exec,
+                                        SimArena& arena, bool record_steps);
+  struct Scratch;
+  const Network* net_ = nullptr;
+  std::shared_ptr<const CompiledNetwork> compiled_;
+  std::unique_ptr<NetworkState> state_;
+  std::unique_ptr<Scratch> scratch_;
 };
 
 /// Runs the timed execution. Steps are executed in increasing (time,
 /// rank, token) order; each step advances its token across one node.
 /// Requires a uniform network (each token crosses exactly depth+1 nodes).
 SimulationResult simulate(const TimedExecution& exec);
+
+/// Same, but reusing `arena`'s compiled tables and buffers. Identical
+/// output to simulate(exec) — the arena only removes allocation work.
+SimulationResult simulate(const TimedExecution& exec, SimArena& arena);
+
+/// Slow path that additionally returns the full Step log in
+/// SimulationResult::steps (the trace is identical to simulate's).
+SimulationResult simulate_recorded(const TimedExecution& exec);
 
 }  // namespace cn

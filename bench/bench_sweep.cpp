@@ -5,7 +5,8 @@
 //   ./bench_sweep [--backend simulator] [--network bitonic] [--width 8]
 //                 [--trials 200] [--threads 0] [--seed 1]
 //                 [--c_min 1] [--c_max 2.5] [--local_delay 0]
-//                 [--processes 8] [--ops 4] [--json] [--list]
+//                 [--processes 8] [--ops 4] [--timeout_ms 0] [--retries 0]
+//                 [--json] [--list]
 //
 // The aggregate report (table or --json) is byte-identical at every
 // --threads value for the same seed: per-trial seeds are derived
@@ -45,6 +46,8 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(args.get_int("ops_per_thread", 50));
   sweep.trials = static_cast<std::uint64_t>(args.get_int("trials", 200));
   sweep.threads = cn::bench::sweep_threads(args);
+  sweep.timeout_ms = static_cast<std::uint64_t>(args.get_int("timeout_ms", 0));
+  sweep.max_retries = static_cast<std::uint32_t>(args.get_int("retries", 0));
 
   if (engine::find_backend(spec.backend) == nullptr) {
     std::cerr << "unknown backend '" << spec.backend

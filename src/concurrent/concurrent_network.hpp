@@ -66,6 +66,36 @@ class ConcurrentNetwork {
     }
   }
 
+  /// Sentinel returned by increment_interruptible for an abandoned token.
+  static constexpr Value kAbandonedToken = static_cast<Value>(-1);
+
+  /// Like increment_paced, but the pacer may abort the traversal by
+  /// returning false: the token is abandoned mid-network. Balancer steps
+  /// already taken are NOT undone — exactly the footprint of a process
+  /// that crashes between hops, leaving the network in a state other
+  /// tokens must route around. Returns kAbandonedToken when aborted.
+  template <typename Pacer>
+  Value increment_interruptible(std::uint32_t source, Pacer&& pacer) noexcept {
+    const Network& net = *net_;
+    WireIndex wire = net.source_wire(source);
+    std::uint32_t hop = 0;
+    for (;;) {
+      const Wire& w = net.wire(wire);
+      if (!pacer(hop++)) return kAbandonedToken;
+      if (w.to.kind == Endpoint::Kind::kBalancer) {
+        const NodeIndex b = w.to.index;
+        const Balancer& bal = net.balancer(b);
+        const std::uint64_t pos =
+            balancers_[b].value.fetch_add(1, std::memory_order_acq_rel);
+        wire = bal.out[pos % bal.fan_out()];
+      } else {
+        const std::uint64_t k =
+            counters_[w.to.index].value.fetch_add(1, std::memory_order_acq_rel);
+        return w.to.index + k * net.fan_out();
+      }
+    }
+  }
+
   /// Snapshot of how many tokens have exited through each counter. Only
   /// meaningful at quiescence (no concurrent increments).
   std::vector<std::uint64_t> sink_counts() const;

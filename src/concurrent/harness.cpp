@@ -38,17 +38,29 @@ std::uint64_t to_ns(Clock::time_point t) {
 
 }  // namespace
 
+std::string validate(const ConcurrentRunSpec& spec) {
+  if (spec.threads == 0) return "spec invalid: threads == 0";
+  if (spec.ops_per_thread == 0) return "spec invalid: ops_per_thread == 0";
+  if (spec.hop_delay_min_ns > spec.hop_delay_max_ns) {
+    return "spec invalid: hop_delay_min_ns > hop_delay_max_ns "
+           "(inverted pacing envelope)";
+  }
+  return {};
+}
+
 ConcurrentRunResult run_recorded(ConcurrentNetwork& net,
                                  const ConcurrentRunSpec& spec) {
   ConcurrentRunResult result;
-  if (spec.threads == 0 || spec.ops_per_thread == 0) {
-    result.error = "empty run";
-    return result;
-  }
+  result.error = validate(spec);
+  if (!result.ok()) return result;
   const std::uint32_t fan_in = net.network().fan_in();
   const std::uint32_t hops = net.network().depth() + 1;
+  const bool faulted = spec.fault.active();
   std::vector<Trace> partial(spec.threads);
   std::vector<std::vector<TokenPlan>> partial_plans(spec.threads);
+  std::vector<std::uint64_t> stalls(spec.threads, 0);
+  std::vector<std::uint64_t> abandoned(spec.threads, 0);
+  std::vector<std::uint8_t> crashed(spec.threads, 0);
   SpinBarrier barrier(spec.threads);
   std::vector<std::thread> workers;
   workers.reserve(spec.threads);
@@ -56,21 +68,56 @@ ConcurrentRunResult run_recorded(ConcurrentNetwork& net,
   for (std::uint32_t t = 0; t < spec.threads; ++t) {
     workers.emplace_back([&, t] {
       Xoshiro256 rng(spec.seed * 0x9e3779b9ULL + t);
+      // Fault decisions come from a per-thread stream (offset keeps it
+      // disjoint from any future engine-level streams of the same run),
+      // so the injected mix is deterministic per (plan, seed, thread).
+      fault::FaultStream faults(spec.fault, spec.seed, 100 + t);
+      std::uint64_t crash_at = spec.ops_per_thread;  // "never"
+      if (faulted && spec.fault.p_process_crash > 0.0 &&
+          faults.flip(spec.fault.p_process_crash)) {
+        crash_at = faults.pick(0, spec.ops_per_thread - 1);
+      }
       Trace& mine = partial[t];
       mine.reserve(spec.ops_per_thread);
       const std::uint32_t source = t % fan_in;
       std::vector<double> hop_times(hops);
       barrier.arrive_and_wait();
       for (std::uint64_t k = 0; k < spec.ops_per_thread; ++k) {
+        if (k >= crash_at) {
+          crashed[t] = 1;  // crash point reached: silent for the rest
+          break;
+        }
+        // Per-operation fault draws, in a fixed order (stall, abandon).
+        std::uint32_t stall_hop = hops;    // "no stall"
+        std::uint32_t abandon_hop = hops;  // "no abandon"
+        if (faulted) {
+          if (faults.flip(spec.fault.p_thread_stall)) {
+            stall_hop = static_cast<std::uint32_t>(faults.pick(0, hops - 1));
+          }
+          if (faults.flip(spec.fault.p_thread_abandon)) {
+            abandon_hop = static_cast<std::uint32_t>(faults.pick(0, hops - 1));
+          }
+        }
         const auto in = Clock::now();
-        const Value v = net.increment_paced(source, [&](std::uint32_t hop) {
+        const Value v = net.increment_interruptible(source, [&](std::uint32_t hop) {
+          if (hop == stall_hop) {
+            ++stalls[t];
+            spin_for_ns(spec.fault.stall_ns);  // frozen thread, token held
+          }
+          if (hop == abandon_hop) return false;  // crash mid-traversal
           if (spec.hop_delay_max_ns > 0) {
             spin_for_ns(rng.range(spec.hop_delay_min_ns, spec.hop_delay_max_ns));
           }
           if (spec.record_schedule && hop < hops) {
             hop_times[hop] = to_seconds(Clock::now());
           }
+          return true;
         });
+        if (v == ConcurrentNetwork::kAbandonedToken) {
+          ++abandoned[t];
+          spin_for_ns(spec.local_delay_ns);
+          continue;  // the token is gone; the thread moves on
+        }
         const auto out = Clock::now();
         if (spec.record_schedule) {
           TokenPlan plan;
@@ -108,8 +155,15 @@ ConcurrentRunResult run_recorded(ConcurrentNetwork& net,
                                    std::make_move_iterator(plans.end()));
     }
   }
+  for (std::uint32_t t = 0; t < spec.threads; ++t) {
+    result.stalls += stalls[t];
+    result.tokens_abandoned += abandoned[t];
+    result.threads_crashed += crashed[t];
+  }
+  // Completed operations only: crashes and abandoned tokens don't count.
   result.total_ops =
-      static_cast<std::uint64_t>(spec.threads) * spec.ops_per_thread;
+      faulted ? result.trace.size()
+              : static_cast<std::uint64_t>(spec.threads) * spec.ops_per_thread;
   result.elapsed_sec = std::chrono::duration<double>(t_end - t_start).count();
   result.ops_per_sec =
       result.elapsed_sec > 0 ? result.total_ops / result.elapsed_sec : 0.0;

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "concurrent/concurrent_network.hpp"
+#include "fault/fault.hpp"
 #include "sim/timed_execution.hpp"
 #include "sim/trace.hpp"
 
@@ -37,6 +38,17 @@ struct ConcurrentRunSpec {
   /// parameters of Section 2.3 can be MEASURED from the live run with
   /// measure_timing (e.g. to check the Theorem 4.1 premise empirically).
   bool record_schedule = false;
+
+  /// Thread-level fault injection (fault/fault.hpp). The harness reads
+  /// p_thread_stall / stall_ns (a thread freezes mid-hop, holding its
+  /// token inside the network), p_thread_abandon (a token is dropped
+  /// mid-traversal after its balancer steps were taken — the footprint
+  /// of a crash between hops), and p_process_crash (a thread stops
+  /// issuing after a uniformly chosen operation). Decisions come from
+  /// per-thread streams derived from (fault.seed, seed, thread), so the
+  /// injected mix is deterministic even though real-thread interleaving
+  /// is not.
+  fault::FaultPlan fault;
 };
 
 /// Outcome of a recorded run.
@@ -48,10 +60,21 @@ struct ConcurrentRunResult {
   /// Per-operation layer-crossing times (seconds); only filled when
   /// spec.record_schedule. Feed to measure_timing via as_timed_execution.
   TimedExecution schedule;
+
+  // Fault accounting (all zero when the plan is disabled).
+  std::uint64_t stalls = 0;            ///< Mid-hop freezes injected.
+  std::uint64_t tokens_abandoned = 0;  ///< Tokens dropped mid-traversal.
+  std::uint64_t threads_crashed = 0;   ///< Threads that stopped issuing.
+
   std::string error;
 
   bool ok() const noexcept { return error.empty(); }
 };
+
+/// Structural validation of a spec: empty string when runnable, else a
+/// description of the first problem. run_recorded rejects invalid specs
+/// with the same message instead of silently proceeding.
+std::string validate(const ConcurrentRunSpec& spec);
 
 /// Runs `spec.threads` threads against the network; thread i acts as
 /// process i on input wire i mod fan_in. Every operation is timestamped

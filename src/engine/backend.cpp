@@ -17,8 +17,12 @@ struct Registry {
 };
 
 Registry& registry() {
-  static Registry r;
-  return r;
+  // Intentionally leaked: a trial abandoned by the sweep watchdog may
+  // still be blocked inside a backend at process exit, and an exit-time
+  // destructor would delete the backend out from under it. An immortal
+  // registry makes shutdown order a non-event.
+  static Registry* r = new Registry;
+  return *r;
 }
 
 std::once_flag builtin_once;
@@ -87,12 +91,60 @@ RunResult run_backend(const RunSpec& spec, RunContext& ctx) {
     RunResult out;
     out.backend = spec.backend;
     out.error = "unknown backend '" + spec.backend + "'";
+    out.error_kind = ErrorKind::kSpecInvalid;
     return out;
   }
-  RunResult out = src->run(spec, ctx);
-  out.backend = spec.backend;
-  if (out.ok() && out.report.total == 0 && !out.trace.empty()) {
-    out.report = analyze(out.trace);
+  RunResult out;
+  // A backend that throws (instead of returning an error result) must
+  // not take down a whole sweep: catch per-run and fold the exception
+  // into the error taxonomy.
+  try {
+    out = src->run(spec, ctx);
+    out.backend = spec.backend;
+    if (out.ok() && out.report.total == 0 && !out.trace.empty()) {
+      out.report = analyze(out.trace);
+    }
+  } catch (const std::exception& e) {
+    out = RunResult{};
+    out.backend = spec.backend;
+    out.error = std::string("backend threw: ") + e.what();
+    out.error_kind = ErrorKind::kBackendError;
+  } catch (...) {
+    out = RunResult{};
+    out.backend = spec.backend;
+    out.error = "backend threw a non-standard exception";
+    out.error_kind = ErrorKind::kBackendError;
+  }
+  // Normalize the taxonomy: errors without an explicit class are backend
+  // failures; successful runs carry no class.
+  if (!out.ok() && out.error_kind == ErrorKind::kNone) {
+    out.error_kind = ErrorKind::kBackendError;
+  }
+  if (out.ok()) out.error_kind = ErrorKind::kNone;
+
+  // Fault-injected runs get the degradation report appended (and an
+  // all-operations-lost run is classified as a fault casualty, not a
+  // silent empty success). Gated on `enabled`, not `active()`, so a
+  // p=0 point of a degradation curve still reports its zero rates —
+  // while default (disabled) runs emit byte-identical metrics.
+  if (out.ok() && spec.fault.enabled && spec.record_trace) {
+    if (out.trace.empty()) {
+      out.error = "fault injection removed every completed operation";
+      out.error_kind = ErrorKind::kFaultInjected;
+    } else {
+      const Network* net =
+          spec.net != nullptr ? spec.net : out.owned_net.get();
+      const fault::Degradation deg =
+          fault::degradation(out.trace, net != nullptr ? net->fan_out() : 0);
+      out.metrics["counting_violation"] = deg.counting_violation;
+      out.metrics["smoothness_gap"] = deg.smoothness_gap;
+      out.metrics["smoothness_violation"] = deg.smoothness_violation;
+      const bool any = deg.counting_violation > 0.0 ||
+                       deg.smoothness_violation > 0.0 ||
+                       !out.report.linearizable() ||
+                       !out.report.sequentially_consistent();
+      out.metrics["any_violation"] = any ? 1.0 : 0.0;
+    }
   }
   return out;
 }

@@ -25,6 +25,7 @@
 #include "concurrent/harness.hpp"
 #include "core/valency.hpp"
 #include "engine/backend.hpp"
+#include "fault/faulted_sim.hpp"
 #include "msg/service.hpp"
 #include "sim/adversary.hpp"
 #include "sim/optimizer.hpp"
@@ -45,13 +46,42 @@ struct Resolved {
 
   explicit Resolved(const RunSpec& spec) {
     net = resolve_network(spec, result.owned_net, result.error);
+    if (net == nullptr) result.error_kind = ErrorKind::kSpecInvalid;
   }
   bool ok() const noexcept { return net != nullptr; }
 };
 
+/// Records the fault overlay's damage tally as metrics.
+void record_sim_fault_metrics(RunResult& out, const fault::SimFaults& f) {
+  out.metrics["fault_tokens_lost"] = static_cast<double>(f.tokens_lost);
+  out.metrics["fault_tokens_not_issued"] =
+      static_cast<double>(f.tokens_not_issued);
+  out.metrics["fault_balancers_stuck"] =
+      static_cast<double>(f.balancers_stuck);
+  out.metrics["fault_processes_crashed"] =
+      static_cast<double>(f.processes_crashed);
+}
+
 /// Runs a TimedExecution through the simulator and fills the result,
-/// reusing the worker's arena (compiled tables + trial buffers).
-void finish_simulated(RunResult& out, TimedExecution exec, SimArena& arena) {
+/// reusing the worker's arena (compiled tables + trial buffers). When the
+/// spec requests simulated-network faults, the execution is interpreted
+/// by the fault overlay's graph walker instead — the compiled fast path
+/// stays pristine.
+void finish_simulated(RunResult& out, const RunSpec& spec, TimedExecution exec,
+                      SimArena& arena) {
+  if (spec.fault.sim_faults()) {
+    const fault::SimFaults faults =
+        fault::draw_sim_faults(*exec.net, exec, spec.fault, spec.seed);
+    fault::FaultedSimResult sim = fault::simulate_faulted(exec, faults);
+    if (!sim.ok()) {
+      out.error = "faulted simulation failed: " + sim.error;
+      return;
+    }
+    out.trace = std::move(sim.trace);
+    out.exec = std::move(exec);
+    record_sim_fault_metrics(out, faults);
+    return;
+  }
   SimulationResult sim = simulate(exec, arena);
   if (!sim.ok()) {
     out.error = "simulation failed: " + sim.error;
@@ -59,6 +89,29 @@ void finish_simulated(RunResult& out, TimedExecution exec, SimArena& arena) {
   }
   out.trace = std::move(sim.trace);
   out.exec = std::move(exec);
+}
+
+/// Re-interprets an already-built execution under the spec's fault
+/// overlay (wave / optimizer: the adversarial schedule is built pristine,
+/// then the faults hit it). Replaces the trace and resets the report so
+/// run_backend re-analyzes the degraded trace.
+bool apply_sim_faults(RunResult& out, const RunSpec& spec) {
+  if (!spec.fault.sim_faults() || !out.ok()) return out.ok();
+  if (out.exec.net == nullptr || out.exec.plans.empty()) {
+    out.error = "faulted simulation failed: backend produced no execution";
+    return false;
+  }
+  const fault::SimFaults faults =
+      fault::draw_sim_faults(*out.exec.net, out.exec, spec.fault, spec.seed);
+  fault::FaultedSimResult sim = fault::simulate_faulted(out.exec, faults);
+  if (!sim.ok()) {
+    out.error = "faulted simulation failed: " + sim.error;
+    return false;
+  }
+  out.trace = std::move(sim.trace);
+  out.report = ConsistencyReport{};
+  record_sim_fault_metrics(out, faults);
+  return true;
 }
 
 // ---------------------------------------------------------------------
@@ -90,7 +143,8 @@ class SimulatorBackend final : public TraceSource {
                              : spec.local_delay_min + 2.0;
     wl.extreme_delays = spec.extreme_delays;
     Xoshiro256 rng(spec.seed);
-    finish_simulated(r.result, generate_workload(*r.net, wl, rng), ctx.arena);
+    finish_simulated(r.result, spec, generate_workload(*r.net, wl, rng),
+                     ctx.arena);
     return std::move(r.result);
   }
 };
@@ -140,7 +194,7 @@ class BurstBackend final : public TraceSource {
       }
       t0 = latest_exit + spec.burst_gap;
     }
-    finish_simulated(r.result, std::move(exec), ctx.arena);
+    finish_simulated(r.result, spec, std::move(exec), ctx.arena);
     return std::move(r.result);
   }
 };
@@ -190,7 +244,7 @@ class HeterogeneousBackend final : public TraceSource {
         ++k;
       }
     }
-    finish_simulated(r.result, std::move(exec), ctx.arena);
+    finish_simulated(r.result, spec, std::move(exec), ctx.arena);
     if (!r.result.ok()) return std::move(r.result);
     std::uint64_t hare_ops = 0, other_ops = 0;
     for (const TokenRecord& rec : r.result.trace) {
@@ -250,6 +304,7 @@ class WaveBackend final : public TraceSource {
     r.result.metrics["wave3_size"] = static_cast<double>(wave.wave3_size);
     r.result.metrics["race_depth"] =
         static_cast<double>(split.race_depth(spec.ell));
+    apply_sim_faults(r.result, spec);
     return std::move(r.result);
   }
 };
@@ -286,6 +341,7 @@ class OptimizerBackend final : public TraceSource {
     if (sim.ok()) r.result.trace = sim.trace;
     r.result.metrics["best_fraction"] = opt.best_fraction;
     r.result.metrics["evaluations"] = static_cast<double>(opt.evaluations);
+    apply_sim_faults(r.result, spec);
     return std::move(r.result);
   }
 };
@@ -313,6 +369,12 @@ class MsgBackend final : public TraceSource {
     ms.result_latency = spec.result_latency;
     ms.seed = spec.seed;
     ms.slow_process_zero = spec.slow_process_zero;
+    ms.fault = spec.fault;
+    if (std::string err = msg::validate(ms); !err.empty()) {
+      r.result.error = std::move(err);
+      r.result.error_kind = ErrorKind::kSpecInvalid;
+      return std::move(r.result);
+    }
     msg::MsgRunResult mr = run_message_passing(*r.net, ms);
     if (!mr.ok()) {
       r.result.error = mr.error;
@@ -321,6 +383,16 @@ class MsgBackend final : public TraceSource {
     r.result.trace = std::move(mr.trace);
     r.result.metrics["messages"] = static_cast<double>(mr.messages);
     r.result.metrics["sim_time"] = mr.sim_time;
+    if (spec.fault.enabled) {
+      r.result.metrics["fault_tokens_lost"] =
+          static_cast<double>(mr.tokens_lost);
+      r.result.metrics["fault_dup_deliveries"] =
+          static_cast<double>(mr.dup_deliveries);
+      r.result.metrics["fault_delayed_messages"] =
+          static_cast<double>(mr.delayed_messages);
+      r.result.metrics["fault_clients_crashed"] =
+          static_cast<double>(mr.clients_crashed);
+    }
     return std::move(r.result);
   }
 };
@@ -359,6 +431,12 @@ class ConcurrentBackend final : public TraceSource {
     cs.local_delay_ns = spec.local_delay_ns;
     cs.seed = spec.seed;
     cs.record_schedule = spec.record_schedule;
+    cs.fault = spec.fault;
+    if (std::string err = validate(cs); !err.empty()) {
+      r.result.error = std::move(err);
+      r.result.error_kind = ErrorKind::kSpecInvalid;
+      return std::move(r.result);
+    }
     ConcurrentRunResult cr = run_recorded(net, cs);
     if (!cr.ok()) {
       r.result.error = cr.error;
@@ -372,6 +450,13 @@ class ConcurrentBackend final : public TraceSource {
     r.result.metrics["total_ops"] = static_cast<double>(cr.total_ops);
     r.result.metrics["elapsed_sec"] = cr.elapsed_sec;
     r.result.metrics["ops_per_sec"] = cr.ops_per_sec;
+    if (spec.fault.enabled) {
+      r.result.metrics["fault_stalls"] = static_cast<double>(cr.stalls);
+      r.result.metrics["fault_tokens_abandoned"] =
+          static_cast<double>(cr.tokens_abandoned);
+      r.result.metrics["fault_threads_crashed"] =
+          static_cast<double>(cr.threads_crashed);
+    }
     return std::move(r.result);
   }
 };
@@ -392,10 +477,26 @@ std::uint64_t to_ns(Clock::time_point t) {
           .count());
 }
 
+/// Spins for `ns` nanoseconds (fault-injected stall in a counter op).
+void counter_stall(std::uint64_t ns) {
+  if (ns == 0) return;
+  const auto deadline = Clock::now() + std::chrono::nanoseconds(ns);
+  std::uint32_t spins = 0;
+  while (Clock::now() < deadline) {
+    if (++spins % 128 == 0) std::this_thread::yield();
+  }
+}
+
 template <typename Next>
 void run_counter(RunResult& out, const RunSpec& spec, Next&& next) {
-  if (spec.threads == 0 || spec.ops_per_thread == 0) {
-    out.error = "empty run";
+  if (spec.threads == 0) {
+    out.error = "spec invalid: threads == 0";
+    out.error_kind = ErrorKind::kSpecInvalid;
+    return;
+  }
+  if (spec.ops_per_thread == 0) {
+    out.error = "spec invalid: ops_per_thread == 0";
+    out.error_kind = ErrorKind::kSpecInvalid;
     return;
   }
   if (!spec.record_trace) {
@@ -407,20 +508,49 @@ void run_counter(RunResult& out, const RunSpec& spec, Next&& next) {
         static_cast<double>(spec.threads) * spec.ops_per_thread;
     return;
   }
+  const bool faulted = spec.fault.active();
   std::vector<Trace> partial(spec.threads);
+  std::vector<std::uint64_t> stalls(spec.threads, 0);
+  std::vector<std::uint64_t> lost(spec.threads, 0);
+  std::vector<std::uint8_t> crashed(spec.threads, 0);
   SpinBarrier barrier(spec.threads);
   std::vector<std::thread> workers;
   workers.reserve(spec.threads);
   const auto t_start = Clock::now();
   for (std::uint32_t t = 0; t < spec.threads; ++t) {
     workers.emplace_back([&, t] {
+      // Same per-thread stream convention as the concurrent harness.
+      fault::FaultStream faults(spec.fault, spec.seed, 100 + t);
+      std::uint64_t crash_at = spec.ops_per_thread;  // "never"
+      if (faulted && spec.fault.p_process_crash > 0.0 &&
+          faults.flip(spec.fault.p_process_crash)) {
+        crash_at = faults.pick(0, spec.ops_per_thread - 1);
+      }
       Trace& mine = partial[t];
       mine.reserve(spec.ops_per_thread);
       barrier.arrive_and_wait();
       for (std::uint64_t k = 0; k < spec.ops_per_thread; ++k) {
+        if (k >= crash_at) {
+          crashed[t] = 1;
+          break;
+        }
+        bool drop = false;
+        if (faulted) {
+          if (faults.flip(spec.fault.p_thread_stall)) {
+            ++stalls[t];
+            counter_stall(spec.fault.stall_ns);
+          }
+          // Abandon for a flat counter = the value is fetched but its
+          // holder dies before using it: handed out, never observed.
+          drop = faults.flip(spec.fault.p_thread_abandon);
+        }
         const auto in = Clock::now();
         const std::uint64_t v = next(t);
         const auto fin = Clock::now();
+        if (drop) {
+          ++lost[t];
+          continue;
+        }
         TokenRecord rec;
         rec.token = static_cast<TokenId>(t * spec.ops_per_thread + k);
         rec.process = t;
@@ -441,10 +571,23 @@ void run_counter(RunResult& out, const RunSpec& spec, Next&& next) {
   for (Trace& p : partial) {
     out.trace.insert(out.trace.end(), p.begin(), p.end());
   }
-  const double total = static_cast<double>(spec.threads) * spec.ops_per_thread;
+  const double total =
+      faulted ? static_cast<double>(out.trace.size())
+              : static_cast<double>(spec.threads) * spec.ops_per_thread;
   out.metrics["total_ops"] = total;
   out.metrics["elapsed_sec"] = elapsed;
   out.metrics["ops_per_sec"] = elapsed > 0 ? total / elapsed : 0.0;
+  if (spec.fault.enabled) {
+    std::uint64_t s = 0, l = 0, c = 0;
+    for (std::uint32_t t = 0; t < spec.threads; ++t) {
+      s += stalls[t];
+      l += lost[t];
+      c += crashed[t];
+    }
+    out.metrics["fault_stalls"] = static_cast<double>(s);
+    out.metrics["fault_values_lost"] = static_cast<double>(l);
+    out.metrics["fault_threads_crashed"] = static_cast<double>(c);
+  }
 }
 
 class FetchIncBackend final : public TraceSource {

@@ -81,7 +81,10 @@ std::string to_json(const RunResult& result) {
   JsonObject o;
   o.add("backend", result.backend);
   o.add_raw("ok", result.ok() ? "true" : "false");
-  if (!result.ok()) o.add("error", result.error);
+  if (!result.ok()) {
+    o.add("error", result.error);
+    o.add("error_kind", std::string(error_kind_name(result.error_kind)));
+  }
   o.add("tokens", static_cast<std::uint64_t>(result.trace.size()));
   o.add("non_linearizable",
         static_cast<std::uint64_t>(result.report.non_linearizable.size()));
@@ -99,7 +102,22 @@ std::string to_json(const SweepStats& stats) {
   o.add("trials", stats.trials);
   o.add("completed", stats.completed);
   o.add("errors", stats.errors);
-  if (stats.errors > 0) o.add("first_error", stats.first_error);
+  if (stats.errors > 0) {
+    o.add("first_error", stats.first_error);
+    JsonObject table;
+    for (const auto& [kind, entry] : stats.error_table) {
+      JsonObject e;
+      e.add("count", entry.count);
+      e.add("first_trial", entry.first_trial);
+      e.add("first_message", entry.first_message);
+      table.add_raw(kind, e.str());
+    }
+    o.add_raw("error_table", table.str());
+  }
+  if (stats.retried_trials > 0) {
+    o.add("retried_trials", stats.retried_trials);
+    o.add("total_retries", stats.total_retries);
+  }
   o.add("lin_violations", stats.lin_violations);
   o.add("sc_violations", stats.sc_violations);
   o.add("worst_f_nl", stats.worst_f_nl);
@@ -129,6 +147,14 @@ std::string format_report(const RunSpec& spec, const SweepStats& stats) {
   t.print(os);
   if (stats.errors > 0) {
     os << "first error: " << stats.first_error << "\n";
+    for (const auto& [kind, entry] : stats.error_table) {
+      os << "  " << kind << ": " << entry.count << " (first at trial "
+         << entry.first_trial << ": " << entry.first_message << ")\n";
+    }
+  }
+  if (stats.retried_trials > 0) {
+    os << "retries: " << stats.total_retries << " across "
+       << stats.retried_trials << " trials\n";
   }
   return os.str();
 }

@@ -15,6 +15,32 @@
 
 namespace cn::engine {
 
+/// Structured failure classification — the sweep error taxonomy. A
+/// RunResult with a non-empty `error` carries exactly one of these.
+enum class ErrorKind : std::uint8_t {
+  kNone = 0,       ///< No error (error string is empty).
+  kSpecInvalid,    ///< The RunSpec itself is unusable (bad width, bad
+                   ///< backend key, inverted delay envelope, ...): no
+                   ///< retry can succeed.
+  kBackendError,   ///< The backend failed while running (including any
+                   ///< exception it threw).
+  kTimeout,        ///< The sweep watchdog abandoned the trial.
+  kFaultInjected,  ///< Injected faults destroyed the trial (e.g. every
+                   ///< operation was lost).
+};
+
+/// Stable taxonomy key used in JSON and reports ("spec_invalid", ...).
+inline const char* error_kind_name(ErrorKind kind) noexcept {
+  switch (kind) {
+    case ErrorKind::kNone: return "none";
+    case ErrorKind::kSpecInvalid: return "spec_invalid";
+    case ErrorKind::kBackendError: return "backend_error";
+    case ErrorKind::kTimeout: return "timeout";
+    case ErrorKind::kFaultInjected: return "fault_injected";
+  }
+  return "unknown";
+}
+
 struct RunResult {
   std::string backend;     ///< Registry key that produced this result.
   Trace trace;             ///< One record per completed operation.
@@ -31,6 +57,9 @@ struct RunResult {
   std::map<std::string, double> metrics;
 
   std::string error;  ///< Non-empty when the run failed.
+  /// Taxonomy of `error`; kNone iff error is empty. Backends that only
+  /// set `error` get kBackendError filled in by run_backend.
+  ErrorKind error_kind = ErrorKind::kNone;
 
   /// When the engine built the network itself (spec.net == nullptr) it
   /// lives here so exec/trace stay valid for the result's lifetime.

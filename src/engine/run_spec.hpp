@@ -10,6 +10,7 @@
 #include <string>
 
 #include "core/topology.hpp"
+#include "fault/fault.hpp"
 
 namespace cn::engine {
 
@@ -83,6 +84,14 @@ struct RunSpec {
   std::uint32_t opt_iterations = 1500;
   std::uint32_t opt_restarts = 4;
   bool opt_objective_nonlin = false;  ///< Default objective is max F_nsc.
+
+  // --- fault injection (all backends) ---------------------------------
+  /// Deterministic fault mix for this run; disabled by default, in which
+  /// case every backend takes its pristine code path byte-for-byte. Each
+  /// backend reads the knobs meaningful for its execution model (see
+  /// fault/fault.hpp). The fault stream is derived from (fault.seed,
+  /// seed), so the sweeper's per-trial seeds also re-derive the faults.
+  fault::FaultPlan fault;
 };
 
 }  // namespace cn::engine

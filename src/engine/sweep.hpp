@@ -25,6 +25,22 @@ struct SweepSpec {
   /// Costs memory proportional to trials x trace size; leave off for
   /// large sweeps that only need the aggregates.
   bool keep_results = false;
+
+  /// Per-trial wall-clock watchdog, in milliseconds. 0 disables it (the
+  /// default: trials run inline on the worker and reuse its arena).
+  /// When set, each trial runs on a fresh thread; a trial that exceeds
+  /// the budget is recorded as a "timeout" error and ABANDONED — its
+  /// thread is detached (a hung C++ thread cannot be killed) but holds
+  /// shared ownership of the sweep's network, so it cannot dangle. The
+  /// other trials' aggregates are unaffected.
+  std::uint64_t timeout_ms = 0;
+
+  /// Bounded deterministic retry: a failed trial (except "spec_invalid",
+  /// which can never succeed) is re-run up to this many extra times with
+  /// a re-derived seed (retry_seed). Retries happen on the worker that
+  /// owns the trial, so aggregates stay byte-identical at any thread
+  /// count; the retry counts are recorded in SweepStats.
+  std::uint32_t max_retries = 0;
 };
 
 /// Order-independent aggregate of a sweep. Everything here except
@@ -35,6 +51,19 @@ struct SweepStats {
   std::uint64_t completed = 0;  ///< Trials that produced a trace.
   std::uint64_t errors = 0;     ///< Trials whose backend failed.
   std::string first_error;      ///< Error of the lowest-index failed trial.
+
+  /// Error taxonomy: one entry per ErrorKind that occurred, keyed by
+  /// error_kind_name ("timeout", "spec_invalid", ...). The entry for the
+  /// lowest-index failed trial carries the same message as first_error.
+  struct ErrorEntry {
+    std::uint64_t count = 0;
+    std::uint64_t first_trial = 0;   ///< Lowest trial index of this kind.
+    std::string first_message;       ///< Its (final-attempt) error text.
+  };
+  std::map<std::string, ErrorEntry> error_table;
+
+  std::uint64_t retried_trials = 0;  ///< Trials that needed >= 1 retry.
+  std::uint64_t total_retries = 0;   ///< Extra attempts across all trials.
 
   std::uint64_t lin_violations = 0;  ///< Completed trials with a non-lin token.
   std::uint64_t sc_violations = 0;   ///< Completed trials with a non-SC token.
@@ -58,6 +87,13 @@ struct SweepOutcome {
 /// the trial index. Identical at any thread count, well spread even for
 /// consecutive base seeds.
 std::uint64_t trial_seed(std::uint64_t base_seed, std::uint64_t trial);
+
+/// Deterministic seed for retry `attempt` of a trial. Attempt 0 is the
+/// original run: retry_seed(b, t, 0) == trial_seed(b, t). Later attempts
+/// re-derive a fresh, well-spread seed from the same inputs — no global
+/// state, so retries are replayable at any thread count.
+std::uint64_t retry_seed(std::uint64_t base_seed, std::uint64_t trial,
+                         std::uint32_t attempt);
 
 /// Runs the sweep. Trials are distributed over `threads` workers; the
 /// reduction into SweepStats happens serially in trial order afterwards,

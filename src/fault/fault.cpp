@@ -1,0 +1,49 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace cn::fault {
+
+std::uint64_t fault_seed(std::uint64_t plan_seed, std::uint64_t run_seed,
+                         std::uint64_t stream) {
+  // Two SplitMix64 hops fully mix the three inputs; the constants keep
+  // (plan, run, stream) triples that differ in one coordinate far apart.
+  SplitMix64 outer(plan_seed ^ 0xf10a7ed1715ULL);
+  SplitMix64 inner(outer.next() ^ (run_seed * 0x9e3779b97f4a7c15ULL) ^
+                   (stream + 1) * 0xbf58476d1ce4e5b9ULL);
+  return inner.next();
+}
+
+Degradation degradation(const Trace& trace, std::uint32_t fan_out) {
+  Degradation d;
+  if (trace.empty()) return d;
+
+  std::vector<Value> values;
+  values.reserve(trace.size());
+  std::uint32_t max_sink = 0;
+  for (const TokenRecord& rec : trace) {
+    values.push_back(rec.value);
+    max_sink = std::max(max_sink, rec.sink);
+  }
+  std::sort(values.begin(), values.end());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (values[i] != static_cast<Value>(i)) {
+      d.counting_violation = 1.0;
+      break;
+    }
+  }
+
+  // Per-sink exit counts over every sink of the network: a sink no
+  // (surviving) token exited through counts as zero, which is exactly
+  // the imbalance a stuck balancer or heavy loss produces.
+  const std::uint32_t sinks = std::max(fan_out, max_sink + 1);
+  std::vector<std::uint64_t> counts(sinks, 0);
+  for (const TokenRecord& rec : trace) ++counts[rec.sink];
+  const auto [lo, hi] = std::minmax_element(counts.begin(), counts.end());
+  d.smoothness_gap = static_cast<double>(*hi - *lo);
+  d.smoothness_violation = d.smoothness_gap > 1.0 ? 1.0 : 0.0;
+  return d;
+}
+
+}  // namespace cn::fault

@@ -1,0 +1,230 @@
+#include "fault/faulted_sim.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace cn::fault {
+
+namespace {
+
+/// Event ordering: identical to the pristine simulator's (time, rank,
+/// token) total order, so the zero-fault step sequence matches exactly.
+struct Event {
+  double time;
+  double rank;
+  TokenId token;
+  std::uint32_t hop;
+
+  bool operator>(const Event& o) const {
+    if (time != o.time) return time > o.time;
+    if (rank != o.rank) return rank > o.rank;
+    return token > o.token;
+  }
+};
+
+constexpr auto event_after = [](const Event& a, const Event& b) {
+  return a > b;
+};
+
+constexpr TokenId kNoToken = std::numeric_limits<TokenId>::max();
+
+}  // namespace
+
+SimFaults draw_sim_faults(const Network& net, const TimedExecution& exec,
+                          const FaultPlan& plan, std::uint64_t run_seed) {
+  SimFaults f;
+  f.stuck.assign(net.num_balancers(), false);
+  TokenId max_token = 0;
+  for (const TokenPlan& p : exec.plans) {
+    max_token = std::max(max_token, p.token);
+  }
+  f.lost_before_hop.assign(static_cast<std::size_t>(max_token) + 1,
+                           kCompletes);
+  if (!plan.sim_faults()) return f;
+
+  FaultStream stream(plan, run_seed);
+  const std::uint32_t d = net.depth();
+  // Loses the token somewhere strictly before its counter crossing but
+  // after at least one balancer (a genuine mid-traversal vanish). A
+  // depth-0 network has no such point: the token is simply never seen.
+  const auto mid_traversal_hop = [&]() -> std::uint32_t {
+    return d == 0 ? 0
+                  : static_cast<std::uint32_t>(stream.pick(1, d));
+  };
+
+  // 1. Stuck balancers, ascending index.
+  for (NodeIndex b = 0; b < net.num_balancers(); ++b) {
+    if (stream.flip(plan.p_stuck_balancer)) {
+      f.stuck[b] = true;
+      ++f.balancers_stuck;
+    }
+  }
+
+  // 2. Process crashes, ascending process id. The crash victim is one of
+  // the process's tokens (uniform over its issue order); later tokens
+  // are never issued.
+  if (plan.p_process_crash > 0.0) {
+    std::map<ProcessId, std::vector<TokenId>> by_process;
+    for (const TokenPlan& p : exec.plans) {
+      by_process[p.process].push_back(p.token);
+    }
+    for (const auto& [proc, tokens] : by_process) {
+      if (!stream.flip(plan.p_process_crash)) continue;
+      ++f.processes_crashed;
+      const std::size_t victim =
+          static_cast<std::size_t>(stream.pick(0, tokens.size() - 1));
+      f.lost_before_hop[tokens[victim]] = mid_traversal_hop();
+      if (f.lost_before_hop[tokens[victim]] > 0) ++f.tokens_lost;
+      for (std::size_t k = victim + 1; k < tokens.size(); ++k) {
+        f.lost_before_hop[tokens[k]] = 0;
+        ++f.tokens_not_issued;
+      }
+    }
+  }
+
+  // 3. Independent token loss, plan order, skipping already-doomed ids.
+  if (plan.p_token_loss > 0.0) {
+    for (const TokenPlan& p : exec.plans) {
+      if (f.lost_before_hop[p.token] != kCompletes) continue;
+      if (!stream.flip(plan.p_token_loss)) continue;
+      f.lost_before_hop[p.token] = mid_traversal_hop();
+      if (f.lost_before_hop[p.token] > 0) {
+        ++f.tokens_lost;
+      } else {
+        ++f.tokens_not_issued;
+      }
+    }
+  }
+  return f;
+}
+
+FaultedSimResult simulate_faulted(const TimedExecution& exec,
+                                  const SimFaults& faults) {
+  FaultedSimResult result;
+  result.error = validate(exec);
+  if (!result.error.empty()) return result;
+
+  const Network& net = *exec.net;
+
+  TokenId max_token = 0;
+  ProcessId max_process = 0;
+  for (const TokenPlan& p : exec.plans) {
+    if (p.token == kNoToken) {
+      result.error = "token id " + std::to_string(kNoToken) + " is reserved";
+      return result;
+    }
+    max_token = std::max(max_token, p.token);
+    max_process = std::max(max_process, p.process);
+  }
+
+  const auto doom = [&](TokenId t) -> std::uint32_t {
+    return t < faults.lost_before_hop.size() ? faults.lost_before_hop[t]
+                                             : kCompletes;
+  };
+
+  // Dynamic network state, graph-walk flavor (reference semantics):
+  // round-robin positions, next counter values, current wire per token.
+  std::vector<PortIndex> balancer_pos(net.num_balancers(), 0);
+  std::vector<Value> counter_next(net.fan_out());
+  for (std::uint32_t j = 0; j < net.fan_out(); ++j) counter_next[j] = j;
+
+  std::vector<const TokenPlan*> plan_of(max_token + 1, nullptr);
+  std::vector<TokenRecord> records(max_token + 1);
+  std::vector<WireIndex> wire_of(max_token + 1, kInvalidWire);
+  std::vector<bool> completed(max_token + 1, false);
+  std::vector<TokenId> in_flight_of_process(max_process + 1, kNoToken);
+
+  std::vector<Event> heap;
+  heap.reserve(exec.plans.size());
+  for (const TokenPlan& p : exec.plans) {
+    plan_of[p.token] = &p;
+    if (doom(p.token) == 0) continue;  // never issued
+    heap.push_back({p.times[0], p.rank, p.token, 0});
+  }
+  std::make_heap(heap.begin(), heap.end(), event_after);
+
+  std::uint64_t seq = 0;
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), event_after);
+    const Event ev = heap.back();
+    heap.pop_back();
+    const TokenPlan& plan = *plan_of[ev.token];
+
+    // The token vanishes at the planned time of its first unexecuted
+    // hop; its process becomes free to issue again from that point.
+    if (ev.hop == doom(ev.token)) {
+      in_flight_of_process[plan.process] = kNoToken;
+      continue;
+    }
+
+    if (ev.hop == 0) {
+      TokenId& slot = in_flight_of_process[plan.process];
+      if (slot != kNoToken) {
+        result.error = "process " + std::to_string(plan.process) +
+                       " issued token " + std::to_string(plan.token) +
+                       " while token " + std::to_string(slot) +
+                       " was still in flight (step-order overlap)";
+        return result;
+      }
+      slot = plan.token;
+      wire_of[ev.token] = net.source_wire(plan.source);
+      records[ev.token].first_seq = seq;
+    }
+
+    const Wire& wire = net.wire(wire_of[ev.token]);
+    bool finished = false;
+    if (wire.to.kind == Endpoint::Kind::kBalancer) {
+      const NodeIndex b = wire.to.index;
+      const Balancer& bal = net.balancer(b);
+      const PortIndex out = balancer_pos[b];
+      if (!faults.stuck[b]) {
+        balancer_pos[b] = static_cast<PortIndex>((out + 1) % bal.fan_out());
+      }
+      wire_of[ev.token] = bal.out[out];
+    } else {
+      const std::uint32_t sink = wire.to.index;
+      const Value v = counter_next[sink];
+      counter_next[sink] += net.fan_out();
+      TokenRecord& rec = records[ev.token];
+      rec.token = plan.token;
+      rec.process = plan.process;
+      rec.source = plan.source;
+      rec.sink = sink;
+      rec.value = v;
+      rec.t_in = plan.t_in();
+      rec.t_out = plan.t_out();
+      rec.last_seq = seq;
+      finished = true;
+    }
+    ++seq;
+
+    if (finished) {
+      in_flight_of_process[plan.process] = kNoToken;
+      completed[ev.token] = true;
+      if (ev.hop != net.depth()) {
+        result.error = "token " + std::to_string(plan.token) +
+                       " reached a counter after " + std::to_string(ev.hop) +
+                       " hops; network is not uniform";
+        return result;
+      }
+    } else {
+      if (ev.hop + 1 >= plan.times.size()) {
+        result.error = "token " + std::to_string(plan.token) +
+                       " still in flight after its last planned step; "
+                       "network is not uniform";
+        return result;
+      }
+      heap.push_back(
+          {plan.times[ev.hop + 1], plan.rank, plan.token, ev.hop + 1});
+      std::push_heap(heap.begin(), heap.end(), event_after);
+    }
+  }
+
+  result.trace.reserve(exec.plans.size());
+  for (const TokenPlan& p : exec.plans) {
+    if (completed[p.token]) result.trace.push_back(records[p.token]);
+  }
+  return result;
+}
+
+}  // namespace cn::fault

@@ -1,0 +1,84 @@
+// Fault-degraded interpretation of timed executions.
+//
+// The pristine simulator (sim/simulator.hpp) realizes the paper's model:
+// every token crosses every layer at its planned time and the liveness
+// property of Section 2.2 holds by construction. simulate_faulted()
+// interprets the SAME TimedExecution under a SimFaults overlay that
+// deliberately breaks that property:
+//
+//   * lost tokens cross a prefix of their planned hops (toggling the
+//     balancers they pass) and then vanish — their remaining steps are
+//     removed from the step sequence, their process slot frees at the
+//     drop time;
+//   * stuck balancers never advance their round-robin position — every
+//     token leaves through the frozen port;
+//   * crashed processes lose one token mid-traversal and never issue the
+//     later ones.
+//
+// With an empty overlay the interpreter is step-for-step identical to
+// simulate(): same event order, same balancer/counter semantics, same
+// trace fields (guarded by tests/fault_test.cpp differential tests).
+// It deliberately walks the Network graph instead of the compiled
+// routing tables: the fast path stays untouched by the fault layer.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/topology.hpp"
+#include "fault/fault.hpp"
+#include "sim/timed_execution.hpp"
+#include "sim/trace.hpp"
+
+namespace cn::fault {
+
+/// Hop sentinel: the token completes its traversal.
+inline constexpr std::uint32_t kCompletes =
+    std::numeric_limits<std::uint32_t>::max();
+
+/// Concrete fault overlay for one timed execution, fully drawn (no
+/// residual randomness): applying it is deterministic.
+struct SimFaults {
+  /// Indexed by token id. kCompletes = traverses normally; h in
+  /// [1, depth] = crosses hops 0..h-1 then vanishes; 0 = never issued
+  /// (a crashed process's later tokens).
+  std::vector<std::uint32_t> lost_before_hop;
+  /// Indexed by balancer: true = toggle wedged at its initial position.
+  std::vector<bool> stuck;
+
+  std::uint64_t tokens_lost = 0;       ///< Entered but vanished.
+  std::uint64_t tokens_not_issued = 0; ///< Suppressed by a crash.
+  std::uint64_t balancers_stuck = 0;
+  std::uint64_t processes_crashed = 0;
+
+  bool empty() const noexcept {
+    return tokens_lost == 0 && tokens_not_issued == 0 &&
+           balancers_stuck == 0;
+  }
+};
+
+/// Draws a concrete overlay for `exec` from the plan's fault stream.
+/// Draw order is fixed (balancers ascending, then processes ascending,
+/// then tokens in plan order) so a (plan, run_seed) pair replays
+/// identically at any thread count.
+SimFaults draw_sim_faults(const Network& net, const TimedExecution& exec,
+                          const FaultPlan& plan, std::uint64_t run_seed);
+
+struct FaultedSimResult {
+  /// Completed tokens only, in plan order. Lost / never-issued tokens
+  /// leave no record — exactly what an observer of the live system sees.
+  Trace trace;
+  std::string error;  ///< Non-empty if the execution was invalid.
+
+  bool ok() const noexcept { return error.empty(); }
+};
+
+/// Interprets `exec` under `faults`. Events are processed in increasing
+/// (time, rank, token) order, identical to simulate(); a lost token's
+/// drop happens at the planned time of its first unexecuted hop.
+FaultedSimResult simulate_faulted(const TimedExecution& exec,
+                                  const SimFaults& faults);
+
+}  // namespace cn::fault

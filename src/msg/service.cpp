@@ -20,6 +20,17 @@ struct RunState {
   std::vector<Value> counter_next;      ///< Next value per sink.
   Trace trace;                          ///< Indexed by token id.
   std::vector<bool> entered;            ///< Token seen at its first node?
+  std::vector<bool> completed;          ///< Token counted?
+
+  /// Fault layer. The stream is separate from the workload RNG so a
+  /// disabled plan leaves every latency draw untouched.
+  fault::FaultStream faults{fault::FaultPlan{}, 0};
+  double p_loss = 0.0;
+  double p_dup = 0.0;
+  double p_delay = 0.0;
+  std::uint64_t tokens_lost = 0;
+  std::uint64_t dup_deliveries = 0;
+  std::uint64_t delayed_messages = 0;
 
   double draw_latency(std::uint32_t process) {
     if (spec->slow_process_zero) {
@@ -46,20 +57,55 @@ struct RunState {
       trace[token].first_seq = kernel.seq();
     }
   }
+
+  /// Forwards a token-carrying message, applying the message faults in a
+  /// fixed draw order (loss, then delay, then duplication).
+  void send_token(ActorId to, const Payload& payload, double latency) {
+    if (faults.flip(p_loss)) {
+      ++tokens_lost;  // dropped on the wire: the token vanishes
+      return;
+    }
+    if (faults.flip(p_delay)) {
+      ++delayed_messages;
+      latency *= spec->fault.msg_delay_factor;
+    }
+    kernel.send(to, payload, latency);
+    if (faults.flip(p_dup)) {
+      ++dup_deliveries;  // at-least-once delivery: a second copy arrives
+      kernel.send(to, payload, latency);
+    }
+  }
 };
 
 }  // namespace
 
+std::string validate(const MsgRunSpec& spec) {
+  if (spec.processes == 0) return "spec invalid: processes == 0";
+  if (spec.ops_per_process == 0) return "spec invalid: ops_per_process == 0";
+  if (spec.c_min > spec.c_max) {
+    return "spec invalid: c_min > c_max (inverted latency envelope)";
+  }
+  if (spec.c_min < 0.0 || spec.result_latency < 0.0 ||
+      spec.local_delay < 0.0) {
+    return "spec invalid: negative latency";
+  }
+  return {};
+}
+
 MsgRunResult run_message_passing(const Network& net, const MsgRunSpec& spec) {
   MsgRunResult result;
-  if (spec.processes == 0 || spec.ops_per_process == 0) {
-    result.error = "empty workload";
-    return result;
-  }
+  result.error = validate(spec);
+  if (!result.ok()) return result;
   RunState st;
   st.net = &net;
   st.spec = &spec;
   st.rng = Xoshiro256(spec.seed);
+  st.faults = fault::FaultStream(spec.fault, spec.seed);
+  if (spec.fault.enabled) {
+    st.p_loss = spec.fault.p_token_loss;
+    st.p_dup = spec.fault.p_msg_duplicate;
+    st.p_delay = spec.fault.p_msg_delay;
+  }
   st.balancer_pos.assign(net.num_balancers(), 0);
   st.counter_next.resize(net.fan_out());
   for (std::uint32_t j = 0; j < net.fan_out(); ++j) st.counter_next[j] = j;
@@ -67,6 +113,21 @@ MsgRunResult run_message_passing(const Network& net, const MsgRunSpec& spec) {
       static_cast<std::uint64_t>(spec.processes) * spec.ops_per_process;
   st.trace.resize(total_tokens);
   st.entered.assign(total_tokens, false);
+  st.completed.assign(total_tokens, false);
+
+  // Client crash schedule, drawn up front in ascending process order: a
+  // crashed client issues a uniformly chosen number of operations and
+  // then goes silent (the message-passing face of a crashed process).
+  const std::uint32_t kNeverCrashes = spec.ops_per_process;
+  std::vector<std::uint32_t> crash_after(spec.processes, kNeverCrashes);
+  if (spec.fault.enabled && spec.fault.p_process_crash > 0.0) {
+    for (std::uint32_t p = 0; p < spec.processes; ++p) {
+      if (st.faults.flip(spec.fault.p_process_crash)) {
+        crash_after[p] = static_cast<std::uint32_t>(
+            st.faults.pick(0, spec.ops_per_process - 1));
+      }
+    }
+  }
 
   // Balancer actors: forward the token along the round-robin output wire.
   st.balancer_actor.reserve(net.num_balancers());
@@ -79,7 +140,7 @@ MsgRunResult run_message_passing(const Network& net, const MsgRunSpec& spec) {
           static_cast<PortIndex>((out + 1) % bal.fan_out());
       bool is_counter = false;
       const ActorId next = st.wire_target(bal.out[out], &is_counter);
-      st.kernel.send(next, env.payload, st.draw_latency(env.payload.process));
+      st.send_token(next, env.payload, st.draw_latency(env.payload.process));
     }));
   }
 
@@ -96,6 +157,7 @@ MsgRunResult run_message_passing(const Network& net, const MsgRunSpec& spec) {
       st.counter_next[j] += st.net->fan_out();
       rec.t_out = st.kernel.now();
       rec.last_seq = st.kernel.seq();
+      st.completed[env.payload.token] = true;
       Payload reply = env.payload;
       reply.kind = Payload::Kind::kResult;
       reply.value = rec.value;
@@ -112,10 +174,11 @@ MsgRunResult run_message_passing(const Network& net, const MsgRunSpec& spec) {
   for (std::uint32_t p = 0; p < spec.processes; ++p) {
     const std::uint32_t source = p % net.fan_in();
     client_actor[p] = st.kernel.add_actor([&st, &remaining, &issued,
-                                           &client_actor, p,
+                                           &client_actor, &crash_after, p,
                                            source](const Envelope& env) {
       if (env.payload.kind == Payload::Kind::kToken) return;  // not expected
       if (remaining[p] == 0) return;
+      if (issued[p] >= crash_after[p]) return;  // crashed: silent forever
       --remaining[p];
       Payload token;
       token.kind = Payload::Kind::kToken;
@@ -128,7 +191,7 @@ MsgRunResult run_message_passing(const Network& net, const MsgRunSpec& spec) {
           st.wire_target(st.net->source_wire(source), &is_counter);
       const double think =
           env.payload.kind == Payload::Kind::kStart ? 0.0 : st.spec->local_delay;
-      st.kernel.send(first, token, think + st.draw_latency(p));
+      st.send_token(first, token, think + st.draw_latency(p));
     });
   }
   // Kick every client off with a staggered start.
@@ -140,7 +203,24 @@ MsgRunResult run_message_passing(const Network& net, const MsgRunSpec& spec) {
 
   result.messages = st.kernel.run();
   result.sim_time = st.kernel.now();
-  result.trace = std::move(st.trace);
+  if (spec.fault.active()) {
+    // Lost tokens and crashed clients leave holes in the token-indexed
+    // trace; compact to completed operations (token-id order preserved).
+    Trace compacted;
+    compacted.reserve(st.trace.size());
+    for (std::uint64_t t = 0; t < total_tokens; ++t) {
+      if (st.completed[t]) compacted.push_back(st.trace[t]);
+    }
+    result.trace = std::move(compacted);
+    for (std::uint32_t p = 0; p < spec.processes; ++p) {
+      if (crash_after[p] != kNeverCrashes) ++result.clients_crashed;
+    }
+  } else {
+    result.trace = std::move(st.trace);
+  }
+  result.tokens_lost = st.tokens_lost;
+  result.dup_deliveries = st.dup_deliveries;
+  result.delayed_messages = st.delayed_messages;
   return result;
 }
 

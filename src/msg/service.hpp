@@ -7,6 +7,7 @@
 #include <string>
 
 #include "core/topology.hpp"
+#include "fault/fault.hpp"
 #include "msg/event_kernel.hpp"
 #include "sim/trace.hpp"
 
@@ -28,16 +29,39 @@ struct MsgRunSpec {
   /// per-process delay (c_min^P) model of Section 2.3, and the easiest
   /// way to realize overtaking in a closed-loop message-passing system.
   bool slow_process_zero = false;
+
+  /// Message-level fault injection (fault/fault.hpp). The kernel reads
+  /// p_token_loss (a token-carrying message is dropped — the token
+  /// vanishes and its client's loop halts), p_msg_duplicate
+  /// (at-least-once delivery), p_msg_delay / msg_delay_factor (latency
+  /// escapes the [c_min, c_max] envelope), and p_process_crash (the
+  /// client stops issuing after a uniformly chosen operation). Fault
+  /// decisions come from a dedicated stream derived from (fault.seed,
+  /// seed): a disabled plan leaves the run byte-identical.
+  fault::FaultPlan fault;
 };
 
 struct MsgRunResult {
   Trace trace;                 ///< One record per completed operation.
   double sim_time = 0.0;       ///< Simulated time at drain.
   std::uint64_t messages = 0;  ///< Messages delivered in total.
+
+  // Fault accounting (all zero when the plan is disabled).
+  std::uint64_t tokens_lost = 0;       ///< Token messages dropped.
+  std::uint64_t dup_deliveries = 0;    ///< Extra deliveries injected.
+  std::uint64_t delayed_messages = 0;  ///< Latencies blown past c_max.
+  std::uint64_t clients_crashed = 0;   ///< Clients that stopped issuing.
+
   std::string error;
 
   bool ok() const noexcept { return error.empty(); }
 };
+
+/// Structural validation of a spec: empty string when runnable, else a
+/// description of the first problem (empty workload, inverted latency
+/// envelope, ...). run_message_passing rejects invalid specs with the
+/// same message instead of silently proceeding.
+std::string validate(const MsgRunSpec& spec);
 
 /// Runs the workload to completion. Process p enters on input wire
 /// p mod fan_in. In the produced trace, t_in / first_seq are taken at

@@ -210,10 +210,36 @@ TEST(EngineSweep, ErrorsAreCountedAndFirstErrorPropagates) {
   EXPECT_EQ(stats.errors, 7u);
   EXPECT_FALSE(stats.first_error.empty());
   EXPECT_EQ(stats.total_tokens, 0u);
+  // The taxonomy classifies all of them as spec_invalid, and the entry
+  // of the lowest-index failed trial carries the first_error message.
+  ASSERT_EQ(stats.error_table.count("spec_invalid"), 1u);
+  EXPECT_EQ(stats.error_table.at("spec_invalid").count, 7u);
+  EXPECT_EQ(stats.error_table.at("spec_invalid").first_trial, 0u);
+  EXPECT_EQ(stats.error_table.at("spec_invalid").first_message,
+            stats.first_error);
   // And the human-readable report carries them.
   const std::string report = engine::format_report(sweep.base, stats);
   EXPECT_NE(report.find("first error:"), std::string::npos);
+  EXPECT_NE(report.find("spec_invalid"), std::string::npos);
   EXPECT_NE(engine::to_json(stats).find("first_error"), std::string::npos);
+  EXPECT_NE(engine::to_json(stats).find("error_table"), std::string::npos);
+}
+
+// A clean sweep must not grow new JSON fields: the taxonomy and retry
+// counters appear only when something went wrong.
+TEST(EngineSweep, CleanSweepJsonIsUnchangedByTheTaxonomy) {
+  engine::SweepSpec sweep;
+  sweep.base.network = "bitonic";
+  sweep.base.width = 4;
+  sweep.base.processes = 4;
+  sweep.base.ops_per_process = 2;
+  sweep.trials = 4;
+  const engine::SweepStats stats = engine::sweep_stats(sweep);
+  ASSERT_EQ(stats.errors, 0u);
+  const std::string j = engine::to_json(stats);
+  EXPECT_EQ(j.find("error_table"), std::string::npos);
+  EXPECT_EQ(j.find("retried_trials"), std::string::npos);
+  EXPECT_EQ(j.find("fault"), std::string::npos);
 }
 
 TEST(EngineResults, JsonShapes) {

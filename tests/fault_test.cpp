@@ -1,0 +1,564 @@
+// Fault-injection layer: zero-fault identity (the fault code must be
+// invisible until asked for), deterministic faulted replays, degradation
+// accounting, the sweep watchdog (a hung backend is abandoned as a
+// "timeout" without disturbing the other trials), bounded deterministic
+// retry, and the error taxonomy end to end.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <set>
+#include <stdexcept>
+#include <thread>
+
+#include "concurrent/concurrent_network.hpp"
+#include "concurrent/harness.hpp"
+#include "core/constructions.hpp"
+#include "engine/engine.hpp"
+#include "fault/fault.hpp"
+#include "fault/faulted_sim.hpp"
+#include "msg/service.hpp"
+#include "sim/simulator.hpp"
+#include "sim/workload.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace cn;
+
+// ---------------------------------------------------------------------
+// Mock backends for watchdog / retry / taxonomy tests. Registered once;
+// behavior is steered through the g_* globals, which each test sets
+// before sweeping (the sweeper only reads them).
+// ---------------------------------------------------------------------
+std::atomic<std::uint64_t> g_hang_seed{0};  ///< Seed the hang mock sleeps on.
+std::set<std::uint64_t> g_flaky_fail_seeds;  ///< Seeds the flaky mock fails on.
+
+engine::RunResult tiny_ok_result() {
+  engine::RunResult out;
+  for (std::uint64_t i = 0; i < 2; ++i) {
+    TokenRecord rec;
+    rec.token = static_cast<TokenId>(i);
+    rec.process = static_cast<ProcessId>(i);
+    rec.source = 0;
+    rec.sink = 0;
+    rec.value = i;
+    rec.t_in = static_cast<double>(2 * i);
+    rec.t_out = static_cast<double>(2 * i + 1);
+    rec.first_seq = 2 * i;
+    rec.last_seq = 2 * i + 1;
+    out.trace.push_back(rec);
+  }
+  return out;
+}
+
+class HangMockBackend final : public engine::TraceSource {
+ public:
+  std::string name() const override { return "hang_mock"; }
+  engine::RunResult run(const engine::RunSpec& spec) const override {
+    if (spec.seed == g_hang_seed.load()) {
+      // A genuinely hung trial: the watchdog must abandon this thread.
+      // It sleeps far past any test horizon and is killed with the
+      // process while still blocked.
+      std::this_thread::sleep_for(std::chrono::hours(1));
+    }
+    return tiny_ok_result();
+  }
+};
+
+class FlakyMockBackend final : public engine::TraceSource {
+ public:
+  std::string name() const override { return "flaky_mock"; }
+  engine::RunResult run(const engine::RunSpec& spec) const override {
+    if (g_flaky_fail_seeds.count(spec.seed) > 0) {
+      engine::RunResult out;
+      out.error = "transient failure (mock)";
+      return out;
+    }
+    return tiny_ok_result();
+  }
+};
+
+class ThrowingMockBackend final : public engine::TraceSource {
+ public:
+  std::string name() const override { return "throwing_mock"; }
+  engine::RunResult run(const engine::RunSpec&) const override {
+    throw std::runtime_error("kaboom");
+  }
+};
+
+void register_mocks() {
+  static const bool once = [] {
+    engine::register_backend(
+        "hang_mock", [] { return std::make_unique<HangMockBackend>(); });
+    engine::register_backend(
+        "flaky_mock", [] { return std::make_unique<FlakyMockBackend>(); });
+    engine::register_backend(
+        "throwing_mock", [] { return std::make_unique<ThrowingMockBackend>(); });
+    return true;
+  }();
+  (void)once;
+}
+
+// ---------------------------------------------------------------------
+// FaultStream / fault_seed
+// ---------------------------------------------------------------------
+TEST(FaultStream, ZeroProbabilityConsumesNoRandomness) {
+  fault::FaultPlan plan;
+  plan.seed = 7;
+  fault::FaultStream a(plan, 42);
+  fault::FaultStream b(plan, 42);
+  // A thousand zero-probability flips must not advance the stream.
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(a.flip(0.0));
+  EXPECT_EQ(a.pick(0, 1u << 30), b.pick(0, 1u << 30));
+}
+
+TEST(FaultStream, SeedDerivationSeparatesStreams) {
+  EXPECT_EQ(fault::fault_seed(1, 2, 0), fault::fault_seed(1, 2, 0));
+  EXPECT_NE(fault::fault_seed(1, 2, 0), fault::fault_seed(1, 3, 0));
+  EXPECT_NE(fault::fault_seed(1, 2, 0), fault::fault_seed(2, 2, 0));
+  EXPECT_NE(fault::fault_seed(1, 2, 0), fault::fault_seed(1, 2, 1));
+}
+
+TEST(FaultPlan, ActivityPredicates) {
+  fault::FaultPlan plan;
+  EXPECT_FALSE(plan.active());
+  plan.p_token_loss = 0.5;
+  EXPECT_FALSE(plan.active()) << "disabled plan must stay inert";
+  plan.enabled = true;
+  EXPECT_TRUE(plan.active());
+  EXPECT_TRUE(plan.sim_faults());
+  EXPECT_FALSE(plan.thread_faults());
+}
+
+// ---------------------------------------------------------------------
+// Degradation accounting
+// ---------------------------------------------------------------------
+Trace trace_with_values(const std::vector<Value>& values,
+                        std::uint32_t fan_out) {
+  Trace t;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    TokenRecord rec;
+    rec.token = static_cast<TokenId>(i);
+    rec.value = values[i];
+    rec.sink = static_cast<std::uint32_t>(values[i] % fan_out);
+    t.push_back(rec);
+  }
+  return t;
+}
+
+TEST(Degradation, CleanTraceHasNoViolations) {
+  const fault::Degradation d =
+      fault::degradation(trace_with_values({0, 1, 2, 3, 4, 5, 6, 7}, 4), 4);
+  EXPECT_EQ(d.counting_violation, 0.0);
+  EXPECT_LE(d.smoothness_gap, 1.0);
+  EXPECT_EQ(d.smoothness_violation, 0.0);
+}
+
+TEST(Degradation, MissingValueViolatesCounting) {
+  // Values {0,1,3,4}: 2 is missing -> not the set {0..3}.
+  const fault::Degradation d =
+      fault::degradation(trace_with_values({0, 1, 3, 4}, 4), 4);
+  EXPECT_EQ(d.counting_violation, 1.0);
+}
+
+TEST(Degradation, SinkSkewViolatesSmoothness) {
+  // All four tokens exit sink 0 (values 0, 4, 8, 12 with fan_out 4):
+  // sink 0 count 4, sinks 1..3 count 0 -> gap 4 > 1.
+  const fault::Degradation d =
+      fault::degradation(trace_with_values({0, 4, 8, 12}, 4), 4);
+  EXPECT_EQ(d.smoothness_gap, 4.0);
+  EXPECT_EQ(d.smoothness_violation, 1.0);
+  EXPECT_EQ(d.counting_violation, 1.0);  // {0,4,8,12} != {0,1,2,3}
+}
+
+// ---------------------------------------------------------------------
+// Faulted interpreter: zero-fault identity and deterministic damage
+// ---------------------------------------------------------------------
+TEST(FaultedSim, EmptyOverlayMatchesSimulate) {
+  for (const std::uint64_t seed : {1ull, 99ull, 0xBEEFull}) {
+    const Network net = make_bitonic(8);
+    WorkloadSpec wl;
+    wl.processes = 6;
+    wl.tokens_per_process = 5;
+    wl.c_max = 2.75;
+    Xoshiro256 rng(seed);
+    const TimedExecution exec = generate_workload(net, wl, rng);
+
+    const SimulationResult ref = simulate(exec);
+    ASSERT_TRUE(ref.ok());
+
+    fault::SimFaults none;
+    none.lost_before_hop.assign(exec.plans.size(), fault::kCompletes);
+    none.stuck.assign(net.num_balancers(), false);
+    const fault::FaultedSimResult faulted = fault::simulate_faulted(exec, none);
+    ASSERT_TRUE(faulted.ok()) << faulted.error;
+
+    ASSERT_EQ(faulted.trace.size(), ref.trace.size());
+    for (std::size_t i = 0; i < ref.trace.size(); ++i) {
+      EXPECT_EQ(faulted.trace[i].token, ref.trace[i].token);
+      EXPECT_EQ(faulted.trace[i].process, ref.trace[i].process);
+      EXPECT_EQ(faulted.trace[i].sink, ref.trace[i].sink);
+      EXPECT_EQ(faulted.trace[i].value, ref.trace[i].value);
+      EXPECT_DOUBLE_EQ(faulted.trace[i].t_in, ref.trace[i].t_in);
+      EXPECT_DOUBLE_EQ(faulted.trace[i].t_out, ref.trace[i].t_out);
+      EXPECT_EQ(faulted.trace[i].first_seq, ref.trace[i].first_seq);
+      EXPECT_EQ(faulted.trace[i].last_seq, ref.trace[i].last_seq);
+    }
+  }
+}
+
+TEST(FaultedSim, DrawIsDeterministic) {
+  const Network net = make_bitonic(8);
+  WorkloadSpec wl;
+  wl.processes = 8;
+  wl.tokens_per_process = 6;
+  Xoshiro256 rng(5);
+  const TimedExecution exec = generate_workload(net, wl, rng);
+  fault::FaultPlan plan;
+  plan.enabled = true;
+  plan.seed = 3;
+  plan.p_token_loss = 0.2;
+  plan.p_stuck_balancer = 0.1;
+  plan.p_process_crash = 0.15;
+  const fault::SimFaults a = fault::draw_sim_faults(net, exec, plan, 77);
+  const fault::SimFaults b = fault::draw_sim_faults(net, exec, plan, 77);
+  EXPECT_EQ(a.lost_before_hop, b.lost_before_hop);
+  EXPECT_EQ(a.stuck, b.stuck);
+  EXPECT_EQ(a.tokens_lost, b.tokens_lost);
+  EXPECT_EQ(a.tokens_not_issued, b.tokens_not_issued);
+  EXPECT_EQ(a.balancers_stuck, b.balancers_stuck);
+  EXPECT_EQ(a.processes_crashed, b.processes_crashed);
+  // And a different run seed draws different faults.
+  const fault::SimFaults c = fault::draw_sim_faults(net, exec, plan, 78);
+  EXPECT_NE(a.lost_before_hop, c.lost_before_hop);
+}
+
+TEST(FaultedSim, LossRemovesExactlyTheDoomedTokens) {
+  const Network net = make_bitonic(8);
+  WorkloadSpec wl;
+  wl.processes = 8;
+  wl.tokens_per_process = 8;
+  Xoshiro256 rng(11);
+  const TimedExecution exec = generate_workload(net, wl, rng);
+  fault::FaultPlan plan;
+  plan.enabled = true;
+  plan.p_token_loss = 0.25;
+  const fault::SimFaults faults = fault::draw_sim_faults(net, exec, plan, 11);
+  ASSERT_GT(faults.tokens_lost, 0u);
+  const fault::FaultedSimResult res = fault::simulate_faulted(exec, faults);
+  ASSERT_TRUE(res.ok()) << res.error;
+  EXPECT_EQ(res.trace.size(),
+            exec.plans.size() - faults.tokens_lost - faults.tokens_not_issued);
+  // Completed tokens are reported in plan order with their own ids.
+  std::set<TokenId> doomed;
+  for (std::size_t i = 0; i < faults.lost_before_hop.size(); ++i) {
+    if (faults.lost_before_hop[i] != fault::kCompletes) {
+      doomed.insert(exec.plans[i].token);
+    }
+  }
+  for (const TokenRecord& rec : res.trace) {
+    EXPECT_EQ(doomed.count(rec.token), 0u);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Backend-level zero-fault identity and deterministic faulted replays
+// ---------------------------------------------------------------------
+TEST(FaultBackends, EnabledZeroPlanIsByteIdenticalToDisabled) {
+  engine::RunSpec pristine;
+  pristine.network = "bitonic";
+  pristine.width = 8;
+  pristine.seed = 0xABCD;
+  const engine::RunResult base = engine::run_backend(pristine);
+  ASSERT_TRUE(base.ok()) << base.error;
+
+  engine::RunSpec zeroed = pristine;
+  zeroed.fault.enabled = true;  // enabled, but every probability is 0
+  const engine::RunResult res = engine::run_backend(zeroed);
+  ASSERT_TRUE(res.ok()) << res.error;
+
+  ASSERT_EQ(res.trace.size(), base.trace.size());
+  for (std::size_t i = 0; i < base.trace.size(); ++i) {
+    EXPECT_EQ(res.trace[i].value, base.trace[i].value);
+    EXPECT_DOUBLE_EQ(res.trace[i].t_in, base.trace[i].t_in);
+    EXPECT_DOUBLE_EQ(res.trace[i].t_out, base.trace[i].t_out);
+  }
+  EXPECT_EQ(res.report.f_nl, base.report.f_nl);
+  EXPECT_EQ(res.report.f_nsc, base.report.f_nsc);
+  // The degradation report is present and clean at p = 0...
+  EXPECT_EQ(res.metric("counting_violation", -1.0), 0.0);
+  EXPECT_EQ(res.metric("smoothness_violation", -1.0), 0.0);
+  // ...and absent (not merely zero) when the plan is disabled, so
+  // default JSON output stays byte-identical to the pre-fault engine.
+  EXPECT_EQ(base.metrics.count("counting_violation"), 0u);
+}
+
+TEST(FaultBackends, FaultedSimulatorReplaysDeterministically) {
+  engine::RunSpec spec;
+  spec.network = "bitonic";
+  spec.width = 8;
+  spec.seed = 2024;
+  spec.fault.enabled = true;
+  spec.fault.p_token_loss = 0.15;
+  spec.fault.p_stuck_balancer = 0.1;
+  const engine::RunResult a = engine::run_backend(spec);
+  const engine::RunResult b = engine::run_backend(spec);
+  ASSERT_TRUE(a.ok()) << a.error;
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (std::size_t i = 0; i < a.trace.size(); ++i) {
+    EXPECT_EQ(a.trace[i].token, b.trace[i].token);
+    EXPECT_EQ(a.trace[i].value, b.trace[i].value);
+    EXPECT_DOUBLE_EQ(a.trace[i].t_out, b.trace[i].t_out);
+  }
+  EXPECT_EQ(a.metrics, b.metrics);
+  EXPECT_LT(a.trace.size(), 8u * 4u);  // something was actually lost
+  EXPECT_GT(a.metric("fault_tokens_lost") + a.metric("fault_balancers_stuck"),
+            0.0);
+}
+
+TEST(FaultBackends, MsgFaultsAreAccountedAndDeterministic) {
+  engine::RunSpec spec;
+  spec.backend = "msg";
+  spec.network = "bitonic";
+  spec.width = 4;
+  spec.processes = 6;
+  spec.ops_per_process = 8;
+  spec.seed = 31;
+  spec.fault.enabled = true;
+  spec.fault.p_token_loss = 0.2;
+  spec.fault.p_msg_duplicate = 0.1;
+  spec.fault.p_process_crash = 0.3;
+  const engine::RunResult a = engine::run_backend(spec);
+  const engine::RunResult b = engine::run_backend(spec);
+  ASSERT_TRUE(a.ok()) << a.error;
+  EXPECT_EQ(a.trace.size(), b.trace.size());
+  EXPECT_EQ(a.metrics, b.metrics);
+  EXPECT_LT(a.trace.size(), 48u);
+  EXPECT_GT(a.metric("fault_tokens_lost"), 0.0);
+}
+
+TEST(FaultBackends, ConcurrentFaultMixIsDeterministic) {
+  const Network topo = make_bitonic(4);
+  ConcurrentRunSpec spec;
+  spec.threads = 4;
+  spec.ops_per_thread = 50;
+  spec.seed = 9;
+  spec.fault.enabled = true;
+  spec.fault.p_thread_stall = 0.05;
+  spec.fault.stall_ns = 1000;
+  spec.fault.p_thread_abandon = 0.1;
+  spec.fault.p_process_crash = 0.5;
+
+  ConcurrentNetwork net_a(topo);
+  const ConcurrentRunResult a = run_recorded(net_a, spec);
+  ConcurrentNetwork net_b(topo);
+  const ConcurrentRunResult b = run_recorded(net_b, spec);
+  ASSERT_TRUE(a.ok()) << a.error;
+  // Live interleaving varies, but the injected mix must not.
+  EXPECT_EQ(a.stalls, b.stalls);
+  EXPECT_EQ(a.tokens_abandoned, b.tokens_abandoned);
+  EXPECT_EQ(a.threads_crashed, b.threads_crashed);
+  EXPECT_EQ(a.trace.size(), b.trace.size());
+  EXPECT_GT(a.tokens_abandoned + a.threads_crashed, 0u);
+  EXPECT_EQ(a.total_ops, a.trace.size());
+}
+
+TEST(FaultSweep, FaultedAggregatesDeterministicAcrossThreadCounts) {
+  engine::SweepSpec sweep;
+  sweep.base.network = "bitonic";
+  sweep.base.width = 8;
+  sweep.base.seed = 0xF00D;
+  sweep.base.fault.enabled = true;
+  sweep.base.fault.p_token_loss = 0.1;
+  sweep.base.fault.p_stuck_balancer = 0.05;
+  sweep.trials = 48;
+
+  sweep.threads = 1;
+  const engine::SweepStats one = engine::sweep_stats(sweep);
+  sweep.threads = 6;
+  const engine::SweepStats six = engine::sweep_stats(sweep);
+  EXPECT_EQ(six.completed, one.completed);
+  EXPECT_EQ(six.errors, one.errors);
+  EXPECT_EQ(six.metric_sums, one.metric_sums);
+  EXPECT_EQ(engine::to_json(six), engine::to_json(one));
+  EXPECT_GT(one.metric_sums.at("counting_violation"), 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Watchdog
+// ---------------------------------------------------------------------
+TEST(FaultSweep, WatchdogAbandonsHungTrialWithoutDisturbingOthers) {
+  register_mocks();
+  const std::uint64_t base_seed = 0x5EED;
+  // Trial 1 (of 4) hangs; the others return the tiny mock trace. With
+  // retries off, the timeout must surface exactly once.
+  g_hang_seed.store(engine::trial_seed(base_seed, 1));
+
+  engine::SweepSpec sweep;
+  sweep.base.backend = "hang_mock";
+  sweep.base.seed = base_seed;
+  sweep.trials = 4;
+  sweep.threads = 2;
+  sweep.timeout_ms = 200;
+  const engine::SweepStats stats = engine::sweep_stats(sweep);
+  g_hang_seed.store(0);
+
+  EXPECT_EQ(stats.trials, 4u);
+  EXPECT_EQ(stats.completed, 3u);
+  EXPECT_EQ(stats.errors, 1u);
+  ASSERT_EQ(stats.error_table.count("timeout"), 1u);
+  EXPECT_EQ(stats.error_table.at("timeout").count, 1u);
+  EXPECT_EQ(stats.error_table.at("timeout").first_trial, 1u);
+  EXPECT_NE(stats.first_error.find("watchdog"), std::string::npos);
+  // The surviving trials' aggregate is exactly 3 mock traces.
+  EXPECT_EQ(stats.total_tokens, 3u * 2u);
+}
+
+TEST(FaultSweep, WatchdogPassesFastTrialsUntouched) {
+  register_mocks();
+  g_hang_seed.store(0);  // no trial seed is ever 0 in practice; none hang
+  engine::SweepSpec sweep;
+  sweep.base.backend = "hang_mock";
+  sweep.base.seed = 123;
+  sweep.trials = 6;
+  sweep.threads = 3;
+  sweep.timeout_ms = 5000;
+  const engine::SweepStats stats = engine::sweep_stats(sweep);
+  EXPECT_EQ(stats.completed, 6u);
+  EXPECT_EQ(stats.errors, 0u);
+  EXPECT_TRUE(stats.error_table.empty());
+}
+
+// ---------------------------------------------------------------------
+// Retry
+// ---------------------------------------------------------------------
+TEST(FaultSweep, RetrySeedAttemptZeroIsTrialSeed) {
+  for (std::uint64_t t = 0; t < 16; ++t) {
+    EXPECT_EQ(engine::retry_seed(7, t, 0), engine::trial_seed(7, t));
+    EXPECT_NE(engine::retry_seed(7, t, 1), engine::trial_seed(7, t));
+    EXPECT_NE(engine::retry_seed(7, t, 1), engine::retry_seed(7, t, 2));
+  }
+}
+
+TEST(FaultSweep, RetryRecoversTransientFailuresDeterministically) {
+  register_mocks();
+  const std::uint64_t base_seed = 0xF1A2;
+  const std::uint64_t trials = 8;
+  g_flaky_fail_seeds.clear();
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    // Every first attempt fails; every retry succeeds.
+    g_flaky_fail_seeds.insert(engine::retry_seed(base_seed, t, 0));
+  }
+
+  engine::SweepSpec sweep;
+  sweep.base.backend = "flaky_mock";
+  sweep.base.seed = base_seed;
+  sweep.trials = trials;
+  sweep.threads = 4;
+  sweep.max_retries = 1;
+  const engine::SweepStats stats = engine::sweep_stats(sweep);
+
+  EXPECT_EQ(stats.completed, trials);
+  EXPECT_EQ(stats.errors, 0u);
+  EXPECT_EQ(stats.retried_trials, trials);
+  EXPECT_EQ(stats.total_retries, trials);
+
+  // Without retries the same sweep fails wholesale — and the retry
+  // accounting fields stay out of the JSON when nothing was retried.
+  sweep.max_retries = 0;
+  const engine::SweepStats no_retry = engine::sweep_stats(sweep);
+  EXPECT_EQ(no_retry.errors, trials);
+  EXPECT_EQ(no_retry.retried_trials, 0u);
+  EXPECT_EQ(engine::to_json(no_retry).find("retried_trials"),
+            std::string::npos);
+  g_flaky_fail_seeds.clear();
+}
+
+TEST(FaultSweep, RetriesAreNotWastedOnInvalidSpecs) {
+  engine::SweepSpec sweep;
+  sweep.base.network = "bitonic";
+  sweep.base.width = 6;  // not a power of two: spec_invalid every time
+  sweep.trials = 5;
+  sweep.threads = 2;
+  sweep.max_retries = 3;
+  const engine::SweepStats stats = engine::sweep_stats(sweep);
+  EXPECT_EQ(stats.errors, 5u);
+  EXPECT_EQ(stats.retried_trials, 0u);
+  EXPECT_EQ(stats.total_retries, 0u);
+  ASSERT_EQ(stats.error_table.count("spec_invalid"), 1u);
+  EXPECT_EQ(stats.error_table.at("spec_invalid").count, 5u);
+}
+
+// ---------------------------------------------------------------------
+// Error taxonomy
+// ---------------------------------------------------------------------
+TEST(FaultTaxonomy, ThrowingBackendIsCaughtAndClassified) {
+  register_mocks();
+  engine::RunSpec spec;
+  spec.backend = "throwing_mock";
+  const engine::RunResult res = engine::run_backend(spec);
+  EXPECT_FALSE(res.ok());
+  EXPECT_EQ(res.error_kind, engine::ErrorKind::kBackendError);
+  EXPECT_NE(res.error.find("kaboom"), std::string::npos);
+
+  engine::SweepSpec sweep;
+  sweep.base = spec;
+  sweep.trials = 3;
+  sweep.threads = 2;
+  const engine::SweepStats stats = engine::sweep_stats(sweep);
+  ASSERT_EQ(stats.error_table.count("backend_error"), 1u);
+  EXPECT_EQ(stats.error_table.at("backend_error").count, 3u);
+}
+
+TEST(FaultTaxonomy, InvalidSpecsAreClassifiedNotRun) {
+  engine::RunSpec msg_spec;
+  msg_spec.backend = "msg";
+  msg_spec.network = "bitonic";
+  msg_spec.width = 4;
+  msg_spec.c_min = 3.0;
+  msg_spec.c_max = 2.0;  // inverted latency envelope
+  const engine::RunResult msg_res = engine::run_backend(msg_spec);
+  EXPECT_FALSE(msg_res.ok());
+  EXPECT_EQ(msg_res.error_kind, engine::ErrorKind::kSpecInvalid);
+  EXPECT_NE(msg_res.error.find("c_min > c_max"), std::string::npos);
+
+  engine::RunSpec con_spec;
+  con_spec.backend = "concurrent";
+  con_spec.network = "bitonic";
+  con_spec.width = 4;
+  con_spec.threads = 0;
+  const engine::RunResult con_res = engine::run_backend(con_spec);
+  EXPECT_FALSE(con_res.ok());
+  EXPECT_EQ(con_res.error_kind, engine::ErrorKind::kSpecInvalid);
+
+  engine::RunSpec hop_spec = con_spec;
+  hop_spec.threads = 2;
+  hop_spec.ops_per_thread = 4;
+  hop_spec.hop_delay_min_ns = 100;
+  hop_spec.hop_delay_max_ns = 10;  // inverted pacing envelope
+  const engine::RunResult hop_res = engine::run_backend(hop_spec);
+  EXPECT_FALSE(hop_res.ok());
+  EXPECT_EQ(hop_res.error_kind, engine::ErrorKind::kSpecInvalid);
+
+  // The classification reaches the JSON result shape.
+  EXPECT_NE(engine::to_json(msg_res).find("\"error_kind\":\"spec_invalid\""),
+            std::string::npos);
+}
+
+TEST(FaultTaxonomy, TotalLossIsClassifiedAsFaultCasualty) {
+  engine::RunSpec spec;
+  spec.network = "bitonic";
+  spec.width = 4;
+  spec.processes = 2;
+  spec.ops_per_process = 1;
+  spec.seed = 5;
+  spec.fault.enabled = true;
+  spec.fault.p_token_loss = 1.0;  // every token vanishes
+  const engine::RunResult res = engine::run_backend(spec);
+  EXPECT_FALSE(res.ok());
+  EXPECT_EQ(res.error_kind, engine::ErrorKind::kFaultInjected);
+}
+
+}  // namespace

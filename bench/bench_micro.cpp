@@ -14,6 +14,7 @@
 //     EXPERIMENTS.md for how to read it.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <iomanip>
@@ -31,6 +32,8 @@
 #include "sim/adversary.hpp"
 #include "sim/simulator.hpp"
 #include "sim/workload.hpp"
+#include "trace/consistency.hpp"
+#include "trace/streaming.hpp"
 
 namespace {
 
@@ -175,6 +178,51 @@ void BM_SplitAnalysis(benchmark::State& state) {
 }
 BENCHMARK(BM_SplitAnalysis)->Arg(8)->Arg(32);
 
+/// One large simulator trace (bitonic B(8), 8 processes, ~32k tokens)
+/// reused by the analyzer benches, pre-sorted into the sink contract's
+/// issue order so the streaming side measures only checker cost.
+const Trace& analyzer_trace() {
+  static const Trace* trace = [] {
+    const Network topo = make_bitonic(8);
+    Xoshiro256 rng(7);
+    WorkloadSpec spec;
+    spec.processes = 8;
+    spec.tokens_per_process = 4096;
+    spec.c_max = 3.0;
+    spec.local_delay_max = 2.0;
+    const TimedExecution exec = generate_workload(topo, spec, rng);
+    auto* t = new Trace(simulate(exec).trace);
+    std::sort(t->begin(), t->end(), issue_order_less);
+    return t;
+  }();
+  return *trace;
+}
+
+// Batch analyzer: full three-pass analyze() over the materialized trace.
+void BM_AnalyzeBatch(benchmark::State& state) {
+  const Trace& trace = analyzer_trace();
+  for (auto _ : state) benchmark::DoNotOptimize(analyze(trace));
+  state.SetItemsProcessed(state.iterations() * trace.size());
+  state.SetLabel("tokens/sec (items)");
+}
+BENCHMARK(BM_AnalyzeBatch);
+
+// Streaming analyzer: one on_record per token through the incremental
+// checker (the per-token cost a sink-mode sweep pays instead of analyze).
+void BM_AnalyzeStreaming(benchmark::State& state) {
+  const Trace& trace = analyzer_trace();
+  StreamingConsistency checker;
+  for (auto _ : state) {
+    checker.reset();
+    for (const TokenRecord& r : trace) checker.on_record(r);
+    checker.finish();
+    benchmark::DoNotOptimize(checker.report());
+  }
+  state.SetItemsProcessed(state.iterations() * trace.size());
+  state.SetLabel("tokens/sec (items)");
+}
+BENCHMARK(BM_AnalyzeStreaming);
+
 // Engine dispatch on top of BM_SimulateRandomWorkload's work: registry
 // lookup, RunSpec plumbing, and the consistency analysis per run. Items
 // are trials, so items/sec reads as trials/sec.
@@ -229,6 +277,25 @@ void BM_EngineSweep(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * sweep.trials);
 }
 BENCHMARK(BM_EngineSweep)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+// The same sweep with keep_trace=false: every trial runs against the
+// streaming checker and never materializes its trace.
+void BM_EngineSweepStreaming(benchmark::State& state) {
+  const Network topo = make_bitonic(8);
+  engine::SweepSpec sweep;
+  sweep.base.net = &topo;
+  sweep.base.processes = 8;
+  sweep.base.ops_per_process = 4;
+  sweep.base.c_max = 3.0;
+  sweep.base.keep_trace = false;
+  sweep.trials = 64;
+  sweep.threads = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine::sweep_stats(sweep));
+  }
+  state.SetItemsProcessed(state.iterations() * sweep.trials);
+}
+BENCHMARK(BM_EngineSweepStreaming)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 // ---------------------------------------------------------------------------
 // --json mode: the tracked perf baseline (BENCH_micro.json).
@@ -325,6 +392,80 @@ TrialRates measure_trials(double min_seconds) {
   return r;
 }
 
+struct AnalyzerRates {
+  std::size_t tokens = 0;
+  double batch_tokens_per_sec = 0.0;
+  double stream_tokens_per_sec = 0.0;
+
+  double ratio() const { return stream_tokens_per_sec / batch_tokens_per_sec; }
+};
+
+/// Batch analyze() vs the streaming checker on the shared ~32k-token
+/// trace; alternating rounds, max of rates — same noise defense as
+/// measure_traversal.
+AnalyzerRates measure_analyzer(double min_seconds) {
+  constexpr int kRounds = 4;
+  const Trace& trace = analyzer_trace();
+  AnalyzerRates r;
+  r.tokens = trace.size();
+  StreamingConsistency checker;
+  const double round_seconds = min_seconds / kRounds;
+  for (int round = 0; round < kRounds; ++round) {
+    r.batch_tokens_per_sec = std::max(
+        r.batch_tokens_per_sec,
+        cn::bench::measure_rate(trace.size(), round_seconds, [&] {
+          benchmark::DoNotOptimize(analyze(trace));
+        }));
+    r.stream_tokens_per_sec = std::max(
+        r.stream_tokens_per_sec,
+        cn::bench::measure_rate(trace.size(), round_seconds, [&] {
+          checker.reset();
+          for (const TokenRecord& rec : trace) checker.on_record(rec);
+          checker.finish();
+          benchmark::DoNotOptimize(checker.report());
+        }));
+  }
+  return r;
+}
+
+struct StreamingSweepRates {
+  double collect_per_sec = 0.0;
+  double stream_per_sec = 0.0;
+
+  double ratio() const { return stream_per_sec / collect_per_sec; }
+};
+
+/// Single-threaded 64-trial sweeps, materialized traces vs the
+/// streaming sink path (keep_trace=false).
+StreamingSweepRates measure_streaming_sweep(double min_seconds) {
+  constexpr int kRounds = 4;
+  const Network topo = make_bitonic(8);
+  engine::SweepSpec sweep;
+  sweep.base.net = &topo;
+  sweep.base.processes = 8;
+  sweep.base.ops_per_process = 8;
+  sweep.base.c_max = 3.0;
+  sweep.trials = 64;
+  sweep.threads = 1;
+  StreamingSweepRates r;
+  const double round_seconds = min_seconds / kRounds;
+  for (int round = 0; round < kRounds; ++round) {
+    sweep.base.keep_trace = true;
+    r.collect_per_sec = std::max(
+        r.collect_per_sec,
+        cn::bench::measure_rate(sweep.trials, round_seconds, [&] {
+          benchmark::DoNotOptimize(engine::sweep_stats(sweep));
+        }));
+    sweep.base.keep_trace = false;
+    r.stream_per_sec = std::max(
+        r.stream_per_sec,
+        cn::bench::measure_rate(sweep.trials, round_seconds, [&] {
+          benchmark::DoNotOptimize(engine::sweep_stats(sweep));
+        }));
+  }
+  return r;
+}
+
 std::string json_traversal(std::uint32_t width, const TraversalRates& r) {
   std::ostringstream os;
   os << std::setprecision(6);
@@ -356,6 +497,8 @@ int json_main(const CliArgs& args) {
   const TraversalRates t8 = measure_traversal(8, min_seconds);
   const TraversalRates t32 = measure_traversal(32, min_seconds);
   const TrialRates trials = measure_trials(min_seconds);
+  const AnalyzerRates an = measure_analyzer(min_seconds);
+  const StreamingSweepRates ss = measure_streaming_sweep(min_seconds);
 
   std::ostringstream os;
   os << std::setprecision(6);
@@ -374,6 +517,18 @@ int json_main(const CliArgs& args) {
      << "    \"trials_per_sec_reused_arena\": " << trials.arena_per_sec
      << ",\n"
      << "    \"trials_per_sec_speedup\": " << trials.speedup() << "\n"
+     << "  },\n"
+     << "  \"analyzer_bitonic8\": {\n"
+     << "    \"trace_tokens\": " << an.tokens << ",\n"
+     << "    \"batch_tokens_per_sec\": " << an.batch_tokens_per_sec << ",\n"
+     << "    \"streaming_tokens_per_sec\": " << an.stream_tokens_per_sec
+     << ",\n"
+     << "    \"streaming_over_batch\": " << an.ratio() << "\n"
+     << "  },\n"
+     << "  \"streaming_sweep_bitonic8\": {\n"
+     << "    \"trials_per_sec_collect\": " << ss.collect_per_sec << ",\n"
+     << "    \"trials_per_sec_stream\": " << ss.stream_per_sec << ",\n"
+     << "    \"stream_over_collect\": " << ss.ratio() << "\n"
      << "  }\n"
      << "}\n";
 
@@ -394,6 +549,13 @@ int json_main(const CliArgs& args) {
             << "engine B(8):     " << trials.fresh_per_sec / 1e3
             << "k trials/s fresh context, " << trials.arena_per_sec / 1e3
             << "k trials/s reused arena (" << trials.speedup() << "x)\n"
+            << "analyzer " << an.tokens << " tokens: batch "
+            << an.batch_tokens_per_sec / 1e6 << "M tokens/s, streaming "
+            << an.stream_tokens_per_sec / 1e6 << "M tokens/s ("
+            << an.ratio() << "x)\n"
+            << "sweep B(8):      " << ss.collect_per_sec / 1e3
+            << "k trials/s collect, " << ss.stream_per_sec / 1e3
+            << "k trials/s streaming (" << ss.ratio() << "x)\n"
             << "wrote " << out_path << "\n";
   return 0;
 }

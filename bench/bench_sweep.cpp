@@ -6,7 +6,15 @@
 //                 [--trials 200] [--threads 0] [--seed 1]
 //                 [--c_min 1] [--c_max 2.5] [--local_delay 0]
 //                 [--processes 8] [--ops 4] [--timeout_ms 0] [--retries 0]
+//                 [--stream] [--record <path>] [--replay <path>]
 //                 [--json] [--list]
+//
+// --stream runs every trial against the incremental consistency checker
+// (RunSpec::keep_trace = false): same aggregate report, O(open
+// operations) trace memory per trial instead of O(tokens). --record
+// writes the trace of a single trial (forces --trials 1) to a file in
+// the versioned binary format of trace/serialize.hpp; --replay selects
+// the "replay" backend on such a file.
 //
 // The aggregate report (table or --json) is byte-identical at every
 // --threads value for the same seed: per-trial seeds are derived
@@ -48,6 +56,17 @@ int main(int argc, char** argv) {
   sweep.threads = cn::bench::sweep_threads(args);
   sweep.timeout_ms = static_cast<std::uint64_t>(args.get_int("timeout_ms", 0));
   sweep.max_retries = static_cast<std::uint32_t>(args.get_int("retries", 0));
+
+  spec.keep_trace = !args.get_bool("stream", false);
+  spec.record_path = args.get("record", "");
+  spec.replay_path = args.get("replay", "");
+  if (!spec.replay_path.empty()) spec.backend = "replay";
+  if (!spec.record_path.empty() && sweep.trials != 1) {
+    // A recorded file holds ONE trial's trace; silently overwriting it
+    // trials-1 times would record whichever trial finished last.
+    std::cerr << "--record forces --trials 1 (was " << sweep.trials << ")\n";
+    sweep.trials = 1;
+  }
 
   if (engine::find_backend(spec.backend) == nullptr) {
     std::cerr << "unknown backend '" << spec.backend

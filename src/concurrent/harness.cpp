@@ -48,8 +48,11 @@ std::string validate(const ConcurrentRunSpec& spec) {
   return {};
 }
 
-ConcurrentRunResult run_recorded(ConcurrentNetwork& net,
-                                 const ConcurrentRunSpec& spec) {
+namespace {
+
+ConcurrentRunResult run_recorded_with(ConcurrentNetwork& net,
+                                      const ConcurrentRunSpec& spec,
+                                      TraceSink* sink) {
   ConcurrentRunResult result;
   result.error = validate(spec);
   if (!result.ok()) return result;
@@ -144,8 +147,34 @@ ConcurrentRunResult run_recorded(ConcurrentNetwork& net,
   }
   for (std::thread& w : workers) w.join();
   const auto t_end = Clock::now();
-  for (Trace& p : partial) {
-    result.trace.insert(result.trace.end(), p.begin(), p.end());
+  std::uint64_t completed_ops = 0;
+  for (const Trace& p : partial) completed_ops += p.size();
+  if (sink == nullptr) {
+    for (Trace& p : partial) {
+      result.trace.insert(result.trace.end(), p.begin(), p.end());
+    }
+  } else {
+    // Each thread's operations are sequential, so its partial is sorted
+    // by issue key and completion key alike (monotonic steady-clock
+    // stamps); a k-way merge on (first_seq, last_seq, token) yields the
+    // global issue order the sink contract wants. Buffering per thread
+    // during the run is deliberate: a shared locked sink would perturb
+    // the timing being measured.
+    std::vector<std::size_t> head(partial.size(), 0);
+    for (;;) {
+      std::size_t best = partial.size();
+      for (std::size_t t = 0; t < partial.size(); ++t) {
+        if (head[t] >= partial[t].size()) continue;
+        if (best == partial.size() ||
+            issue_order_less(partial[t][head[t]],
+                             partial[best][head[best]])) {
+          best = t;
+        }
+      }
+      if (best == partial.size()) break;
+      sink->on_record(partial[best][head[best]]);
+      ++head[best];
+    }
   }
   if (spec.record_schedule) {
     result.schedule.net = &net.network();
@@ -162,12 +191,25 @@ ConcurrentRunResult run_recorded(ConcurrentNetwork& net,
   }
   // Completed operations only: crashes and abandoned tokens don't count.
   result.total_ops =
-      faulted ? result.trace.size()
+      faulted ? completed_ops
               : static_cast<std::uint64_t>(spec.threads) * spec.ops_per_thread;
   result.elapsed_sec = std::chrono::duration<double>(t_end - t_start).count();
   result.ops_per_sec =
       result.elapsed_sec > 0 ? result.total_ops / result.elapsed_sec : 0.0;
   return result;
+}
+
+}  // namespace
+
+ConcurrentRunResult run_recorded(ConcurrentNetwork& net,
+                                 const ConcurrentRunSpec& spec) {
+  return run_recorded_with(net, spec, nullptr);
+}
+
+ConcurrentRunResult run_recorded(ConcurrentNetwork& net,
+                                 const ConcurrentRunSpec& spec,
+                                 TraceSink& sink) {
+  return run_recorded_with(net, spec, &sink);
 }
 
 double run_throughput(std::uint32_t threads, std::uint64_t ops_per_thread,

@@ -12,6 +12,7 @@
 #include "fault/fault.hpp"
 #include "sim/timed_execution.hpp"
 #include "sim/trace.hpp"
+#include "trace/sink.hpp"
 
 namespace cn {
 
@@ -82,6 +83,17 @@ std::string validate(const ConcurrentRunSpec& spec);
 /// resulting trace can be fed to analyze() / is_sequentially_consistent().
 ConcurrentRunResult run_recorded(ConcurrentNetwork& net,
                                  const ConcurrentRunSpec& spec);
+
+/// Streaming variant: after the workers join, feeds the merged records to
+/// `sink` in global ISSUE order ((first_seq, last_seq, token) — each
+/// thread's sequential partial is sorted by that key already, so per-
+/// thread partials are merged, not re-sorted) and leaves
+/// ConcurrentRunResult::trace empty. Threads still buffer their own
+/// records during the run so the sink never sits on the timed path. Does
+/// not call sink.finish().
+ConcurrentRunResult run_recorded(ConcurrentNetwork& net,
+                                 const ConcurrentRunSpec& spec,
+                                 TraceSink& sink);
 
 /// Unrecorded throughput run against any counter functor: `next(thread)`
 /// must return a fresh value. Returns operations per second.

@@ -5,6 +5,7 @@
 
 #include "core/constructions.hpp"
 #include "sim/consistency.hpp"
+#include "trace/serialize.hpp"
 #include "util/bits.hpp"
 
 namespace cn::engine {
@@ -94,15 +95,35 @@ RunResult run_backend(const RunSpec& spec, RunContext& ctx) {
     out.error_kind = ErrorKind::kSpecInvalid;
     return out;
   }
+  // Streaming mode: no materialized trace, incremental analysis. A
+  // recorded run always collects (the file IS the materialized trace).
+  const bool streaming = !spec.keep_trace && spec.record_path.empty();
   RunResult out;
   // A backend that throws (instead of returning an error result) must
   // not take down a whole sweep: catch per-run and fold the exception
-  // into the error taxonomy.
+  // into the error taxonomy. In streaming mode this also covers the
+  // checker's arrival-order contract violations.
   try {
-    out = src->run(spec, ctx);
-    out.backend = spec.backend;
-    if (out.ok() && out.report.total == 0 && !out.trace.empty()) {
-      out.report = analyze(out.trace);
+    if (streaming) {
+      ctx.checker.reset();
+      if (spec.fault.enabled) {
+        ctx.degradation.reset();
+        TeeSink tee(ctx.checker, ctx.degradation);
+        out = src->run(spec, ctx, tee);
+      } else {
+        out = src->run(spec, ctx, ctx.checker);
+      }
+      out.backend = spec.backend;
+      if (out.ok()) {
+        ctx.checker.finish();
+        out.report = ctx.checker.report();
+      }
+    } else {
+      out = src->run(spec, ctx);
+      out.backend = spec.backend;
+      if (out.ok() && out.report.total == 0 && !out.trace.empty()) {
+        out.report = analyze(out.trace);
+      }
     }
   } catch (const std::exception& e) {
     out = RunResult{};
@@ -128,14 +149,18 @@ RunResult run_backend(const RunSpec& spec, RunContext& ctx) {
   // p=0 point of a degradation curve still reports its zero rates —
   // while default (disabled) runs emit byte-identical metrics.
   if (out.ok() && spec.fault.enabled && spec.record_trace) {
-    if (out.trace.empty()) {
+    const std::uint64_t completed =
+        streaming ? ctx.degradation.records() : out.trace.size();
+    if (completed == 0) {
       out.error = "fault injection removed every completed operation";
       out.error_kind = ErrorKind::kFaultInjected;
     } else {
       const Network* net =
           spec.net != nullptr ? spec.net : out.owned_net.get();
+      const std::uint32_t fan_out = net != nullptr ? net->fan_out() : 0;
       const fault::Degradation deg =
-          fault::degradation(out.trace, net != nullptr ? net->fan_out() : 0);
+          streaming ? ctx.degradation.result(fan_out)
+                    : fault::degradation(out.trace, fan_out);
       out.metrics["counting_violation"] = deg.counting_violation;
       out.metrics["smoothness_gap"] = deg.smoothness_gap;
       out.metrics["smoothness_violation"] = deg.smoothness_violation;
@@ -144,6 +169,18 @@ RunResult run_backend(const RunSpec& spec, RunContext& ctx) {
                        !out.report.linearizable() ||
                        !out.report.sequentially_consistent();
       out.metrics["any_violation"] = any ? 1.0 : 0.0;
+    }
+  }
+  // Recorded runs persist the collected trace; a failed write is a
+  // backend failure, not a silent success with a missing file.
+  if (out.ok() && !spec.record_path.empty()) {
+    if (std::string werr = write_trace_file(spec.record_path, out.trace);
+        !werr.empty()) {
+      out.error = "trace record failed: " + werr;
+      out.error_kind = ErrorKind::kBackendError;
+    } else if (!spec.keep_trace) {
+      out.trace = Trace{};
+      out.exec = TimedExecution{};
     }
   }
   return out;

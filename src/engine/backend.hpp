@@ -12,16 +12,23 @@
 
 #include "engine/run_result.hpp"
 #include "engine/run_spec.hpp"
+#include "fault/fault.hpp"
 #include "sim/simulator.hpp"
+#include "trace/sink.hpp"
+#include "trace/streaming.hpp"
 
 namespace cn::engine {
 
 /// Per-worker reusable resources threaded through run_backend: one
 /// simulation arena (compiled routing tables + state buffers) that
-/// repeated trials on the same network share instead of reallocating.
+/// repeated trials on the same network share instead of reallocating,
+/// plus the streaming-analysis sinks (consistency checker + degradation
+/// accumulator) reused across trials when spec.keep_trace is false.
 /// One RunContext per thread — it is not synchronized.
 struct RunContext {
   SimArena arena;
+  StreamingConsistency checker;
+  fault::DegradationAccumulator degradation;
 };
 
 /// A named producer of traces. Implementations must be stateless (or
@@ -51,6 +58,25 @@ class TraceSource {
     (void)ctx;
     return run(spec);
   }
+
+  /// Streaming entry point: emit every completed operation to `sink` in
+  /// ISSUE order (non-decreasing (first_seq, last_seq, token) — the
+  /// TraceSink contract) instead of (or in addition to) RunResult::trace,
+  /// and leave RunResult::trace empty. Must emit the exact multiset of
+  /// records the collecting run(spec, ctx) would have produced; must NOT
+  /// call sink.finish() (run_backend owns stream termination). Native
+  /// producers emit live in O(open operations) memory (see
+  /// IssueOrderBuffer); the default collects via run(spec, ctx), replays
+  /// the trace with feed_issue_order, and drops the materialized copy.
+  virtual RunResult run(const RunSpec& spec, RunContext& ctx,
+                        TraceSink& sink) const {
+    RunResult out = run(spec, ctx);
+    if (!out.ok()) return out;
+    feed_issue_order(out.trace, sink);
+    out.trace = Trace{};
+    out.exec = TimedExecution{};
+    return out;
+  }
 };
 
 using BackendFactory = std::function<std::unique_ptr<TraceSource>()>;
@@ -69,6 +95,13 @@ std::vector<std::string> backend_names();
 /// Resolves spec.backend in the registry, runs it, and fills in the
 /// consistency report (analyze on the produced trace) unless the backend
 /// already did. Unknown backend keys yield an error result.
+///
+/// Streaming mode (spec.keep_trace == false, spec.record_path empty):
+/// the backend runs against the context's StreamingConsistency sink
+/// (teed into the degradation accumulator when spec.fault.enabled), the
+/// report is computed incrementally, and RunResult::trace stays empty.
+/// With a non-empty spec.record_path the run collects normally and the
+/// trace is additionally written to that file (trace/serialize.hpp).
 RunResult run_backend(const RunSpec& spec);
 
 /// Same, reusing the caller's per-worker context (see RunContext). The
@@ -85,8 +118,8 @@ const Network* resolve_network(const RunSpec& spec,
 
 /// Registers the built-in backends (simulator, sim_burst,
 /// sim_heterogeneous, wave, msg, concurrent, fetch_inc, mcs,
-/// combining_tree, diffracting_tree, optimizer). Called lazily by the
-/// registry itself; safe to call repeatedly.
+/// combining_tree, diffracting_tree, optimizer, replay). Called lazily
+/// by the registry itself; safe to call repeatedly.
 void register_builtin_backends();
 
 }  // namespace cn::engine

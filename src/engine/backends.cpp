@@ -10,6 +10,7 @@
 //   concurrent         shared-memory network on real threads
 //   fetch_inc / mcs / combining_tree / diffracting_tree
 //                      baseline counters on real threads
+//   replay             re-analysis of a recorded trace file
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -31,6 +32,8 @@
 #include "sim/optimizer.hpp"
 #include "sim/simulator.hpp"
 #include "sim/workload.hpp"
+#include "trace/serialize.hpp"
+#include "trace/sink.hpp"
 #include "util/rng.hpp"
 #include "util/spin_barrier.hpp"
 
@@ -91,6 +94,29 @@ void finish_simulated(RunResult& out, const RunSpec& spec, TimedExecution exec,
   out.exec = std::move(exec);
 }
 
+/// Streaming twin of finish_simulated: every completed token goes to
+/// `sink` in issue order (the simulators reorder their counter-crossing
+/// emissions internally) and neither the trace nor the execution is kept
+/// on the result.
+void finish_simulated_stream(RunResult& out, const RunSpec& spec,
+                             TimedExecution exec, SimArena& arena,
+                             TraceSink& sink) {
+  if (spec.fault.sim_faults()) {
+    const fault::SimFaults faults =
+        fault::draw_sim_faults(*exec.net, exec, spec.fault, spec.seed);
+    const fault::FaultedSimResult sim =
+        fault::simulate_faulted_stream(exec, faults, sink);
+    if (!sim.ok()) {
+      out.error = "faulted simulation failed: " + sim.error;
+      return;
+    }
+    record_sim_fault_metrics(out, faults);
+    return;
+  }
+  const SimulationResult sim = simulate_stream(exec, arena, sink);
+  if (!sim.ok()) out.error = "simulation failed: " + sim.error;
+}
+
 /// Re-interprets an already-built execution under the spec's fault
 /// overlay (wave / optimizer: the adversarial schedule is built pristine,
 /// then the faults hit it). Replaces the trace and resets the report so
@@ -132,6 +158,21 @@ class SimulatorBackend final : public TraceSource {
   RunResult run(const RunSpec& spec, RunContext& ctx) const override {
     Resolved r(spec);
     if (!r.ok()) return std::move(r.result);
+    finish_simulated(r.result, spec, make_exec(spec, *r.net), ctx.arena);
+    return std::move(r.result);
+  }
+
+  RunResult run(const RunSpec& spec, RunContext& ctx,
+                TraceSink& sink) const override {
+    Resolved r(spec);
+    if (!r.ok()) return std::move(r.result);
+    finish_simulated_stream(r.result, spec, make_exec(spec, *r.net),
+                            ctx.arena, sink);
+    return std::move(r.result);
+  }
+
+ private:
+  static TimedExecution make_exec(const RunSpec& spec, const Network& net) {
     WorkloadSpec wl;
     wl.processes = spec.processes;
     wl.tokens_per_process = spec.ops_per_process;
@@ -143,9 +184,7 @@ class SimulatorBackend final : public TraceSource {
                              : spec.local_delay_min + 2.0;
     wl.extreme_delays = spec.extreme_delays;
     Xoshiro256 rng(spec.seed);
-    finish_simulated(r.result, spec, generate_workload(*r.net, wl, rng),
-                     ctx.arena);
-    return std::move(r.result);
+    return generate_workload(net, wl, rng);
   }
 };
 
@@ -167,7 +206,21 @@ class BurstBackend final : public TraceSource {
   RunResult run(const RunSpec& spec, RunContext& ctx) const override {
     Resolved r(spec);
     if (!r.ok()) return std::move(r.result);
-    const Network& net = *r.net;
+    finish_simulated(r.result, spec, make_exec(spec, *r.net), ctx.arena);
+    return std::move(r.result);
+  }
+
+  RunResult run(const RunSpec& spec, RunContext& ctx,
+                TraceSink& sink) const override {
+    Resolved r(spec);
+    if (!r.ok()) return std::move(r.result);
+    finish_simulated_stream(r.result, spec, make_exec(spec, *r.net),
+                            ctx.arena, sink);
+    return std::move(r.result);
+  }
+
+ private:
+  static TimedExecution make_exec(const RunSpec& spec, const Network& net) {
     Xoshiro256 rng(spec.seed);
     TimedExecution exec;
     exec.net = &net;
@@ -194,14 +247,59 @@ class BurstBackend final : public TraceSource {
       }
       t0 = latest_exit + spec.burst_gap;
     }
-    finish_simulated(r.result, spec, std::move(exec), ctx.arena);
-    return std::move(r.result);
+    return exec;
   }
 };
 
 // ---------------------------------------------------------------------
 // sim_heterogeneous: hare (process 0) vs tortoise local delays.
 // ---------------------------------------------------------------------
+
+/// Streaming computation of the heterogeneous backend's extra metrics
+/// (hare/other op counts, per-process SC flags). Exact replacement for
+/// the batch is_sequentially_consistent_for calls: the simulator emits
+/// each process's records in issue order (a closed-loop process's tokens
+/// complete in the order they were issued), so a per-process prefix max
+/// over the arrival stream sees exactly what the batch check sees.
+class HetMetricsSink final : public TraceSink {
+ public:
+  HetMetricsSink(TraceSink& inner, std::uint32_t processes)
+      : inner_(inner), procs_(processes) {}
+
+  void on_record(const TokenRecord& rec) override {
+    inner_.on_record(rec);
+    (rec.process == 0 ? hare_ops_ : other_ops_) += 1;
+    if (rec.process >= procs_.size()) procs_.resize(rec.process + 1);
+    Proc& p = procs_[rec.process];
+    if (p.any && p.prefix_max > rec.value) p.non_sc = true;
+    p.prefix_max = p.any ? std::max(p.prefix_max, rec.value) : rec.value;
+    p.any = true;
+  }
+
+  std::uint64_t hare_ops() const noexcept { return hare_ops_; }
+  std::uint64_t other_ops() const noexcept { return other_ops_; }
+  bool hare_sc() const noexcept {
+    return procs_.empty() || !procs_[0].non_sc;
+  }
+  bool others_sc() const noexcept {
+    for (std::size_t p = 1; p < procs_.size(); ++p) {
+      if (procs_[p].non_sc) return false;
+    }
+    return true;
+  }
+
+ private:
+  struct Proc {
+    bool any = false;
+    bool non_sc = false;
+    Value prefix_max = 0;
+  };
+  TraceSink& inner_;
+  std::uint64_t hare_ops_ = 0;
+  std::uint64_t other_ops_ = 0;
+  std::vector<Proc> procs_;
+};
+
 class HeterogeneousBackend final : public TraceSource {
  public:
   std::string name() const override { return "sim_heterogeneous"; }
@@ -218,6 +316,42 @@ class HeterogeneousBackend final : public TraceSource {
     Resolved r(spec);
     if (!r.ok()) return std::move(r.result);
     const Network& net = *r.net;
+    finish_simulated(r.result, spec, make_exec(spec, net), ctx.arena);
+    if (!r.result.ok()) return std::move(r.result);
+    std::uint64_t hare_ops = 0, other_ops = 0;
+    for (const TokenRecord& rec : r.result.trace) {
+      (rec.process == 0 ? hare_ops : other_ops) += 1;
+    }
+    bool others_sc = true;
+    for (ProcessId p = 1; p < net.fan_in(); ++p) {
+      others_sc &= is_sequentially_consistent_for(r.result.trace, p);
+    }
+    r.result.metrics["hare_ops"] = static_cast<double>(hare_ops);
+    r.result.metrics["other_ops"] = static_cast<double>(other_ops);
+    r.result.metrics["hare_sc"] =
+        is_sequentially_consistent_for(r.result.trace, 0) ? 1.0 : 0.0;
+    r.result.metrics["others_sc"] = others_sc ? 1.0 : 0.0;
+    return std::move(r.result);
+  }
+
+  RunResult run(const RunSpec& spec, RunContext& ctx,
+                TraceSink& sink) const override {
+    Resolved r(spec);
+    if (!r.ok()) return std::move(r.result);
+    const Network& net = *r.net;
+    HetMetricsSink het(sink, net.fan_in());
+    finish_simulated_stream(r.result, spec, make_exec(spec, net), ctx.arena,
+                            het);
+    if (!r.result.ok()) return std::move(r.result);
+    r.result.metrics["hare_ops"] = static_cast<double>(het.hare_ops());
+    r.result.metrics["other_ops"] = static_cast<double>(het.other_ops());
+    r.result.metrics["hare_sc"] = het.hare_sc() ? 1.0 : 0.0;
+    r.result.metrics["others_sc"] = het.others_sc() ? 1.0 : 0.0;
+    return std::move(r.result);
+  }
+
+ private:
+  static TimedExecution make_exec(const RunSpec& spec, const Network& net) {
     Xoshiro256 rng(spec.seed);
     TimedExecution exec;
     exec.net = &net;
@@ -244,22 +378,7 @@ class HeterogeneousBackend final : public TraceSource {
         ++k;
       }
     }
-    finish_simulated(r.result, spec, std::move(exec), ctx.arena);
-    if (!r.result.ok()) return std::move(r.result);
-    std::uint64_t hare_ops = 0, other_ops = 0;
-    for (const TokenRecord& rec : r.result.trace) {
-      (rec.process == 0 ? hare_ops : other_ops) += 1;
-    }
-    bool others_sc = true;
-    for (ProcessId p = 1; p < net.fan_in(); ++p) {
-      others_sc &= is_sequentially_consistent_for(r.result.trace, p);
-    }
-    r.result.metrics["hare_ops"] = static_cast<double>(hare_ops);
-    r.result.metrics["other_ops"] = static_cast<double>(other_ops);
-    r.result.metrics["hare_sc"] =
-        is_sequentially_consistent_for(r.result.trace, 0) ? 1.0 : 0.0;
-    r.result.metrics["others_sc"] = others_sc ? 1.0 : 0.0;
-    return std::move(r.result);
+    return exec;
   }
 };
 
@@ -357,6 +476,23 @@ class MsgBackend final : public TraceSource {
   }
 
   RunResult run(const RunSpec& spec) const override {
+    return run_msg(spec, nullptr);
+  }
+
+  RunResult run(const RunSpec& spec, RunContext& ctx,
+                TraceSink& sink) const override {
+    // The msg kernel streams natively unless message duplication is on:
+    // a duplicated delivery re-counts a token after its record was
+    // emitted, which only the collecting path can express. Duplication
+    // cases fall back to the base collect-then-replay path.
+    if (spec.fault.enabled && spec.fault.p_msg_duplicate > 0.0) {
+      return TraceSource::run(spec, ctx, sink);
+    }
+    return run_msg(spec, &sink);
+  }
+
+ private:
+  RunResult run_msg(const RunSpec& spec, TraceSink* sink) const {
     Resolved r(spec);
     if (!r.ok()) return std::move(r.result);
     msg::MsgRunSpec ms;
@@ -375,7 +511,9 @@ class MsgBackend final : public TraceSource {
       r.result.error_kind = ErrorKind::kSpecInvalid;
       return std::move(r.result);
     }
-    msg::MsgRunResult mr = run_message_passing(*r.net, ms);
+    msg::MsgRunResult mr = sink != nullptr
+                               ? run_message_passing(*r.net, ms, *sink)
+                               : run_message_passing(*r.net, ms);
     if (!mr.ok()) {
       r.result.error = mr.error;
       return std::move(r.result);
@@ -408,6 +546,16 @@ class ConcurrentBackend final : public TraceSource {
   }
 
   RunResult run(const RunSpec& spec) const override {
+    return run_concurrent(spec, nullptr);
+  }
+
+  RunResult run(const RunSpec& spec, RunContext&,
+                TraceSink& sink) const override {
+    return run_concurrent(spec, &sink);
+  }
+
+ private:
+  RunResult run_concurrent(const RunSpec& spec, TraceSink* sink) const {
     Resolved r(spec);
     if (!r.ok()) return std::move(r.result);
     ConcurrentNetwork net(*r.net);
@@ -437,7 +585,8 @@ class ConcurrentBackend final : public TraceSource {
       r.result.error_kind = ErrorKind::kSpecInvalid;
       return std::move(r.result);
     }
-    ConcurrentRunResult cr = run_recorded(net, cs);
+    ConcurrentRunResult cr =
+        sink != nullptr ? run_recorded(net, cs, *sink) : run_recorded(net, cs);
     if (!cr.ok()) {
       r.result.error = cr.error;
       return std::move(r.result);
@@ -487,8 +636,30 @@ void counter_stall(std::uint64_t ns) {
   }
 }
 
+/// Feeds per-thread partial traces (each sequential, hence sorted by
+/// issue key and completion key alike) to `sink` in global issue order —
+/// the same k-way merge the concurrent harness performs.
+void merge_partials_into(std::vector<Trace>& partial, TraceSink& sink) {
+  std::vector<std::size_t> head(partial.size(), 0);
+  for (;;) {
+    std::size_t best = partial.size();
+    for (std::size_t t = 0; t < partial.size(); ++t) {
+      if (head[t] >= partial[t].size()) continue;
+      if (best == partial.size() ||
+          issue_order_less(partial[t][head[t]],
+                           partial[best][head[best]])) {
+        best = t;
+      }
+    }
+    if (best == partial.size()) return;
+    sink.on_record(partial[best][head[best]]);
+    ++head[best];
+  }
+}
+
 template <typename Next>
-void run_counter(RunResult& out, const RunSpec& spec, Next&& next) {
+void run_counter(RunResult& out, const RunSpec& spec, Next&& next,
+                 TraceSink* sink = nullptr) {
   if (spec.threads == 0) {
     out.error = "spec invalid: threads == 0";
     out.error_kind = ErrorKind::kSpecInvalid;
@@ -568,11 +739,17 @@ void run_counter(RunResult& out, const RunSpec& spec, Next&& next) {
   for (std::thread& w : workers) w.join();
   const double elapsed =
       std::chrono::duration<double>(Clock::now() - t_start).count();
-  for (Trace& p : partial) {
-    out.trace.insert(out.trace.end(), p.begin(), p.end());
+  std::uint64_t completed_ops = 0;
+  for (const Trace& p : partial) completed_ops += p.size();
+  if (sink == nullptr) {
+    for (Trace& p : partial) {
+      out.trace.insert(out.trace.end(), p.begin(), p.end());
+    }
+  } else {
+    merge_partials_into(partial, *sink);
   }
   const double total =
-      faulted ? static_cast<double>(out.trace.size())
+      faulted ? static_cast<double>(completed_ops)
               : static_cast<double>(spec.threads) * spec.ops_per_thread;
   out.metrics["total_ops"] = total;
   out.metrics["elapsed_sec"] = elapsed;
@@ -603,6 +780,14 @@ class FetchIncBackend final : public TraceSource {
     run_counter(out, spec, [&c](std::uint32_t) { return c.next(); });
     return out;
   }
+
+  RunResult run(const RunSpec& spec, RunContext&,
+                TraceSink& sink) const override {
+    RunResult out;
+    FetchIncCounter c;
+    run_counter(out, spec, [&c](std::uint32_t) { return c.next(); }, &sink);
+    return out;
+  }
 };
 
 class McsBackend final : public TraceSource {
@@ -618,6 +803,15 @@ class McsBackend final : public TraceSource {
     run_counter(out, spec, [&c](std::uint32_t th) { return c.next(th); });
     return out;
   }
+
+  RunResult run(const RunSpec& spec, RunContext&,
+                TraceSink& sink) const override {
+    RunResult out;
+    McsCounter c;
+    run_counter(out, spec, [&c](std::uint32_t th) { return c.next(th); },
+                &sink);
+    return out;
+  }
 };
 
 class CombiningTreeBackend final : public TraceSource {
@@ -629,12 +823,25 @@ class CombiningTreeBackend final : public TraceSource {
 
   RunResult run(const RunSpec& spec) const override {
     RunResult out;
-    std::uint32_t capacity = 2;
-    while (capacity < spec.threads) capacity *= 2;
-    capacity = std::max(capacity, spec.width);
-    CombiningTree c(capacity);
+    CombiningTree c(capacity_for(spec));
     run_counter(out, spec, [&c](std::uint32_t th) { return c.next(th); });
     return out;
+  }
+
+  RunResult run(const RunSpec& spec, RunContext&,
+                TraceSink& sink) const override {
+    RunResult out;
+    CombiningTree c(capacity_for(spec));
+    run_counter(out, spec, [&c](std::uint32_t th) { return c.next(th); },
+                &sink);
+    return out;
+  }
+
+ private:
+  static std::uint32_t capacity_for(const RunSpec& spec) {
+    std::uint32_t capacity = 2;
+    while (capacity < spec.threads) capacity *= 2;
+    return std::max(capacity, spec.width);
   }
 };
 
@@ -652,6 +859,50 @@ class DiffractingTreeBackend final : public TraceSource {
     if (out.ok()) {
       out.metrics["diffracted"] = static_cast<double>(c.total_diffracted());
     }
+    return out;
+  }
+
+  RunResult run(const RunSpec& spec, RunContext&,
+                TraceSink& sink) const override {
+    RunResult out;
+    DiffractingTree c(spec.width);
+    run_counter(out, spec, [&c](std::uint32_t th) { return c.next(th); },
+                &sink);
+    if (out.ok()) {
+      out.metrics["diffracted"] = static_cast<double>(c.total_diffracted());
+    }
+    return out;
+  }
+};
+
+// ---------------------------------------------------------------------
+// replay: re-analyzes a trace recorded with spec.record_path /
+// bench_sweep --record. The file (trace/serialize.hpp format) stands in
+// for the live producer; everything downstream — batch analyze or the
+// streaming checker — treats it like any other backend's records.
+// ---------------------------------------------------------------------
+class ReplayBackend final : public TraceSource {
+ public:
+  std::string name() const override { return "replay"; }
+  std::string description() const override {
+    return "re-analyzes a recorded trace file (RunSpec::replay_path)";
+  }
+
+  RunResult run(const RunSpec& spec) const override {
+    RunResult out;
+    if (spec.replay_path.empty()) {
+      out.error = "replay backend requires replay_path";
+      out.error_kind = ErrorKind::kSpecInvalid;
+      return out;
+    }
+    ReadTraceResult rd = read_trace_file(spec.replay_path);
+    if (!rd.ok()) {
+      out.error = "replay failed: " + rd.error;
+      out.error_kind = ErrorKind::kSpecInvalid;
+      return out;
+    }
+    out.trace = std::move(rd.trace);
+    out.metrics["replayed_records"] = static_cast<double>(out.trace.size());
     return out;
   }
 };
@@ -675,6 +926,7 @@ void register_builtin_backends() {
   register_backend("mcs", factory<McsBackend>());
   register_backend("combining_tree", factory<CombiningTreeBackend>());
   register_backend("diffracting_tree", factory<DiffractingTreeBackend>());
+  register_backend("replay", factory<ReplayBackend>());
 }
 
 }  // namespace cn::engine

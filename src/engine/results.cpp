@@ -85,7 +85,9 @@ std::string to_json(const RunResult& result) {
     o.add("error", result.error);
     o.add("error_kind", std::string(error_kind_name(result.error_kind)));
   }
-  o.add("tokens", static_cast<std::uint64_t>(result.trace.size()));
+  // report.total so streaming runs (empty trace, incremental report)
+  // serialize the same token count as collecting runs.
+  o.add("tokens", static_cast<std::uint64_t>(result.report.total));
   o.add("non_linearizable",
         static_cast<std::uint64_t>(result.report.non_linearizable.size()));
   o.add("non_sequentially_consistent",

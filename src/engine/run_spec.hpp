@@ -85,6 +85,23 @@ struct RunSpec {
   std::uint32_t opt_restarts = 4;
   bool opt_objective_nonlin = false;  ///< Default objective is max F_nsc.
 
+  // --- streaming trace pipeline ---------------------------------------
+  /// When false, the engine runs the backend against a streaming
+  /// consistency sink instead of materializing the trace:
+  /// RunResult::trace stays empty, RunResult::report is computed
+  /// incrementally (byte-identical to the batch analyze), and trace
+  /// memory is O(open operations) instead of O(tokens). Backends that
+  /// stream natively (those overriding the sink entry point of
+  /// TraceSource) never build the trace at all; the rest collect
+  /// internally and replay into the sink.
+  bool keep_trace = true;
+  /// When non-empty, the produced trace is also written to this file in
+  /// the versioned binary format of trace/serialize.hpp (forces the
+  /// collecting path — a recorded run always materializes its trace).
+  std::string record_path;
+  /// "replay" backend only: the trace file to re-analyze.
+  std::string replay_path;
+
   // --- fault injection (all backends) ---------------------------------
   /// Deterministic fault mix for this run; disabled by default, in which
   /// case every backend takes its pristine code path byte-for-byte. Each

@@ -48,7 +48,9 @@ TrialSummary summarize(const RunResult& r) {
   s.non_sc = !r.report.sequentially_consistent();
   s.f_nl = r.report.f_nl;
   s.f_nsc = r.report.f_nsc;
-  s.tokens = r.trace.size();
+  // report.total, not trace.size(): streaming runs analyze every record
+  // without materializing the trace (collect runs have the two equal).
+  s.tokens = r.report.total;
   s.metrics = r.metrics;
   return s;
 }

@@ -46,4 +46,45 @@ Degradation degradation(const Trace& trace, std::uint32_t fan_out) {
   return d;
 }
 
+void DegradationAccumulator::on_record(const TokenRecord& record) {
+  ++records_;
+  if (record.value >= value_seen_.size()) {
+    value_seen_.resize(static_cast<std::size_t>(record.value) + 1, false);
+  }
+  if (value_seen_[record.value]) duplicate_value_ = true;
+  value_seen_[record.value] = true;
+  if (records_ == 1 || record.value > max_value_) max_value_ = record.value;
+  if (record.sink >= sink_counts_.size()) {
+    sink_counts_.resize(static_cast<std::size_t>(record.sink) + 1, 0);
+  }
+  ++sink_counts_[record.sink];
+}
+
+void DegradationAccumulator::reset() {
+  records_ = 0;
+  duplicate_value_ = false;
+  max_value_ = 0;
+  value_seen_.clear();
+  sink_counts_.clear();
+}
+
+Degradation DegradationAccumulator::result(std::uint32_t fan_out) const {
+  Degradation d;
+  if (records_ == 0) return d;
+  // The sorted values equal {0..n-1} iff there is no duplicate and every
+  // value is below n (n distinct values in [0, n) cover the range).
+  if (duplicate_value_ || max_value_ >= records_) d.counting_violation = 1.0;
+  const std::size_t sinks =
+      std::max<std::size_t>(fan_out, sink_counts_.size());
+  std::uint64_t lo = ~0ull, hi = 0;
+  for (std::size_t j = 0; j < sinks; ++j) {
+    const std::uint64_t c = j < sink_counts_.size() ? sink_counts_[j] : 0;
+    lo = std::min(lo, c);
+    hi = std::max(hi, c);
+  }
+  d.smoothness_gap = static_cast<double>(hi - lo);
+  d.smoothness_violation = d.smoothness_gap > 1.0 ? 1.0 : 0.0;
+  return d;
+}
+
 }  // namespace cn::fault

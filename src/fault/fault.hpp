@@ -22,8 +22,10 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "sim/trace.hpp"
+#include "trace/sink.hpp"
 #include "util/rng.hpp"
 
 namespace cn::fault {
@@ -151,5 +153,31 @@ struct Degradation {
 /// of sinks (pass 0 for single-counter baselines: the smoothness gap is
 /// then over the sinks that appear in the trace).
 Degradation degradation(const Trace& trace, std::uint32_t fan_out);
+
+/// Streaming equivalent of degradation(): accumulates per-record and
+/// produces the identical report from result(fan_out), in any record
+/// order. Memory is O(sinks) + O(max value)/8 bits — the value bitmap is
+/// what detects gaps and duplicates without materializing the trace, and
+/// for a counting network max value stays within fan_out * tokens even
+/// under heavy skew.
+class DegradationAccumulator final : public TraceSink {
+ public:
+  void on_record(const TokenRecord& record) override;
+  void finish() override {}
+
+  void reset();
+  std::uint64_t records() const noexcept { return records_; }
+
+  /// The report for everything accumulated so far; byte-identical to
+  /// degradation(trace, fan_out) over the same records.
+  Degradation result(std::uint32_t fan_out) const;
+
+ private:
+  std::uint64_t records_ = 0;
+  bool duplicate_value_ = false;
+  Value max_value_ = 0;
+  std::vector<bool> value_seen_;
+  std::vector<std::uint64_t> sink_counts_;
+};
 
 }  // namespace cn::fault

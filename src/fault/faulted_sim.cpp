@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <optional>
 
 namespace cn::fault {
 
@@ -98,8 +99,11 @@ SimFaults draw_sim_faults(const Network& net, const TimedExecution& exec,
   return f;
 }
 
-FaultedSimResult simulate_faulted(const TimedExecution& exec,
-                                  const SimFaults& faults) {
+namespace {
+
+FaultedSimResult simulate_faulted_with(const TimedExecution& exec,
+                                       const SimFaults& faults,
+                                       TraceSink* sink) {
   FaultedSimResult result;
   result.error = validate(exec);
   if (!result.error.empty()) return result;
@@ -129,7 +133,16 @@ FaultedSimResult simulate_faulted(const TimedExecution& exec,
   for (std::uint32_t j = 0; j < net.fan_out(); ++j) counter_next[j] = j;
 
   std::vector<const TokenPlan*> plan_of(max_token + 1, nullptr);
-  std::vector<TokenRecord> records(max_token + 1);
+  // Streaming runs emit records at the counter crossing; only the collect
+  // path materializes the O(tokens) records array. Completions happen in
+  // seq order, but the sink contract is issue order, so emissions pass
+  // through a reorder buffer; a vanishing token must drop its open entry
+  // or it would hold back every later-issued completion until flush.
+  std::optional<IssueOrderBuffer> reorder;
+  if (sink != nullptr) reorder.emplace(*sink);
+  std::vector<TokenRecord> records(sink == nullptr ? max_token + 1 : 0);
+  std::vector<std::uint64_t> first_seq_of_process(
+      sink == nullptr ? 0 : max_process + 1, 0);
   std::vector<WireIndex> wire_of(max_token + 1, kInvalidWire);
   std::vector<bool> completed(max_token + 1, false);
   std::vector<TokenId> in_flight_of_process(max_process + 1, kNoToken);
@@ -152,8 +165,11 @@ FaultedSimResult simulate_faulted(const TimedExecution& exec,
 
     // The token vanishes at the planned time of its first unexecuted
     // hop; its process becomes free to issue again from that point.
+    // (hop > 0 always: doom == 0 tokens were never pushed on the heap,
+    // so a vanishing token has an open reorder entry to drop.)
     if (ev.hop == doom(ev.token)) {
       in_flight_of_process[plan.process] = kNoToken;
+      if (sink != nullptr) reorder->drop(first_seq_of_process[plan.process]);
       continue;
     }
 
@@ -168,11 +184,18 @@ FaultedSimResult simulate_faulted(const TimedExecution& exec,
       }
       slot = plan.token;
       wire_of[ev.token] = net.source_wire(plan.source);
-      records[ev.token].first_seq = seq;
+      if (sink == nullptr) {
+        records[ev.token].first_seq = seq;
+      } else {
+        first_seq_of_process[plan.process] = seq;
+        reorder->open(seq);
+      }
     }
 
     const Wire& wire = net.wire(wire_of[ev.token]);
     bool finished = false;
+    Value finished_value = 0;
+    std::uint32_t finished_sink = 0;
     if (wire.to.kind == Endpoint::Kind::kBalancer) {
       const NodeIndex b = wire.to.index;
       const Balancer& bal = net.balancer(b);
@@ -182,18 +205,22 @@ FaultedSimResult simulate_faulted(const TimedExecution& exec,
       }
       wire_of[ev.token] = bal.out[out];
     } else {
-      const std::uint32_t sink = wire.to.index;
-      const Value v = counter_next[sink];
-      counter_next[sink] += net.fan_out();
-      TokenRecord& rec = records[ev.token];
-      rec.token = plan.token;
-      rec.process = plan.process;
-      rec.source = plan.source;
-      rec.sink = sink;
-      rec.value = v;
-      rec.t_in = plan.t_in();
-      rec.t_out = plan.t_out();
-      rec.last_seq = seq;
+      const std::uint32_t counter = wire.to.index;
+      const Value v = counter_next[counter];
+      counter_next[counter] += net.fan_out();
+      if (sink == nullptr) {
+        TokenRecord& rec = records[ev.token];
+        rec.token = plan.token;
+        rec.process = plan.process;
+        rec.source = plan.source;
+        rec.sink = counter;
+        rec.value = v;
+        rec.t_in = plan.t_in();
+        rec.t_out = plan.t_out();
+        rec.last_seq = seq;
+      }
+      finished_value = v;
+      finished_sink = counter;
       finished = true;
     }
     ++seq;
@@ -206,6 +233,19 @@ FaultedSimResult simulate_faulted(const TimedExecution& exec,
                        " reached a counter after " + std::to_string(ev.hop) +
                        " hops; network is not uniform";
         return result;
+      }
+      if (sink != nullptr) {
+        TokenRecord rec;
+        rec.token = plan.token;
+        rec.process = plan.process;
+        rec.source = plan.source;
+        rec.sink = finished_sink;
+        rec.value = finished_value;
+        rec.t_in = plan.t_in();
+        rec.t_out = plan.t_out();
+        rec.first_seq = first_seq_of_process[plan.process];
+        rec.last_seq = seq - 1;
+        reorder->close(rec);
       }
     } else {
       if (ev.hop + 1 >= plan.times.size()) {
@@ -220,11 +260,28 @@ FaultedSimResult simulate_faulted(const TimedExecution& exec,
     }
   }
 
-  result.trace.reserve(exec.plans.size());
-  for (const TokenPlan& p : exec.plans) {
-    if (completed[p.token]) result.trace.push_back(records[p.token]);
+  if (sink == nullptr) {
+    result.trace.reserve(exec.plans.size());
+    for (const TokenPlan& p : exec.plans) {
+      if (completed[p.token]) result.trace.push_back(records[p.token]);
+    }
+  } else {
+    reorder->flush();
   }
   return result;
+}
+
+}  // namespace
+
+FaultedSimResult simulate_faulted(const TimedExecution& exec,
+                                  const SimFaults& faults) {
+  return simulate_faulted_with(exec, faults, nullptr);
+}
+
+FaultedSimResult simulate_faulted_stream(const TimedExecution& exec,
+                                         const SimFaults& faults,
+                                         TraceSink& sink) {
+  return simulate_faulted_with(exec, faults, &sink);
 }
 
 }  // namespace cn::fault

@@ -31,6 +31,7 @@
 #include "fault/fault.hpp"
 #include "sim/timed_execution.hpp"
 #include "sim/trace.hpp"
+#include "trace/sink.hpp"
 
 namespace cn::fault {
 
@@ -80,5 +81,14 @@ struct FaultedSimResult {
 /// drop happens at the planned time of its first unexecuted hop.
 FaultedSimResult simulate_faulted(const TimedExecution& exec,
                                   const SimFaults& faults);
+
+/// Streaming variant: emits completed tokens' records to `sink` in ISSUE
+/// order (via an IssueOrderBuffer, as in simulate_stream; a vanishing
+/// token drops its open entry at its drop event) and leaves
+/// FaultedSimResult::trace empty. Lost / never-issued tokens emit
+/// nothing, exactly like the batch trace. Does not call sink.finish().
+FaultedSimResult simulate_faulted_stream(const TimedExecution& exec,
+                                         const SimFaults& faults,
+                                         TraceSink& sink);
 
 }  // namespace cn::fault

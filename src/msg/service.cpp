@@ -1,5 +1,6 @@
 #include "msg/service.hpp"
 
+#include <optional>
 #include <vector>
 
 #include "util/rng.hpp"
@@ -21,6 +22,20 @@ struct RunState {
   Trace trace;                          ///< Indexed by token id.
   std::vector<bool> entered;            ///< Token seen at its first node?
   std::vector<bool> completed;          ///< Token counted?
+
+  /// Streaming mode: records go to the sink at the counter crossing and
+  /// the O(tokens) trace array above stays empty. A closed-loop client
+  /// has at most one token in flight (requires p_msg_duplicate == 0), so
+  /// entry bookkeeping shrinks to one slot per process. Counters complete
+  /// in kernel-seq order; the reorder buffer converts that to the issue
+  /// order the sink contract wants (entered_proc doubles as the "this
+  /// process has an open reorder entry" flag, cleared on completion and
+  /// on token loss).
+  TraceSink* sink = nullptr;
+  std::optional<IssueOrderBuffer> reorder;
+  std::vector<bool> entered_proc;
+  std::vector<double> t_in_proc;
+  std::vector<std::uint64_t> first_seq_proc;
 
   /// Fault layer. The stream is separate from the workload RNG so a
   /// disabled plan leaves every latency draw untouched.
@@ -50,11 +65,18 @@ struct RunState {
   }
 
   /// Records the layer-1 crossing the first time a token reaches a node.
-  void note_first_crossing(std::uint32_t token) {
-    if (!entered[token]) {
-      entered[token] = true;
-      trace[token].t_in = kernel.now();
-      trace[token].first_seq = kernel.seq();
+  void note_first_crossing(std::uint32_t token, std::uint32_t process) {
+    if (sink == nullptr) {
+      if (!entered[token]) {
+        entered[token] = true;
+        trace[token].t_in = kernel.now();
+        trace[token].first_seq = kernel.seq();
+      }
+    } else if (!entered_proc[process]) {
+      entered_proc[process] = true;
+      t_in_proc[process] = kernel.now();
+      first_seq_proc[process] = kernel.seq();
+      reorder->open(kernel.seq());
     }
   }
 
@@ -63,6 +85,13 @@ struct RunState {
   void send_token(ActorId to, const Payload& payload, double latency) {
     if (faults.flip(p_loss)) {
       ++tokens_lost;  // dropped on the wire: the token vanishes
+      if (sink != nullptr && entered_proc[payload.process]) {
+        // Lost after entering the network: its client halts, so the open
+        // reorder entry would otherwise hold back every later-issued
+        // completion until the final flush.
+        entered_proc[payload.process] = false;
+        reorder->drop(first_seq_proc[payload.process]);
+      }
       return;
     }
     if (faults.flip(p_delay)) {
@@ -92,11 +121,25 @@ std::string validate(const MsgRunSpec& spec) {
   return {};
 }
 
-MsgRunResult run_message_passing(const Network& net, const MsgRunSpec& spec) {
+namespace {
+
+MsgRunResult run_message_passing_with(const Network& net,
+                                      const MsgRunSpec& spec,
+                                      TraceSink* sink) {
   MsgRunResult result;
   result.error = validate(spec);
   if (!result.ok()) return result;
+  if (sink != nullptr && spec.fault.enabled &&
+      spec.fault.p_msg_duplicate > 0.0) {
+    // A duplicated delivery re-counts a token after its client moved on,
+    // mutating the record after emission; only the collect path can
+    // observe the final (last-delivery) record.
+    result.error =
+        "streaming msg run requires p_msg_duplicate == 0 (collect instead)";
+    return result;
+  }
   RunState st;
+  st.sink = sink;
   st.net = &net;
   st.spec = &spec;
   st.rng = Xoshiro256(spec.seed);
@@ -111,9 +154,16 @@ MsgRunResult run_message_passing(const Network& net, const MsgRunSpec& spec) {
   for (std::uint32_t j = 0; j < net.fan_out(); ++j) st.counter_next[j] = j;
   const std::uint64_t total_tokens =
       static_cast<std::uint64_t>(spec.processes) * spec.ops_per_process;
-  st.trace.resize(total_tokens);
-  st.entered.assign(total_tokens, false);
-  st.completed.assign(total_tokens, false);
+  if (sink == nullptr) {
+    st.trace.resize(total_tokens);
+    st.entered.assign(total_tokens, false);
+    st.completed.assign(total_tokens, false);
+  } else {
+    st.reorder.emplace(*sink);
+    st.entered_proc.assign(spec.processes, false);
+    st.t_in_proc.assign(spec.processes, 0.0);
+    st.first_seq_proc.assign(spec.processes, 0);
+  }
 
   // Client crash schedule, drawn up front in ascending process order: a
   // crashed client issues a uniformly chosen number of operations and
@@ -133,7 +183,7 @@ MsgRunResult run_message_passing(const Network& net, const MsgRunSpec& spec) {
   st.balancer_actor.reserve(net.num_balancers());
   for (NodeIndex b = 0; b < net.num_balancers(); ++b) {
     st.balancer_actor.push_back(st.kernel.add_actor([&st, b](const Envelope& env) {
-      st.note_first_crossing(env.payload.token);
+      st.note_first_crossing(env.payload.token, env.payload.process);
       const Balancer& bal = st.net->balancer(b);
       const PortIndex out = st.balancer_pos[b];
       st.balancer_pos[b] =
@@ -148,19 +198,34 @@ MsgRunResult run_message_passing(const Network& net, const MsgRunSpec& spec) {
   st.counter_actor.reserve(net.fan_out());
   for (std::uint32_t j = 0; j < net.fan_out(); ++j) {
     st.counter_actor.push_back(st.kernel.add_actor([&st, j](const Envelope& env) {
-      st.note_first_crossing(env.payload.token);
-      TokenRecord& rec = st.trace[env.payload.token];
-      rec.token = env.payload.token;
-      rec.process = env.payload.process;
-      rec.sink = j;
-      rec.value = st.counter_next[j];
+      st.note_first_crossing(env.payload.token, env.payload.process);
+      const Value v = st.counter_next[j];
       st.counter_next[j] += st.net->fan_out();
-      rec.t_out = st.kernel.now();
-      rec.last_seq = st.kernel.seq();
-      st.completed[env.payload.token] = true;
+      if (st.sink == nullptr) {
+        TokenRecord& rec = st.trace[env.payload.token];
+        rec.token = env.payload.token;
+        rec.process = env.payload.process;
+        rec.sink = j;
+        rec.value = v;
+        rec.t_out = st.kernel.now();
+        rec.last_seq = st.kernel.seq();
+        st.completed[env.payload.token] = true;
+      } else {
+        TokenRecord rec;
+        rec.token = env.payload.token;
+        rec.process = env.payload.process;
+        rec.sink = j;
+        rec.value = v;
+        rec.t_in = st.t_in_proc[env.payload.process];
+        rec.t_out = st.kernel.now();
+        rec.first_seq = st.first_seq_proc[env.payload.process];
+        rec.last_seq = st.kernel.seq();
+        st.entered_proc[env.payload.process] = false;
+        st.reorder->close(rec);
+      }
       Payload reply = env.payload;
       reply.kind = Payload::Kind::kResult;
-      reply.value = rec.value;
+      reply.value = v;
       st.kernel.send(env.payload.client, reply, st.spec->result_latency);
     }));
   }
@@ -186,6 +251,7 @@ MsgRunResult run_message_passing(const Network& net, const MsgRunSpec& spec) {
       token.process = p;
       token.client = client_actor[p];
       ++issued[p];
+      if (st.sink != nullptr) st.entered_proc[p] = false;
       bool is_counter = false;
       const ActorId first =
           st.wire_target(st.net->source_wire(source), &is_counter);
@@ -203,25 +269,39 @@ MsgRunResult run_message_passing(const Network& net, const MsgRunSpec& spec) {
 
   result.messages = st.kernel.run();
   result.sim_time = st.kernel.now();
+  if (sink != nullptr) st.reorder->flush();
   if (spec.fault.active()) {
-    // Lost tokens and crashed clients leave holes in the token-indexed
-    // trace; compact to completed operations (token-id order preserved).
-    Trace compacted;
-    compacted.reserve(st.trace.size());
-    for (std::uint64_t t = 0; t < total_tokens; ++t) {
-      if (st.completed[t]) compacted.push_back(st.trace[t]);
+    if (sink == nullptr) {
+      // Lost tokens and crashed clients leave holes in the token-indexed
+      // trace; compact to completed operations (token-id order preserved).
+      Trace compacted;
+      compacted.reserve(st.trace.size());
+      for (std::uint64_t t = 0; t < total_tokens; ++t) {
+        if (st.completed[t]) compacted.push_back(st.trace[t]);
+      }
+      result.trace = std::move(compacted);
     }
-    result.trace = std::move(compacted);
     for (std::uint32_t p = 0; p < spec.processes; ++p) {
       if (crash_after[p] != kNeverCrashes) ++result.clients_crashed;
     }
-  } else {
+  } else if (sink == nullptr) {
     result.trace = std::move(st.trace);
   }
   result.tokens_lost = st.tokens_lost;
   result.dup_deliveries = st.dup_deliveries;
   result.delayed_messages = st.delayed_messages;
   return result;
+}
+
+}  // namespace
+
+MsgRunResult run_message_passing(const Network& net, const MsgRunSpec& spec) {
+  return run_message_passing_with(net, spec, nullptr);
+}
+
+MsgRunResult run_message_passing(const Network& net, const MsgRunSpec& spec,
+                                 TraceSink& sink) {
+  return run_message_passing_with(net, spec, &sink);
 }
 
 }  // namespace cn::msg

@@ -10,6 +10,7 @@
 #include "fault/fault.hpp"
 #include "msg/event_kernel.hpp"
 #include "sim/trace.hpp"
+#include "trace/sink.hpp"
 
 namespace cn::msg {
 
@@ -69,5 +70,16 @@ std::string validate(const MsgRunSpec& spec);
 /// t_out / last_seq at its delivery to the counter — matching the
 /// schedule conventions of Section 2.3.
 MsgRunResult run_message_passing(const Network& net, const MsgRunSpec& spec);
+
+/// Streaming variant: emits completed operations to `sink` in ISSUE
+/// order (counter deliveries happen in kernel-seq order and pass through
+/// an IssueOrderBuffer; a token lost after entering the network drops
+/// its open entry at the loss) and leaves MsgRunResult::trace empty;
+/// bookkeeping is O(processes). Requires p_msg_duplicate == 0 — a
+/// duplicated delivery re-counts a token after emission, which only the
+/// collect path can express — and rejects such specs with an error. Does
+/// not call sink.finish().
+MsgRunResult run_message_passing(const Network& net, const MsgRunSpec& spec,
+                                 TraceSink& sink);
 
 }  // namespace cn::msg

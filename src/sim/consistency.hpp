@@ -1,65 +1,6 @@
-// Consistency analysis of traces: linearizability, sequential consistency,
-// and inconsistency fractions (paper Sections 2.4 and 5.1).
+// Forwarding header: the consistency analyzers moved to
+// trace/consistency.hpp (batch) and trace/streaming.hpp (incremental).
+// Kept so existing includes keep compiling.
 #pragma once
 
-#include <cstddef>
-#include <vector>
-
-#include "sim/trace.hpp"
-
-namespace cn {
-
-/// Full consistency analysis of a finite trace.
-struct ConsistencyReport {
-  std::size_t total = 0;
-
-  /// Tokens T for which some T' completely precedes T and returns a larger
-  /// value (LSST99 Definition 2.5 / paper Section 5.1).
-  std::vector<TokenId> non_linearizable;
-
-  /// Tokens T for which an earlier token of the same process returned a
-  /// larger value (paper Section 5.1).
-  std::vector<TokenId> non_sequentially_consistent;
-
-  double f_nl = 0.0;   ///< Non-linearizability fraction.
-  double f_nsc = 0.0;  ///< Non-sequential-consistency fraction.
-
-  bool linearizable() const noexcept { return non_linearizable.empty(); }
-  bool sequentially_consistent() const noexcept {
-    return non_sequentially_consistent.empty();
-  }
-};
-
-/// Analyzes a trace. "Completely precedes" uses the recorded step sequence
-/// numbers (T.last_seq < T'.first_seq), which is exact even under ties in
-/// real time. O(n log n).
-ConsistencyReport analyze(const Trace& trace);
-
-bool is_linearizable(const Trace& trace);
-bool is_sequentially_consistent(const Trace& trace);
-
-/// The paper's "sequentially consistent with respect to process P"
-/// (Section 2.4): the values obtained by P's tokens, in issue order, are
-/// increasing. Observation 2.1: a trace is sequentially consistent iff it
-/// is sequentially consistent with respect to every process.
-bool is_sequentially_consistent_for(const Trace& trace, ProcessId process);
-
-/// Removes the given tokens from the trace (by token id).
-Trace remove_tokens(const Trace& trace, const std::vector<TokenId>& tokens);
-
-/// Largest candidate-set size min_removal_for_linearizability will search
-/// exhaustively: 2^n subsets, and shifting past 63 bits is undefined
-/// behavior, so the search refuses (std::invalid_argument) above this.
-inline constexpr std::size_t kMaxExhaustiveCandidates = 24;
-
-/// The least number of NON-LINEARIZABLE tokens whose removal makes the
-/// trace linearizable (the numerator of the paper's absolute
-/// non-linearizability fraction, Section 5.1 — removal is restricted to
-/// non-linearizable tokens by definition), found by exhaustive subset
-/// search. Exponential — intended for property tests with small traces;
-/// throws std::invalid_argument when more than kMaxExhaustiveCandidates
-/// tokens are non-linearizable.
-/// Lemma 5.1 asserts this equals analyze(trace).non_linearizable.size().
-std::size_t min_removal_for_linearizability(const Trace& trace);
-
-}  // namespace cn
+#include "trace/consistency.hpp"

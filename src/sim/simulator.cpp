@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <optional>
 #include <vector>
 
 namespace cn {
@@ -38,6 +39,9 @@ struct SimArena::Scratch {
   std::vector<const TokenPlan*> plan_of;
   std::vector<TokenRecord> records;
   std::vector<TokenId> in_flight_of_process;
+  /// Streaming mode: first_seq of each process's in-flight token — the
+  /// only per-token state that must survive from entry to exit.
+  std::vector<std::uint64_t> first_seq_of_process;
 };
 
 SimArena::SimArena() : scratch_(std::make_unique<Scratch>()) {}
@@ -64,7 +68,7 @@ NetworkState& SimArena::acquire(const Network& net) {
 }
 
 SimulationResult simulate_with(const TimedExecution& exec, SimArena& arena,
-                               bool record_steps) {
+                               bool record_steps, TraceSink* sink) {
   SimulationResult result;
   result.error = validate(exec);
   if (!result.error.empty()) return result;
@@ -86,7 +90,17 @@ SimulationResult simulate_with(const TimedExecution& exec, SimArena& arena,
   }
 
   scr.plan_of.assign(max_token + 1, nullptr);
-  scr.records.assign(max_token + 1, TokenRecord{});
+  // Streaming runs emit records as tokens exit; only the collect path
+  // materializes the O(tokens) records array. Completions happen in seq
+  // order, but the sink contract is issue order, so they pass through a
+  // reorder buffer bounded by the open-token concurrency.
+  std::optional<IssueOrderBuffer> reorder;
+  if (sink == nullptr) {
+    scr.records.assign(max_token + 1, TokenRecord{});
+  } else {
+    scr.first_seq_of_process.assign(max_process + 1, 0);
+    reorder.emplace(*sink);
+  }
   // Paper Section 2.2, rule 3: all steps of a process's token must
   // precede all steps of its next token IN THE STEP SEQUENCE. Equal times
   // with adverse ranks could interleave them, so track in-flight tokens
@@ -117,27 +131,46 @@ SimulationResult simulate_with(const TimedExecution& exec, SimArena& arena,
       }
       slot = plan.token;
       state.enter(plan.token, plan.process, plan.source);
-      scr.records[ev.token].first_seq = seq;
+      if (sink == nullptr) {
+        scr.records[ev.token].first_seq = seq;
+      } else {
+        scr.first_seq_of_process[plan.process] = seq;
+        reorder->open(seq);
+      }
     }
     const bool finished = state.step_fast(plan.token);
     ++seq;
     if (finished) {
       scr.in_flight_of_process[plan.process] = kNoToken;
       const Value v = state.value(plan.token);
-      TokenRecord& rec = scr.records[ev.token];
-      rec.token = plan.token;
-      rec.process = plan.process;
-      rec.source = plan.source;
-      rec.sink = static_cast<std::uint32_t>(v % net.fan_out());
-      rec.value = v;
-      rec.t_in = plan.t_in();
-      rec.t_out = plan.t_out();
-      rec.last_seq = seq - 1;
       if (ev.hop != net.depth()) {
         result.error = "token " + std::to_string(plan.token) +
                        " reached a counter after " + std::to_string(ev.hop) +
                        " hops; network is not uniform";
         return result;
+      }
+      if (sink == nullptr) {
+        TokenRecord& rec = scr.records[ev.token];
+        rec.token = plan.token;
+        rec.process = plan.process;
+        rec.source = plan.source;
+        rec.sink = static_cast<std::uint32_t>(v % net.fan_out());
+        rec.value = v;
+        rec.t_in = plan.t_in();
+        rec.t_out = plan.t_out();
+        rec.last_seq = seq - 1;
+      } else {
+        TokenRecord rec;
+        rec.token = plan.token;
+        rec.process = plan.process;
+        rec.source = plan.source;
+        rec.sink = static_cast<std::uint32_t>(v % net.fan_out());
+        rec.value = v;
+        rec.t_in = plan.t_in();
+        rec.t_out = plan.t_out();
+        rec.first_seq = scr.first_seq_of_process[plan.process];
+        rec.last_seq = seq - 1;
+        reorder->close(rec);
       }
     } else {
       if (ev.hop + 1 >= plan.times.size()) {
@@ -152,9 +185,13 @@ SimulationResult simulate_with(const TimedExecution& exec, SimArena& arena,
     }
   }
 
-  result.trace.reserve(exec.plans.size());
-  for (const TokenPlan& p : exec.plans) {
-    result.trace.push_back(scr.records[p.token]);
+  if (sink == nullptr) {
+    result.trace.reserve(exec.plans.size());
+    for (const TokenPlan& p : exec.plans) {
+      result.trace.push_back(scr.records[p.token]);
+    }
+  } else {
+    reorder->flush();
   }
   if (record_steps) result.steps = state.log();
   return result;
@@ -162,16 +199,21 @@ SimulationResult simulate_with(const TimedExecution& exec, SimArena& arena,
 
 SimulationResult simulate(const TimedExecution& exec) {
   SimArena arena;
-  return simulate_with(exec, arena, /*record_steps=*/false);
+  return simulate_with(exec, arena, /*record_steps=*/false, nullptr);
 }
 
 SimulationResult simulate(const TimedExecution& exec, SimArena& arena) {
-  return simulate_with(exec, arena, /*record_steps=*/false);
+  return simulate_with(exec, arena, /*record_steps=*/false, nullptr);
 }
 
 SimulationResult simulate_recorded(const TimedExecution& exec) {
   SimArena arena;
-  return simulate_with(exec, arena, /*record_steps=*/true);
+  return simulate_with(exec, arena, /*record_steps=*/true, nullptr);
+}
+
+SimulationResult simulate_stream(const TimedExecution& exec, SimArena& arena,
+                                 TraceSink& sink) {
+  return simulate_with(exec, arena, /*record_steps=*/false, &sink);
 }
 
 }  // namespace cn

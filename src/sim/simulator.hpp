@@ -21,6 +21,7 @@
 #include "core/sequential.hpp"
 #include "sim/timed_execution.hpp"
 #include "sim/trace.hpp"
+#include "trace/sink.hpp"
 
 namespace cn {
 
@@ -58,7 +59,8 @@ class SimArena {
 
  private:
   friend SimulationResult simulate_with(const TimedExecution& exec,
-                                        SimArena& arena, bool record_steps);
+                                        SimArena& arena, bool record_steps,
+                                        TraceSink* sink);
   struct Scratch;
   const Network* net_ = nullptr;
   std::shared_ptr<const CompiledNetwork> compiled_;
@@ -78,5 +80,16 @@ SimulationResult simulate(const TimedExecution& exec, SimArena& arena);
 /// Slow path that additionally returns the full Step log in
 /// SimulationResult::steps (the trace is identical to simulate's).
 SimulationResult simulate_recorded(const TimedExecution& exec);
+
+/// Streaming variant: emits each TokenRecord to `sink` in ISSUE order
+/// (non-decreasing (first_seq, last_seq, token) — the TraceSink contract)
+/// and leaves SimulationResult::trace empty. Tokens complete in seq
+/// order, so records pass through an IssueOrderBuffer; trace memory is
+/// O(open tokens) (one first_seq slot per process plus the reorder
+/// buffer) instead of O(tokens). Emits the same record set as simulate()'s
+/// trace; does not call sink.finish() — the caller owns the stream
+/// lifetime.
+SimulationResult simulate_stream(const TimedExecution& exec, SimArena& arena,
+                                 TraceSink& sink);
 
 }  // namespace cn

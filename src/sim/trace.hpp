@@ -1,30 +1,8 @@
-// Traces: the observable outcome of a (timed) execution — who got which
-// value, when. All consistency analysis operates on traces.
+// Forwarding header: TokenRecord/Trace moved to the src/trace layer so
+// that producers (sim, msg, concurrent, baselines) and consumers
+// (consistency analysis, serialization) share one root without sim in the
+// middle. Kept so existing includes keep compiling.
 #pragma once
 
-#include <cstdint>
-#include <vector>
-
-#include "core/sequential.hpp"
-
-namespace cn {
-
-/// One completed counter operation.
-struct TokenRecord {
-  TokenId token = 0;
-  ProcessId process = 0;
-  std::uint32_t source = 0;  ///< Input wire used.
-  std::uint32_t sink = 0;    ///< Counter the token exited through.
-  Value value = 0;           ///< Value the counter assigned.
-  double t_in = 0.0;         ///< Layer-1 crossing time.
-  double t_out = 0.0;        ///< Counter crossing time.
-  /// Global sequence numbers of the token's first and last step; these
-  /// define the "completely precedes" relation exactly even when times
-  /// tie: T completely precedes T' iff T.last_seq < T'.first_seq.
-  std::uint64_t first_seq = 0;
-  std::uint64_t last_seq = 0;
-};
-
-using Trace = std::vector<TokenRecord>;
-
-}  // namespace cn
+#include "core/sequential.hpp"  // Historical transitive include.
+#include "trace/trace.hpp"

@@ -1,9 +1,11 @@
-#include "sim/consistency.hpp"
+#include "trace/consistency.hpp"
 
 #include <algorithm>
-#include <map>
 #include <stdexcept>
 #include <string>
+#include <tuple>
+
+#include "trace/sink.hpp"
 
 namespace cn {
 
@@ -48,18 +50,26 @@ std::vector<TokenId> non_linearizable_tokens(const Trace& trace) {
 
 std::vector<TokenId> non_sc_tokens(const Trace& trace) {
   // Per process, tokens in issue order; flag any token with a larger
-  // earlier value.
-  std::map<ProcessId, std::vector<const TokenRecord*>> per_proc;
-  for (const TokenRecord& r : trace) per_proc[r.process].push_back(&r);
+  // earlier value. One flat sort groups the processes and orders each
+  // group at once — no per-call map of per-process vectors. Ties in
+  // first_seq break by (last_seq, token) so the issue order is total and
+  // matches the streaming checker's finalization order exactly.
+  std::vector<const TokenRecord*> index;
+  index.reserve(trace.size());
+  for (const TokenRecord& r : trace) index.push_back(&r);
+  std::sort(index.begin(), index.end(),
+            [](const TokenRecord* a, const TokenRecord* b) {
+              if (a->process != b->process) return a->process < b->process;
+              return issue_order_less(*a, *b);
+            });
   std::vector<TokenId> result;
-  for (auto& [proc, records] : per_proc) {
-    std::sort(records.begin(), records.end(),
-              [](const TokenRecord* a, const TokenRecord* b) {
-                return a->first_seq < b->first_seq;
-              });
+  std::size_t i = 0;
+  while (i < index.size()) {
+    const ProcessId proc = index[i]->process;
     bool any = false;
     Value prefix_max = 0;
-    for (const TokenRecord* r : records) {
+    for (; i < index.size() && index[i]->process == proc; ++i) {
+      const TokenRecord* r = index[i];
       if (any && prefix_max > r->value) result.push_back(r->token);
       prefix_max = any ? std::max(prefix_max, r->value) : r->value;
       any = true;

@@ -1,0 +1,42 @@
+#include "trace/sink.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+namespace cn {
+
+bool issue_order_less(const TokenRecord& a, const TokenRecord& b) noexcept {
+  return std::tie(a.first_seq, a.last_seq, a.token) <
+         std::tie(b.first_seq, b.last_seq, b.token);
+}
+
+bool completion_order_less(const TokenRecord& a,
+                           const TokenRecord& b) noexcept {
+  return std::tie(a.last_seq, a.token) < std::tie(b.last_seq, b.token);
+}
+
+namespace {
+
+template <typename Less>
+void feed_sorted(const Trace& trace, TraceSink& sink, Less less) {
+  std::vector<const TokenRecord*> order;
+  order.reserve(trace.size());
+  for (const TokenRecord& r : trace) order.push_back(&r);
+  std::sort(order.begin(), order.end(),
+            [&](const TokenRecord* a, const TokenRecord* b) {
+              return less(*a, *b);
+            });
+  for (const TokenRecord* r : order) sink.on_record(*r);
+}
+
+}  // namespace
+
+void feed_issue_order(const Trace& trace, TraceSink& sink) {
+  feed_sorted(trace, sink, issue_order_less);
+}
+
+void feed_completion_order(const Trace& trace, TraceSink& sink) {
+  feed_sorted(trace, sink, completion_order_less);
+}
+
+}  // namespace cn

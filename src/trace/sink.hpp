@@ -1,0 +1,160 @@
+// TraceSink: push-based consumption of TokenRecords as tokens exit the
+// network, instead of materialize-then-analyze.
+//
+// Producers emit records in ISSUE order (non-decreasing (first_seq,
+// last_seq, token)) — the order the batch analyzers sweep in, valid for
+// any trace. Completion events are naturally ordered by last_seq instead,
+// so producers reorder: the simulators and the msg kernel hold each
+// completed record in a small buffer until no still-open operation has an
+// earlier first_seq (they track their open-token set exactly, so the
+// buffer is bounded by the open-op concurrency), and thread-based
+// producers k-way merge per-thread partial traces — already sorted by
+// both keys, since each thread's operations are sequential — by the same
+// key. See trace/streaming.hpp for the consumer side of this contract,
+// and the feed_* helpers below for replaying a materialized Trace into a
+// sink in either order.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace cn {
+
+/// Consumes one completed operation at a time. finish() is called exactly
+/// once, after the last record; implementations seal aggregates there
+/// (sort flag lists, patch file headers, ...).
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_record(const TokenRecord& record) = 0;
+  virtual void finish() {}
+};
+
+/// Compatibility shim: collects records into a Trace, exactly as the
+/// pre-streaming producers did with push_back.
+class CollectSink final : public TraceSink {
+ public:
+  void on_record(const TokenRecord& record) override {
+    trace_.push_back(record);
+  }
+
+  const Trace& trace() const noexcept { return trace_; }
+  Trace take() { return std::move(trace_); }
+  void reset() { trace_.clear(); }
+
+ private:
+  Trace trace_;
+};
+
+/// Fans each record out to two sinks (e.g. consistency checking and
+/// degradation accounting in one pass). Does not own its children.
+class TeeSink final : public TraceSink {
+ public:
+  TeeSink(TraceSink& first, TraceSink& second)
+      : first_(first), second_(second) {}
+
+  void on_record(const TokenRecord& record) override {
+    first_.on_record(record);
+    second_.on_record(record);
+  }
+
+  void finish() override {
+    first_.finish();
+    second_.finish();
+  }
+
+ private:
+  TraceSink& first_;
+  TraceSink& second_;
+};
+
+/// Issue order: (first_seq, last_seq, token). This is the batch
+/// analyzers' canonical per-process order; sorting the whole trace by it
+/// is valid for any trace, including ones whose processes overlap
+/// themselves (e.g. duplicated-message faults).
+bool issue_order_less(const TokenRecord& a, const TokenRecord& b) noexcept;
+
+/// Completion order: (last_seq, token) — the order live producers emit.
+bool completion_order_less(const TokenRecord& a, const TokenRecord& b) noexcept;
+
+/// Replays a materialized trace into a sink, sorted by issue_order_less /
+/// completion_order_less respectively. Neither calls sink.finish(); the
+/// caller decides when the stream ends.
+void feed_issue_order(const Trace& trace, TraceSink& sink);
+void feed_completion_order(const Trace& trace, TraceSink& sink);
+
+/// Producer-side reorder buffer: event-driven producers complete
+/// operations in last_seq order, but the sink contract is issue order.
+/// Unlike a downstream consumer, the producer knows its open-operation
+/// set exactly, so it can release a completed record the moment no
+/// still-open operation (and no future issue, whose first_seq exceeds
+/// every seq drawn so far) can precede it. Buffered records are bounded
+/// by the open-op concurrency plus completions inside the oldest open
+/// window — O(processes) for closed-loop workloads.
+///
+/// Protocol: open(first_seq) when an operation's first_seq is drawn,
+/// then exactly one of close(record) (normal completion) or
+/// drop(first_seq) (the operation vanishes: lost token, crashed
+/// process). flush() at end of stream emits any residue held back by
+/// operations that never resolved. first_seqs must be unique among open
+/// operations.
+class IssueOrderBuffer {
+ public:
+  explicit IssueOrderBuffer(TraceSink& out) : out_(&out) {}
+
+  void open(std::uint64_t first_seq) { open_firsts_.insert(first_seq); }
+
+  void drop(std::uint64_t first_seq) {
+    open_firsts_.erase(open_firsts_.find(first_seq));
+    drain();
+  }
+
+  void close(const TokenRecord& record) {
+    open_firsts_.erase(open_firsts_.find(record.first_seq));
+    ready_.push_back(record);
+    std::push_heap(ready_.begin(), ready_.end(), ready_after);
+    drain();
+  }
+
+  void flush() {
+    while (!ready_.empty()) emit_top();
+  }
+
+  /// High-water mark of held-back records (the producer-side "trace
+  /// memory" of a streaming run).
+  std::size_t peak_buffered() const noexcept { return peak_buffered_; }
+
+ private:
+  /// Min-heap on the issue key.
+  static bool ready_after(const TokenRecord& a, const TokenRecord& b) noexcept {
+    return issue_order_less(b, a);
+  }
+
+  void emit_top() {
+    std::pop_heap(ready_.begin(), ready_.end(), ready_after);
+    out_->on_record(ready_.back());
+    ready_.pop_back();
+  }
+
+  void drain() {
+    if (ready_.size() > peak_buffered_) peak_buffered_ = ready_.size();
+    while (!ready_.empty() &&
+           (open_firsts_.empty() ||
+            ready_.front().first_seq < *open_firsts_.begin())) {
+      emit_top();
+    }
+  }
+
+  TraceSink* out_;
+  std::multiset<std::uint64_t> open_firsts_;
+  std::vector<TokenRecord> ready_;
+  std::size_t peak_buffered_ = 0;
+};
+
+}  // namespace cn

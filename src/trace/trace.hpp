@@ -1,0 +1,37 @@
+// Traces: the observable outcome of a (timed) execution — who got which
+// value, when. All consistency analysis operates on traces.
+//
+// This is the root of the src/trace layer: producers (simulator, msg
+// kernel, concurrent harness, baseline counters) emit TokenRecords, and
+// everything downstream — batch analysis (trace/consistency.hpp),
+// incremental analysis (trace/streaming.hpp), persistence
+// (trace/serialize.hpp) — consumes them, either as a materialized Trace
+// or one record at a time through a TraceSink (trace/sink.hpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/topology.hpp"
+
+namespace cn {
+
+/// One completed counter operation.
+struct TokenRecord {
+  TokenId token = 0;
+  ProcessId process = 0;
+  std::uint32_t source = 0;  ///< Input wire used.
+  std::uint32_t sink = 0;    ///< Counter the token exited through.
+  Value value = 0;           ///< Value the counter assigned.
+  double t_in = 0.0;         ///< Layer-1 crossing time.
+  double t_out = 0.0;        ///< Counter crossing time.
+  /// Global sequence numbers of the token's first and last step; these
+  /// define the "completely precedes" relation exactly even when times
+  /// tie: T completely precedes T' iff T.last_seq < T'.first_seq.
+  std::uint64_t first_seq = 0;
+  std::uint64_t last_seq = 0;
+};
+
+using Trace = std::vector<TokenRecord>;
+
+}  // namespace cn

@@ -3,13 +3,16 @@
 // (failed trials must be counted, not silently folded into `trials`).
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <set>
+#include <string>
 
 #include "core/constructions.hpp"
 #include "engine/engine.hpp"
 #include "sim/consistency.hpp"
 #include "sim/simulator.hpp"
 #include "sim/workload.hpp"
+#include "trace/serialize.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -20,7 +23,7 @@ TEST(EngineRegistry, BuiltinsRegistered) {
   const std::set<std::string> expected = {
       "simulator", "sim_burst",      "sim_heterogeneous", "wave",
       "optimizer", "msg",            "concurrent",        "fetch_inc",
-      "mcs",       "combining_tree", "diffracting_tree"};
+      "mcs",       "combining_tree", "diffracting_tree",  "replay"};
   const std::vector<std::string> names = engine::backend_names();
   const std::set<std::string> have(names.begin(), names.end());
   for (const std::string& key : expected) {
@@ -240,6 +243,217 @@ TEST(EngineSweep, CleanSweepJsonIsUnchangedByTheTaxonomy) {
   EXPECT_EQ(j.find("error_table"), std::string::npos);
   EXPECT_EQ(j.find("retried_trials"), std::string::npos);
   EXPECT_EQ(j.find("fault"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Streaming mode (spec.keep_trace = false): incremental analysis, empty
+// trace, identical results.
+// ---------------------------------------------------------------------
+
+/// The deterministic backends must serialize to the exact same JSON in
+/// streaming mode as in collect mode (same report, same metrics), with
+/// the trace left unmaterialized.
+TEST(EngineStreaming, StreamMatchesCollectAcrossBackends) {
+  for (const std::string& backend :
+       {std::string("simulator"), std::string("sim_burst"),
+        std::string("sim_heterogeneous"), std::string("msg"),
+        std::string("wave")}) {
+    engine::RunSpec spec;
+    spec.backend = backend;
+    spec.network = "bitonic";
+    spec.width = 8;
+    spec.processes = 6;
+    spec.ops_per_process = 5;
+    spec.c_max = 3.0;  // past the ratio-2 bound so flags exist to disagree on
+    spec.seed = 0xBEEF;
+
+    const engine::RunResult collect = engine::run_backend(spec);
+    ASSERT_TRUE(collect.ok()) << backend << ": " << collect.error;
+    ASSERT_FALSE(collect.trace.empty()) << backend;
+
+    engine::RunSpec streamed_spec = spec;
+    streamed_spec.keep_trace = false;
+    const engine::RunResult streamed = engine::run_backend(streamed_spec);
+    ASSERT_TRUE(streamed.ok()) << backend << ": " << streamed.error;
+    EXPECT_TRUE(streamed.trace.empty()) << backend;
+    EXPECT_EQ(streamed.report.non_linearizable,
+              collect.report.non_linearizable)
+        << backend;
+    EXPECT_EQ(streamed.report.non_sequentially_consistent,
+              collect.report.non_sequentially_consistent)
+        << backend;
+    EXPECT_EQ(engine::to_json(streamed), engine::to_json(collect)) << backend;
+  }
+}
+
+/// Fault-injected streaming: the degradation metrics come from the
+/// accumulator instead of the batch pass, and must agree exactly.
+TEST(EngineStreaming, FaultedStreamMatchesCollect) {
+  engine::RunSpec spec;
+  spec.network = "bitonic";
+  spec.width = 8;
+  spec.processes = 6;
+  spec.ops_per_process = 6;
+  spec.c_max = 3.0;
+  spec.seed = 0xFA57;
+  spec.fault.enabled = true;
+  spec.fault.seed = 7;
+  spec.fault.p_token_loss = 0.1;
+  spec.fault.p_stuck_balancer = 0.1;
+  spec.fault.p_process_crash = 0.15;
+
+  const engine::RunResult collect = engine::run_backend(spec);
+  ASSERT_TRUE(collect.ok()) << collect.error;
+
+  engine::RunSpec streamed_spec = spec;
+  streamed_spec.keep_trace = false;
+  const engine::RunResult streamed = engine::run_backend(streamed_spec);
+  ASSERT_TRUE(streamed.ok()) << streamed.error;
+  EXPECT_TRUE(streamed.trace.empty());
+  EXPECT_EQ(engine::to_json(streamed), engine::to_json(collect));
+  EXPECT_EQ(streamed.metric("counting_violation"),
+            collect.metric("counting_violation"));
+  EXPECT_EQ(streamed.metric("smoothness_gap"),
+            collect.metric("smoothness_gap"));
+}
+
+/// Message duplication cannot stream natively (a duplicated delivery
+/// re-counts a token after emission); the msg backend must fall back to
+/// collect-then-replay and still agree with the collecting run.
+TEST(EngineStreaming, MsgDuplicationFallsBackAndMatches) {
+  engine::RunSpec spec;
+  spec.backend = "msg";
+  spec.network = "bitonic";
+  spec.width = 8;
+  spec.processes = 5;
+  spec.ops_per_process = 4;
+  spec.seed = 0xD0B;
+  spec.fault.enabled = true;
+  spec.fault.seed = 11;
+  spec.fault.p_msg_duplicate = 0.3;
+
+  const engine::RunResult collect = engine::run_backend(spec);
+  ASSERT_TRUE(collect.ok()) << collect.error;
+
+  engine::RunSpec streamed_spec = spec;
+  streamed_spec.keep_trace = false;
+  const engine::RunResult streamed = engine::run_backend(streamed_spec);
+  ASSERT_TRUE(streamed.ok()) << streamed.error;
+  EXPECT_TRUE(streamed.trace.empty());
+  EXPECT_EQ(engine::to_json(streamed), engine::to_json(collect));
+}
+
+/// Real-thread backends stream too (no cross-run determinism to compare
+/// against, but the incremental report must cover every operation).
+TEST(EngineStreaming, ConcurrentBackendStreams) {
+  engine::RunSpec spec;
+  spec.backend = "fetch_inc";
+  spec.threads = 4;
+  spec.ops_per_thread = 40;
+  spec.keep_trace = false;
+  const engine::RunResult res = engine::run_backend(spec);
+  ASSERT_TRUE(res.ok()) << res.error;
+  EXPECT_TRUE(res.trace.empty());
+  EXPECT_EQ(res.report.total, 4u * 40u);
+  // fetch_inc is linearizable: the incremental checker must agree.
+  EXPECT_TRUE(res.report.linearizable());
+}
+
+/// The acceptance criterion: a streaming sweep produces the identical
+/// SweepStats JSON as a collecting sweep, at any thread count. Fault
+/// injection is on so real violations and degradation metric sums flow
+/// through both pipelines (random pristine latencies rarely violate —
+/// stuck balancers genuinely do).
+TEST(EngineStreaming, SweepJsonIdenticalToCollectAtAnyThreadCount) {
+  engine::SweepSpec sweep;
+  sweep.base.network = "bitonic";
+  sweep.base.width = 8;
+  sweep.base.c_max = 3.0;
+  sweep.base.seed = 0x5EED;
+  sweep.base.fault.enabled = true;
+  sweep.base.fault.seed = 9;
+  sweep.base.fault.p_stuck_balancer = 0.1;
+  sweep.base.fault.p_token_loss = 0.05;
+  sweep.trials = 48;
+
+  sweep.threads = 1;
+  const engine::SweepStats collect1 = engine::sweep_stats(sweep);
+  sweep.threads = 4;
+  const engine::SweepStats collect4 = engine::sweep_stats(sweep);
+
+  sweep.base.keep_trace = false;
+  sweep.threads = 1;
+  const engine::SweepStats stream1 = engine::sweep_stats(sweep);
+  sweep.threads = 4;
+  const engine::SweepStats stream4 = engine::sweep_stats(sweep);
+
+  ASSERT_EQ(collect1.completed, collect1.trials);
+  EXPECT_GT(collect1.lin_violations, 0u);  // the sweep actually flags
+  EXPECT_EQ(engine::to_json(collect4), engine::to_json(collect1));
+  EXPECT_EQ(engine::to_json(stream1), engine::to_json(collect1));
+  EXPECT_EQ(engine::to_json(stream4), engine::to_json(collect1));
+}
+
+// ---------------------------------------------------------------------
+// Trace record / replay through the engine.
+// ---------------------------------------------------------------------
+
+TEST(EngineReplay, RecordThenReplayReproducesTheReport) {
+  const std::string path = testing::TempDir() + "engine_record.trace";
+  engine::RunSpec spec;
+  spec.network = "bitonic";
+  spec.width = 8;
+  spec.processes = 6;
+  spec.ops_per_process = 5;
+  spec.c_max = 3.0;
+  spec.seed = 0x2EC0;
+  spec.record_path = path;
+  spec.keep_trace = false;  // recording forces collection, then drops
+  const engine::RunResult recorded = engine::run_backend(spec);
+  ASSERT_TRUE(recorded.ok()) << recorded.error;
+  EXPECT_TRUE(recorded.trace.empty());  // dropped after the write
+  ASSERT_GT(recorded.report.total, 0u);
+
+  engine::RunSpec replay;
+  replay.backend = "replay";
+  replay.replay_path = path;
+  const engine::RunResult replayed = engine::run_backend(replay);
+  ASSERT_TRUE(replayed.ok()) << replayed.error;
+  EXPECT_EQ(replayed.trace.size(), recorded.report.total);
+  EXPECT_EQ(static_cast<std::size_t>(replayed.metric("replayed_records")),
+            recorded.report.total);
+  EXPECT_EQ(replayed.report.non_linearizable,
+            recorded.report.non_linearizable);
+  EXPECT_EQ(replayed.report.non_sequentially_consistent,
+            recorded.report.non_sequentially_consistent);
+  std::remove(path.c_str());
+}
+
+TEST(EngineReplay, MissingReplayPathIsSpecInvalid) {
+  engine::RunSpec spec;
+  spec.backend = "replay";
+  const engine::RunResult no_path = engine::run_backend(spec);
+  EXPECT_FALSE(no_path.ok());
+  spec.replay_path = testing::TempDir() + "missing.trace";
+  const engine::RunResult no_file = engine::run_backend(spec);
+  EXPECT_FALSE(no_file.ok());
+}
+
+/// The committed golden fixture (a recorded three-wave adversary trace —
+/// the paper's F_nl = F_nsc = 1/3 witness on bitonic(8)) replayed through
+/// the engine must reproduce the counts hardcoded here: a format break
+/// shows up as a read error or different counts, not a silent drift.
+TEST(EngineReplay, GoldenTraceReplaysWithKnownCounts) {
+  engine::RunSpec spec;
+  spec.backend = "replay";
+  spec.replay_path = std::string(CN_TESTDATA_DIR) + "/golden.trace";
+  const engine::RunResult res = engine::run_backend(spec);
+  ASSERT_TRUE(res.ok()) << res.error;
+  EXPECT_EQ(res.report.total, 12u);
+  EXPECT_EQ(res.report.non_linearizable.size(), 4u);
+  EXPECT_EQ(res.report.non_sequentially_consistent.size(), 4u);
+  EXPECT_DOUBLE_EQ(res.report.f_nl, 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(res.report.f_nsc, 1.0 / 3.0);
 }
 
 TEST(EngineResults, JsonShapes) {

@@ -1,0 +1,549 @@
+// The streaming trace pipeline (src/trace): sink plumbing, the
+// producer-side issue-order reorder buffer, the incremental consistency
+// checker's byte-identity with batch analyze() on randomized / faulted /
+// tie-heavy / empty traces, arrival-contract enforcement, the binary
+// trace format, and the streaming degradation accumulator.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/constructions.hpp"
+#include "fault/fault.hpp"
+#include "fault/faulted_sim.hpp"
+#include "sim/simulator.hpp"
+#include "sim/workload.hpp"
+#include "trace/consistency.hpp"
+#include "trace/serialize.hpp"
+#include "trace/sink.hpp"
+#include "trace/streaming.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace cn;
+
+// ---------------------------------------------------------------------
+// Shared helpers.
+// ---------------------------------------------------------------------
+
+void expect_reports_equal(const ConsistencyReport& got,
+                          const ConsistencyReport& want,
+                          const std::string& label) {
+  EXPECT_EQ(got.total, want.total) << label;
+  EXPECT_EQ(got.non_linearizable, want.non_linearizable) << label;
+  EXPECT_EQ(got.non_sequentially_consistent,
+            want.non_sequentially_consistent)
+      << label;
+  EXPECT_DOUBLE_EQ(got.f_nl, want.f_nl) << label;
+  EXPECT_DOUBLE_EQ(got.f_nsc, want.f_nsc) << label;
+}
+
+/// Replays a materialized trace the way an event-driven producer would:
+/// opens at first_seq, closes at last_seq (opens win seq ties so every
+/// record opens before it closes), all through an IssueOrderBuffer. The
+/// sink therefore sees exactly what a live producer would emit.
+void feed_via_issue_buffer(const Trace& trace, TraceSink& sink) {
+  struct Ev {
+    std::uint64_t seq;
+    int kind;  // 0 = open, 1 = close
+    std::size_t idx;
+  };
+  std::vector<Ev> events;
+  events.reserve(2 * trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    events.push_back({trace[i].first_seq, 0, i});
+    events.push_back({trace[i].last_seq, 1, i});
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Ev& a, const Ev& b) {
+                     return std::tie(a.seq, a.kind) < std::tie(b.seq, b.kind);
+                   });
+  IssueOrderBuffer buffer(sink);
+  for (const Ev& e : events) {
+    if (e.kind == 0) {
+      buffer.open(trace[e.idx].first_seq);
+    } else {
+      buffer.close(trace[e.idx]);
+    }
+  }
+  buffer.flush();
+}
+
+/// The differential: batch analyze() vs the streaming checker fed the
+/// same trace, both pre-sorted into issue order and reordered live
+/// through the producer-side buffer from completion-time events.
+void expect_streaming_matches_batch(const Trace& trace,
+                                    const std::string& label) {
+  const ConsistencyReport batch = analyze(trace);
+
+  StreamingConsistency sorted;
+  feed_issue_order(trace, sorted);
+  sorted.finish();
+  expect_reports_equal(sorted.report(), batch, label + " [sorted]");
+
+  StreamingConsistency buffered;
+  feed_via_issue_buffer(trace, buffered);
+  buffered.finish();
+  expect_reports_equal(buffered.report(), batch, label + " [buffered]");
+}
+
+/// A simulator trace with the given adversarial c_max (past ratio 2 the
+/// bitonic network produces consistency violations).
+Trace simulator_trace(std::uint32_t width, std::uint32_t processes,
+                      std::uint32_t ops, double c_max, std::uint64_t seed) {
+  const Network net = make_bitonic(width);
+  WorkloadSpec wl;
+  wl.processes = processes;
+  wl.tokens_per_process = ops;
+  wl.c_min = 1.0;
+  wl.c_max = c_max;
+  wl.local_delay_min = 0.0;
+  wl.local_delay_max = 2.0;
+  Xoshiro256 rng(seed);
+  const SimulationResult sim = simulate(generate_workload(net, wl, rng));
+  EXPECT_TRUE(sim.ok()) << sim.error;
+  return sim.trace;
+}
+
+/// Synthetic trace with heavy seq-number collisions ACROSS processes
+/// (every process stays sequential: its own ops never overlap). Values
+/// are random, so both analyzers see plenty of flags to disagree on.
+Trace tie_heavy_trace(std::uint32_t processes, std::uint32_t ops,
+                      std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  Trace trace;
+  TokenId next = 0;
+  for (ProcessId p = 0; p < processes; ++p) {
+    std::uint64_t cursor = rng.range(0, 2);
+    for (std::uint32_t k = 0; k < ops; ++k) {
+      TokenRecord r;
+      r.token = next++;
+      r.process = p;
+      r.source = p;
+      r.sink = static_cast<std::uint32_t>(rng.range(0, 3));
+      r.value = rng.range(0, processes * ops / 2);  // collisions on purpose
+      r.first_seq = cursor + rng.range(0, 1);
+      r.last_seq = r.first_seq + rng.range(0, 2);
+      r.t_in = static_cast<double>(r.first_seq);
+      r.t_out = static_cast<double>(r.last_seq);
+      cursor = r.last_seq + rng.range(1, 2);
+      trace.push_back(r);
+    }
+  }
+  return trace;
+}
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + name;
+}
+
+// ---------------------------------------------------------------------
+// Sink plumbing.
+// ---------------------------------------------------------------------
+
+TEST(TraceSink, CollectSinkIsPushBack) {
+  const Trace trace = tie_heavy_trace(3, 4, 7);
+  CollectSink sink;
+  for (const TokenRecord& r : trace) sink.on_record(r);
+  ASSERT_EQ(sink.trace().size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(sink.trace()[i].token, trace[i].token);
+    EXPECT_EQ(sink.trace()[i].value, trace[i].value);
+  }
+  const Trace taken = sink.take();
+  EXPECT_EQ(taken.size(), trace.size());
+}
+
+TEST(TraceSink, TeeSinkFansOutToBoth) {
+  const Trace trace = tie_heavy_trace(2, 3, 11);
+  CollectSink a, b;
+  TeeSink tee(a, b);
+  feed_completion_order(trace, tee);
+  ASSERT_EQ(a.trace().size(), trace.size());
+  ASSERT_EQ(b.trace().size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(a.trace()[i].token, b.trace()[i].token);
+  }
+}
+
+TEST(TraceSink, FeedOrdersAreSorted) {
+  const Trace trace = tie_heavy_trace(4, 5, 13);
+  CollectSink by_issue, by_completion;
+  feed_issue_order(trace, by_issue);
+  feed_completion_order(trace, by_completion);
+  ASSERT_EQ(by_issue.trace().size(), trace.size());
+  ASSERT_EQ(by_completion.trace().size(), trace.size());
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_FALSE(
+        issue_order_less(by_issue.trace()[i], by_issue.trace()[i - 1]));
+    EXPECT_FALSE(completion_order_less(by_completion.trace()[i],
+                                       by_completion.trace()[i - 1]));
+  }
+}
+
+// ---------------------------------------------------------------------
+// Streaming-vs-batch differential (the tentpole's exactness claim).
+// ---------------------------------------------------------------------
+
+TEST(StreamingConsistency, EmptyTrace) {
+  StreamingConsistency checker;
+  checker.finish();
+  EXPECT_EQ(checker.report().total, 0u);
+  EXPECT_TRUE(checker.report().linearizable());
+  EXPECT_TRUE(checker.report().sequentially_consistent());
+  EXPECT_DOUBLE_EQ(checker.report().f_nl, 0.0);
+}
+
+TEST(StreamingConsistency, MatchesBatchOnRandomizedSimulatorTraces) {
+  for (const double c_max : {1.5, 2.5, 4.0}) {
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+      const Trace trace = simulator_trace(8, 6, 5, c_max, seed);
+      ASSERT_FALSE(trace.empty());
+      expect_streaming_matches_batch(
+          trace, "simulator c_max=" + std::to_string(c_max) + " seed=" +
+                     std::to_string(seed));
+    }
+  }
+}
+
+TEST(StreamingConsistency, MatchesBatchOnTieHeavyTraces) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const Trace trace = tie_heavy_trace(5, 8, seed);
+    // The construction must actually produce cross-process seq ties.
+    std::size_t ties = 0;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      for (std::size_t j = i + 1; j < trace.size(); ++j) {
+        ties += trace[i].last_seq == trace[j].last_seq;
+      }
+    }
+    ASSERT_GT(ties, 0u) << "seed " << seed;
+    expect_streaming_matches_batch(trace,
+                                   "tie-heavy seed=" + std::to_string(seed));
+  }
+}
+
+TEST(StreamingConsistency, MatchesBatchOnFaultedTraces) {
+  const Network net = make_bitonic(8);
+  WorkloadSpec wl;
+  wl.processes = 6;
+  wl.tokens_per_process = 6;
+  wl.c_min = 1.0;
+  wl.c_max = 3.0;
+  fault::FaultPlan plan;
+  plan.enabled = true;
+  plan.seed = 5;
+  plan.p_token_loss = 0.15;
+  plan.p_stuck_balancer = 0.1;
+  plan.p_process_crash = 0.2;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Xoshiro256 rng(seed);
+    const TimedExecution exec = generate_workload(net, wl, rng);
+    const fault::SimFaults faults =
+        fault::draw_sim_faults(net, exec, plan, seed);
+    const fault::FaultedSimResult sim = fault::simulate_faulted(exec, faults);
+    ASSERT_TRUE(sim.ok()) << sim.error;
+    expect_streaming_matches_batch(sim.trace,
+                                   "faulted seed=" + std::to_string(seed));
+
+    // The faulted simulator's own streaming emission (not a re-fed
+    // trace) must match too: live reordered emission, same fault overlay.
+    StreamingConsistency live;
+    const fault::FaultedSimResult streamed =
+        fault::simulate_faulted_stream(exec, faults, live);
+    ASSERT_TRUE(streamed.ok()) << streamed.error;
+    EXPECT_TRUE(streamed.trace.empty());
+    live.finish();
+    expect_reports_equal(live.report(), analyze(sim.trace),
+                         "faulted live stream seed=" + std::to_string(seed));
+  }
+}
+
+TEST(StreamingConsistency, LiveSimulatorStreamMatchesCollect) {
+  const Network net = make_bitonic(8);
+  WorkloadSpec wl;
+  wl.processes = 6;
+  wl.tokens_per_process = 8;
+  wl.c_min = 1.0;
+  wl.c_max = 3.0;
+  Xoshiro256 rng(0xABCD);
+  const TimedExecution exec = generate_workload(net, wl, rng);
+  const SimulationResult collect = simulate(exec);
+  ASSERT_TRUE(collect.ok());
+
+  SimArena arena;
+  StreamingConsistency live;
+  const SimulationResult streamed = simulate_stream(exec, arena, live);
+  ASSERT_TRUE(streamed.ok()) << streamed.error;
+  EXPECT_TRUE(streamed.trace.empty());
+  live.finish();
+  expect_reports_equal(live.report(), analyze(collect.trace), "live sim");
+  // The memory claim: buffered records stay proportional to the open-op
+  // concurrency (processes), far below the token count.
+  EXPECT_LE(live.peak_pending(), 4u * wl.processes + 8u);
+  EXPECT_LT(live.peak_pending(), live.report().total);
+}
+
+TEST(StreamingConsistency, ResetReuses) {
+  const Trace a = simulator_trace(8, 4, 4, 3.0, 1);
+  const Trace b = simulator_trace(8, 4, 4, 3.0, 2);
+  StreamingConsistency checker;
+  feed_issue_order(a, checker);
+  checker.finish();
+  const ConsistencyReport first = checker.report();
+  expect_reports_equal(first, analyze(a), "reset-first");
+  checker.reset();
+  feed_issue_order(b, checker);
+  checker.finish();
+  expect_reports_equal(checker.report(), analyze(b), "reset-second");
+}
+
+// ---------------------------------------------------------------------
+// Arrival-contract enforcement: refuse, never silently diverge.
+// ---------------------------------------------------------------------
+
+TokenRecord rec(TokenId token, ProcessId process, Value value,
+                std::uint64_t first, std::uint64_t last) {
+  TokenRecord r;
+  r.token = token;
+  r.process = process;
+  r.value = value;
+  r.first_seq = first;
+  r.last_seq = last;
+  r.t_in = static_cast<double>(first);
+  r.t_out = static_cast<double>(last);
+  return r;
+}
+
+TEST(StreamingConsistency, IssueOrderViolationThrows) {
+  StreamingConsistency checker;
+  checker.on_record(rec(0, 0, 0, 5, 10));
+  EXPECT_THROW(checker.on_record(rec(1, 1, 1, 4, 20)),
+               std::invalid_argument);
+}
+
+TEST(StreamingConsistency, SelfOverlappingProcessIsExact) {
+  // Two ops of one process overlapping each other (the footprint of a
+  // duplicated message), with the EARLIER-issued op completing later.
+  // Issue order is valid for ANY trace, including this one.
+  Trace trace;
+  trace.push_back(rec(0, 3, 2, 5, 10));
+  trace.push_back(rec(1, 3, 7, 1, 20));  // issued first, completed last
+  StreamingConsistency issue;
+  feed_issue_order(trace, issue);
+  issue.finish();
+  const ConsistencyReport batch = analyze(trace);
+  // Issue order is token 1 (value 7) then token 0 (value 2): the later
+  // op of the process saw a smaller value, so exactly one SC flag.
+  ASSERT_EQ(batch.non_sequentially_consistent.size(), 1u);
+  expect_reports_equal(issue.report(), batch, "self-overlap");
+}
+
+TEST(TraceSink, IssueOrderBufferReordersAndTracksPeak) {
+  // Closes arrive out of issue order: the op issued FIRST completes LAST.
+  // The buffer must hold back the early completions and still emit
+  // non-decreasing issue keys.
+  const std::vector<TokenRecord> records = {
+      rec(0, 0, 5, 1, 30),  // open 1 .. close 30
+      rec(1, 1, 2, 2, 10),  // open 2 .. close 10 (held back behind token 0)
+      rec(2, 2, 3, 3, 20),  // open 3 .. close 20 (held back behind token 0)
+  };
+  CollectSink out;
+  feed_via_issue_buffer(Trace(records.begin(), records.end()), out);
+  ASSERT_EQ(out.trace().size(), 3u);
+  EXPECT_EQ(out.trace()[0].token, 0u);
+  EXPECT_EQ(out.trace()[1].token, 1u);
+  EXPECT_EQ(out.trace()[2].token, 2u);
+
+  IssueOrderBuffer buffer(out);
+  buffer.open(1);
+  buffer.open(2);
+  buffer.close(records[1]);  // blocked: first_seq 1 still open
+  EXPECT_EQ(buffer.peak_buffered(), 1u);
+  buffer.drop(1);  // the op vanishes: the blocked record releases
+  EXPECT_EQ(out.trace().size(), 4u);
+  buffer.flush();
+}
+
+TEST(StreamingConsistency, OnRecordAfterFinishThrows) {
+  StreamingConsistency checker;
+  checker.finish();
+  EXPECT_THROW(checker.on_record(rec(0, 0, 0, 1, 2)), std::logic_error);
+}
+
+// ---------------------------------------------------------------------
+// Binary trace format.
+// ---------------------------------------------------------------------
+
+TEST(TraceSerialize, RoundTripIsFieldExact) {
+  const Trace trace = simulator_trace(8, 5, 4, 2.5, 3);
+  const std::string path = temp_path("roundtrip.trace");
+  ASSERT_EQ(write_trace_file(path, trace), "");
+  const ReadTraceResult rd = read_trace_file(path);
+  ASSERT_TRUE(rd.ok()) << rd.error;
+  ASSERT_EQ(rd.trace.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(rd.trace[i].token, trace[i].token);
+    EXPECT_EQ(rd.trace[i].process, trace[i].process);
+    EXPECT_EQ(rd.trace[i].source, trace[i].source);
+    EXPECT_EQ(rd.trace[i].sink, trace[i].sink);
+    EXPECT_EQ(rd.trace[i].value, trace[i].value);
+    // Doubles round-trip through bit_cast: exact bits, not approximate.
+    EXPECT_EQ(rd.trace[i].t_in, trace[i].t_in);
+    EXPECT_EQ(rd.trace[i].t_out, trace[i].t_out);
+    EXPECT_EQ(rd.trace[i].first_seq, trace[i].first_seq);
+    EXPECT_EQ(rd.trace[i].last_seq, trace[i].last_seq);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceSerialize, WritingTwiceIsByteIdentical) {
+  const Trace trace = simulator_trace(8, 4, 3, 3.0, 9);
+  const std::string p1 = temp_path("bytes1.trace");
+  const std::string p2 = temp_path("bytes2.trace");
+  ASSERT_EQ(write_trace_file(p1, trace), "");
+  ASSERT_EQ(write_trace_file(p2, trace), "");
+  std::ifstream a(p1, std::ios::binary), b(p2, std::ios::binary);
+  const std::string bytes_a((std::istreambuf_iterator<char>(a)),
+                            std::istreambuf_iterator<char>());
+  const std::string bytes_b((std::istreambuf_iterator<char>(b)),
+                            std::istreambuf_iterator<char>());
+  EXPECT_EQ(bytes_a, bytes_b);
+  EXPECT_EQ(bytes_a.size(),
+            kTraceHeaderBytes + kTraceRecordBytes * trace.size());
+  std::remove(p1.c_str());
+  std::remove(p2.c_str());
+}
+
+TEST(TraceSerialize, WriterSinkMatchesConvenienceWrapper) {
+  const Trace trace = tie_heavy_trace(3, 4, 21);
+  const std::string p1 = temp_path("sink.trace");
+  const std::string p2 = temp_path("wrapper.trace");
+  TraceWriter writer(p1);
+  for (const TokenRecord& r : trace) writer.on_record(r);
+  writer.finish();
+  ASSERT_TRUE(writer.ok()) << writer.error();
+  EXPECT_EQ(writer.written(), trace.size());
+  ASSERT_EQ(write_trace_file(p2, trace), "");
+  std::ifstream a(p1, std::ios::binary), b(p2, std::ios::binary);
+  const std::string bytes_a((std::istreambuf_iterator<char>(a)),
+                            std::istreambuf_iterator<char>());
+  const std::string bytes_b((std::istreambuf_iterator<char>(b)),
+                            std::istreambuf_iterator<char>());
+  EXPECT_EQ(bytes_a, bytes_b);
+  std::remove(p1.c_str());
+  std::remove(p2.c_str());
+}
+
+TEST(TraceSerialize, TruncatedFileIsRejected) {
+  const Trace trace = tie_heavy_trace(3, 4, 33);
+  const std::string path = temp_path("truncated.trace");
+  ASSERT_EQ(write_trace_file(path, trace), "");
+  // Chop the last record in half.
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  bytes.resize(bytes.size() - kTraceRecordBytes / 2);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.close();
+  const ReadTraceResult rd = read_trace_file(path);
+  EXPECT_FALSE(rd.ok());
+  EXPECT_NE(rd.error.find("truncated"), std::string::npos) << rd.error;
+  std::remove(path.c_str());
+}
+
+TEST(TraceSerialize, BadMagicAndBadVersionAreRejected) {
+  const Trace trace = tie_heavy_trace(2, 2, 44);
+  for (const std::size_t corrupt_at : {std::size_t{0}, std::size_t{7}}) {
+    const std::string path = temp_path("corrupt.trace");
+    ASSERT_EQ(write_trace_file(path, trace), "");
+    std::fstream f(path,
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(static_cast<std::streamoff>(corrupt_at));
+    f.put('X');
+    f.close();
+    const ReadTraceResult rd = read_trace_file(path);
+    EXPECT_FALSE(rd.ok()) << "corrupt byte " << corrupt_at;
+    std::remove(path.c_str());
+  }
+}
+
+TEST(TraceSerialize, MissingFileIsAnError) {
+  const ReadTraceResult rd =
+      read_trace_file(temp_path("does_not_exist.trace"));
+  EXPECT_FALSE(rd.ok());
+}
+
+// ---------------------------------------------------------------------
+// Streaming degradation accumulator.
+// ---------------------------------------------------------------------
+
+TEST(DegradationAccumulator, MatchesBatchOnFaultedTrace) {
+  const Network net = make_bitonic(8);
+  WorkloadSpec wl;
+  wl.processes = 6;
+  wl.tokens_per_process = 6;
+  wl.c_min = 1.0;
+  wl.c_max = 2.0;
+  fault::FaultPlan plan;
+  plan.enabled = true;
+  plan.seed = 3;
+  plan.p_token_loss = 0.2;
+  plan.p_stuck_balancer = 0.15;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    Xoshiro256 rng(seed);
+    const TimedExecution exec = generate_workload(net, wl, rng);
+    const fault::SimFaults faults =
+        fault::draw_sim_faults(net, exec, plan, seed);
+    const fault::FaultedSimResult sim = fault::simulate_faulted(exec, faults);
+    ASSERT_TRUE(sim.ok());
+    const fault::Degradation batch =
+        fault::degradation(sim.trace, net.fan_out());
+    fault::DegradationAccumulator acc;
+    // Any order: accumulate in trace (plan) order, not completion order.
+    for (const TokenRecord& r : sim.trace) acc.on_record(r);
+    const fault::Degradation inc = acc.result(net.fan_out());
+    EXPECT_DOUBLE_EQ(inc.counting_violation, batch.counting_violation)
+        << "seed " << seed;
+    EXPECT_DOUBLE_EQ(inc.smoothness_gap, batch.smoothness_gap)
+        << "seed " << seed;
+    EXPECT_DOUBLE_EQ(inc.smoothness_violation, batch.smoothness_violation)
+        << "seed " << seed;
+    EXPECT_EQ(acc.records(), sim.trace.size());
+  }
+}
+
+TEST(DegradationAccumulator, CleanTraceReportsNoViolation) {
+  const Trace trace = simulator_trace(8, 4, 4, 2.0, 5);
+  fault::DegradationAccumulator acc;
+  for (const TokenRecord& r : trace) acc.on_record(r);
+  const fault::Degradation d = acc.result(8);
+  EXPECT_DOUBLE_EQ(d.counting_violation, 0.0);
+  EXPECT_LE(d.smoothness_gap, 1.0);
+  const fault::Degradation batch = fault::degradation(trace, 8);
+  EXPECT_DOUBLE_EQ(d.smoothness_gap, batch.smoothness_gap);
+}
+
+// ---------------------------------------------------------------------
+// Relocated batch API (the forwarding headers must keep everything
+// reachable, including the exhaustive Lemma 5.1 checker).
+// ---------------------------------------------------------------------
+
+TEST(RelocatedConsistency, MinRemovalStillAgreesWithLemma51) {
+  const Trace trace = simulator_trace(8, 5, 4, 3.5, 2);
+  const ConsistencyReport rep = analyze(trace);
+  ASSERT_LE(rep.non_linearizable.size(), kMaxExhaustiveCandidates);
+  EXPECT_EQ(min_removal_for_linearizability(trace),
+            rep.non_linearizable.size());
+  const Trace cleaned = remove_tokens(trace, rep.non_linearizable);
+  EXPECT_EQ(cleaned.size(), trace.size() - rep.non_linearizable.size());
+  EXPECT_TRUE(is_linearizable(cleaned));
+}
+
+}  // namespace

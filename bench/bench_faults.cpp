@@ -9,7 +9,10 @@
 //                  [--network bitonic] [--width 8] [--trials 100]
 //                  [--processes 8] [--ops 4] [--seed 1] [--threads 0]
 //                  [--probs 0,0.01,0.02,0.05,0.1,0.2] [--fault_seed 0]
-//                  [--timeout_ms 0] [--retries 0] [--json]
+//                  [--timeout_ms 0] [--retries 0] [--wave] [--json]
+//
+// --wave interprets the simulated backends through the level-synchronous
+// wave engine (RunSpec::wave_exec); the curves are byte-identical.
 //
 // All default modes drive deterministic backends (simulator / msg), so
 // the table and --json output are byte-identical at any --threads value.
@@ -127,6 +130,7 @@ int main(int argc, char** argv) {
           static_cast<std::uint32_t>(args.get_int("run_threads", 4));
       spec.ops_per_thread =
           static_cast<std::uint64_t>(args.get_int("ops_per_thread", 50));
+      spec.wave_exec = args.get_bool("wave", false);
       spec.fault.enabled = true;
       spec.fault.seed =
           static_cast<std::uint64_t>(args.get_int("fault_seed", 0));

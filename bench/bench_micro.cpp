@@ -8,26 +8,38 @@
 //   * default: google-benchmark over the registered BM_* cases; traversal
 //     and engine benches report steps/sec and trials/sec via items/sec.
 //   * --json [--out=FILE] [--min-seconds=S]: hand-rolled calibrated
-//     measurements of the reference-vs-compiled traversal rate and the
-//     fresh-context-vs-reused-arena trial rate, written as JSON (default
-//     BENCH_micro.json). This is the tracked perf baseline; see
-//     EXPERIMENTS.md for how to read it.
+//     measurements of the reference-vs-compiled traversal rate, the
+//     wave-vs-compiled traversal rate, and the fresh-context-vs-reused-
+//     arena trial rate, written as JSON (default BENCH_micro.json). This
+//     is the tracked perf baseline; see EXPERIMENTS.md for how to read
+//     it. Adding --check [--baseline=FILE] compares the RATIO metrics
+//     (every *_speedup / *_over_* key) of the fresh run against the
+//     committed baseline and fails — with a per-metric diff — when one
+//     drops more than 15% below it; absolute rates are machine-dependent
+//     and are not gated.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <array>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iomanip>
+#include <map>
+#include <span>
 #include <sstream>
+#include <vector>
 
 #include "baselines/diffracting_tree.hpp"
 #include "baselines/fetch_inc_counter.hpp"
 #include "bench_common.hpp"
 #include "concurrent/concurrent_network.hpp"
+#include "core/compiled.hpp"
 #include "core/constructions.hpp"
 #include "core/reference_state.hpp"
 #include "core/sequential.hpp"
 #include "core/valency.hpp"
+#include "core/wave.hpp"
 #include "engine/engine.hpp"
 #include "sim/adversary.hpp"
 #include "sim/simulator.hpp"
@@ -129,6 +141,44 @@ void BM_ReferenceEngineTraversal(benchmark::State& state) {
   state.SetLabel("steps/sec (items); hops/token=" + std::to_string(hops));
 }
 BENCHMARK(BM_ReferenceEngineTraversal)->Arg(8)->Arg(32);
+
+// Width-specialized wave traversal (core/wave.hpp): W tokens enter as
+// one wave and cross the network level-by-level over the constexpr-width
+// slot tables. Items are steps, directly comparable to the scalar
+// traversal benches above.
+template <std::uint32_t W>
+void BM_WaveEngineTraversal(benchmark::State& state) {
+  const Network topo = make_bitonic(W);
+  const std::size_t hops = hops_per_token(topo);
+  const CompiledNetwork compiled(topo);
+  const WavePlan plan(compiled);
+  const auto waves = WidthWaves<W>::try_build(plan);
+  CompiledState cstate(compiled);
+  std::array<TokenCursor, W> wave{};
+  std::array<Value, W> values{};
+  std::uint64_t tokens = 0;
+  for (auto _ : state) {
+    if (tokens >= kTraversalBatch) {
+      tokens = 0;
+      cstate.reset();
+    }
+    for (std::uint32_t i = 0; i < W; ++i) {
+      wave[i] = TokenCursor{waves->entry_slot(i), i};
+      ++cstate.source_count[i];
+    }
+    for (std::uint32_t l = 0; l < waves->depth(); ++l) {
+      waves->step_level(l, cstate, wave);
+    }
+    waves->step_counters(cstate, wave, values);
+    benchmark::DoNotOptimize(values);
+    tokens += W;
+  }
+  state.SetItemsProcessed(state.iterations() * W * hops);
+  state.SetLabel("steps/sec (items); hops/token=" + std::to_string(hops));
+}
+BENCHMARK_TEMPLATE(BM_WaveEngineTraversal, 8);
+BENCHMARK_TEMPLATE(BM_WaveEngineTraversal, 32);
+BENCHMARK_TEMPLATE(BM_WaveEngineTraversal, 64);
 
 void BM_SimulateRandomWorkload(benchmark::State& state) {
   const Network topo = make_bitonic(8);
@@ -349,6 +399,51 @@ TraversalRates measure_traversal(std::uint32_t width, double min_seconds) {
   return r;
 }
 
+struct WaveRates {
+  std::size_t hops = 0;
+  double tokens_per_sec = 0.0;
+
+  double steps_per_sec() const { return tokens_per_sec * hops; }
+};
+
+/// Width-specialized wave traversal rate on bitonic B(W): full waves of W
+/// tokens through the constexpr-width slot tables. Same batch size and
+/// max-of-rounds noise defense as measure_traversal, so the
+/// wave-vs-compiled ratio is apples to apples.
+template <std::uint32_t W>
+WaveRates measure_wave(double min_seconds) {
+  constexpr int kRounds = 4;
+  const Network topo = make_bitonic(W);
+  const CompiledNetwork compiled(topo);
+  const WavePlan plan(compiled);
+  const auto waves = WidthWaves<W>::try_build(plan);
+  WaveRates r;
+  r.hops = hops_per_token(topo);
+  CompiledState cstate(compiled);
+  std::array<TokenCursor, W> wave{};
+  std::array<Value, W> values{};
+  const double round_seconds = min_seconds / kRounds;
+  for (int round = 0; round < kRounds; ++round) {
+    r.tokens_per_sec = std::max(
+        r.tokens_per_sec,
+        cn::bench::measure_rate(kTraversalBatch, round_seconds, [&] {
+          cstate.reset();
+          for (std::uint32_t b = 0; b < kTraversalBatch / W; ++b) {
+            for (std::uint32_t i = 0; i < W; ++i) {
+              wave[i] = TokenCursor{waves->entry_slot(i), i};
+              ++cstate.source_count[i];
+            }
+            for (std::uint32_t l = 0; l < waves->depth(); ++l) {
+              waves->step_level(l, cstate, wave);
+            }
+            waves->step_counters(cstate, wave, values);
+            benchmark::DoNotOptimize(values);
+          }
+        }));
+  }
+  return r;
+}
+
 struct TrialRates {
   double fresh_per_sec = 0.0;
   double arena_per_sec = 0.0;
@@ -435,17 +530,26 @@ struct StreamingSweepRates {
   double ratio() const { return stream_per_sec / collect_per_sec; }
 };
 
-/// Single-threaded 64-trial sweeps, materialized traces vs the
-/// streaming sink path (keep_trace=false).
-StreamingSweepRates measure_streaming_sweep(double min_seconds) {
+/// Single-threaded 8-trial sweeps of 4096-token trials, materialized
+/// traces vs the streaming sink path (keep_trace=false), through either
+/// the scalar event loop or the level-synchronous wave interpreter. In
+/// wave mode the stream side emits per-chunk on_records batches through
+/// the deferred emission window instead of one virtual call per token.
+/// Trials are sized so the ratio measures the trace pipeline — collect
+/// + batch analyze vs incremental checker, a gap that only opens once
+/// the trace outgrows the analyzer's cache-resident regime — rather
+/// than per-trial setup.
+StreamingSweepRates measure_streaming_sweep(double min_seconds,
+                                            bool wave_exec) {
   constexpr int kRounds = 4;
   const Network topo = make_bitonic(8);
   engine::SweepSpec sweep;
   sweep.base.net = &topo;
   sweep.base.processes = 8;
-  sweep.base.ops_per_process = 8;
+  sweep.base.ops_per_process = 512;
   sweep.base.c_max = 3.0;
-  sweep.trials = 64;
+  sweep.base.wave_exec = wave_exec;
+  sweep.trials = 8;
   sweep.threads = 1;
   StreamingSweepRates r;
   const double round_seconds = min_seconds / kRounds;
@@ -486,6 +590,131 @@ std::string json_traversal(std::uint32_t width, const TraversalRates& r) {
   return os.str();
 }
 
+std::string json_wave(std::uint32_t width, const WaveRates& r,
+                      const TraversalRates& t) {
+  std::ostringstream os;
+  os << std::setprecision(6);
+  os << "  \"wave_bitonic" << width << "\": {\n"
+     << "    \"hops_per_token\": " << r.hops << ",\n"
+     << "    \"tokens_per_sec\": " << r.tokens_per_sec << ",\n"
+     << "    \"ns_per_token\": " << 1e9 / r.tokens_per_sec << ",\n"
+     << "    \"steps_per_sec\": " << r.steps_per_sec() << ",\n"
+     << "    \"speedup_vs_compiled\": "
+     << r.tokens_per_sec / t.fast_tokens_per_sec << "\n"
+     << "  }";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// --check mode: ratio-metric regression gate against the committed baseline.
+// ---------------------------------------------------------------------------
+
+/// Flattens the two-level JSON bench_micro itself emits into
+/// "section.key" -> value for every numeric field. Not a general JSON
+/// parser — just enough structure awareness for our own output format.
+std::map<std::string, double> parse_metrics(const std::string& text) {
+  std::map<std::string, double> out;
+  std::vector<std::string> stack;  // enclosing object names, outermost first
+  const auto path_of = [&](const std::string& key) {
+    std::string path;
+    for (const std::string& s : stack) path += s + ".";
+    return path + key;
+  };
+  std::size_t i = 0;
+  while (i < text.size()) {
+    if (text[i] != '"') {
+      if (text[i] == '}' && !stack.empty()) stack.pop_back();
+      ++i;
+      continue;
+    }
+    const std::size_t end = text.find('"', i + 1);
+    if (end == std::string::npos) break;
+    const std::string key = text.substr(i + 1, end - i - 1);
+    i = end + 1;
+    while (i < text.size() && (text[i] == ' ' || text[i] == ':')) ++i;
+    if (i >= text.size()) break;
+    if (text[i] == '{') {
+      stack.push_back(key);
+      ++i;
+    } else if (text[i] == '"') {  // string value: skip it
+      i = text.find('"', i + 1);
+      if (i == std::string::npos) break;
+      ++i;
+    } else {
+      char* parsed_end = nullptr;
+      const double v = std::strtod(text.c_str() + i, &parsed_end);
+      if (parsed_end != text.c_str() + i) {
+        out[path_of(key)] = v;
+        i = static_cast<std::size_t>(parsed_end - text.c_str());
+      } else {
+        ++i;
+      }
+    }
+  }
+  return out;
+}
+
+/// Only the machine-independent RATIOS are gated; absolute rates swing
+/// with the runner's hardware and load.
+bool is_ratio_metric(const std::string& key) {
+  return key.find("speedup") != std::string::npos ||
+         key.find("_over_") != std::string::npos;
+}
+
+/// Returns 0 when every ratio metric of `current` is within 15% below
+/// its committed value (or better); prints a diff and returns 1
+/// otherwise.
+int check_against_baseline(const std::string& current,
+                           const std::string& baseline_path) {
+  std::ifstream in(baseline_path);
+  if (!in) {
+    std::cerr << "bench_micro --check: cannot read baseline "
+              << baseline_path << "\n";
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::map<std::string, double> base = parse_metrics(buf.str());
+  const std::map<std::string, double> cur = parse_metrics(current);
+  constexpr double kTolerance = 0.85;  // fail below 85% of the baseline
+  bool failed = false;
+  std::size_t checked = 0;
+  for (const auto& [key, base_value] : base) {
+    if (!is_ratio_metric(key)) continue;
+    ++checked;
+    const auto it = cur.find(key);
+    if (it == cur.end()) {
+      std::cerr << "bench_micro --check: FAIL " << key << ": in baseline ("
+                << base_value << ") but missing from this run\n";
+      failed = true;
+      continue;
+    }
+    const double floor = base_value * kTolerance;
+    if (it->second < floor) {
+      std::cerr << "bench_micro --check: FAIL " << key << ": " << it->second
+                << " < " << floor << " (baseline " << base_value
+                << " - 15%)\n";
+      failed = true;
+    } else {
+      std::cout << "bench_micro --check: ok " << key << ": " << it->second
+                << " vs baseline " << base_value << "\n";
+    }
+  }
+  if (checked == 0) {
+    std::cerr << "bench_micro --check: baseline " << baseline_path
+              << " has no ratio metrics\n";
+    return 1;
+  }
+  if (failed) {
+    std::cerr << "bench_micro --check: regression against " << baseline_path
+              << " (threshold: 15% below committed ratio)\n";
+    return 1;
+  }
+  std::cout << "bench_micro --check: all " << checked
+            << " ratio metrics within tolerance of " << baseline_path << "\n";
+  return 0;
+}
+
 int json_main(const CliArgs& args) {
 #ifndef NDEBUG
   std::cerr << "bench_micro --json: WARNING: this is a debug build; the "
@@ -496,9 +725,16 @@ int json_main(const CliArgs& args) {
 
   const TraversalRates t8 = measure_traversal(8, min_seconds);
   const TraversalRates t32 = measure_traversal(32, min_seconds);
+  const TraversalRates t64 = measure_traversal(64, min_seconds);
+  const WaveRates w8 = measure_wave<8>(min_seconds);
+  const WaveRates w32 = measure_wave<32>(min_seconds);
+  const WaveRates w64 = measure_wave<64>(min_seconds);
   const TrialRates trials = measure_trials(min_seconds);
   const AnalyzerRates an = measure_analyzer(min_seconds);
-  const StreamingSweepRates ss = measure_streaming_sweep(min_seconds);
+  const StreamingSweepRates ss =
+      measure_streaming_sweep(min_seconds, /*wave_exec=*/false);
+  const StreamingSweepRates ssw =
+      measure_streaming_sweep(min_seconds, /*wave_exec=*/true);
 
   std::ostringstream os;
   os << std::setprecision(6);
@@ -511,6 +747,10 @@ int json_main(const CliArgs& args) {
 #endif
      << json_traversal(8, t8) << ",\n"
      << json_traversal(32, t32) << ",\n"
+     << json_traversal(64, t64) << ",\n"
+     << json_wave(8, w8, t8) << ",\n"
+     << json_wave(32, w32, t32) << ",\n"
+     << json_wave(64, w64, t64) << ",\n"
      << "  \"engine_bitonic8\": {\n"
      << "    \"trials_per_sec_fresh_context\": " << trials.fresh_per_sec
      << ",\n"
@@ -529,6 +769,11 @@ int json_main(const CliArgs& args) {
      << "    \"trials_per_sec_collect\": " << ss.collect_per_sec << ",\n"
      << "    \"trials_per_sec_stream\": " << ss.stream_per_sec << ",\n"
      << "    \"stream_over_collect\": " << ss.ratio() << "\n"
+     << "  },\n"
+     << "  \"streaming_sweep_bitonic8_wave\": {\n"
+     << "    \"trials_per_sec_collect\": " << ssw.collect_per_sec << ",\n"
+     << "    \"trials_per_sec_stream\": " << ssw.stream_per_sec << ",\n"
+     << "    \"stream_over_collect\": " << ssw.ratio() << "\n"
      << "  }\n"
      << "}\n";
 
@@ -546,6 +791,18 @@ int json_main(const CliArgs& args) {
             << "traversal B(32): reference " << t32.ref_steps_per_sec() / 1e6
             << "M steps/s, compiled " << t32.fast_steps_per_sec() / 1e6
             << "M steps/s (" << t32.speedup() << "x)\n"
+            << "traversal B(64): reference " << t64.ref_steps_per_sec() / 1e6
+            << "M steps/s, compiled " << t64.fast_steps_per_sec() / 1e6
+            << "M steps/s (" << t64.speedup() << "x)\n"
+            << "wave B(8):       " << w8.steps_per_sec() / 1e6
+            << "M steps/s (" << w8.tokens_per_sec / t8.fast_tokens_per_sec
+            << "x vs compiled)\n"
+            << "wave B(32):      " << w32.steps_per_sec() / 1e6
+            << "M steps/s (" << w32.tokens_per_sec / t32.fast_tokens_per_sec
+            << "x vs compiled)\n"
+            << "wave B(64):      " << w64.steps_per_sec() / 1e6
+            << "M steps/s (" << w64.tokens_per_sec / t64.fast_tokens_per_sec
+            << "x vs compiled)\n"
             << "engine B(8):     " << trials.fresh_per_sec / 1e3
             << "k trials/s fresh context, " << trials.arena_per_sec / 1e3
             << "k trials/s reused arena (" << trials.speedup() << "x)\n"
@@ -556,7 +813,15 @@ int json_main(const CliArgs& args) {
             << "sweep B(8):      " << ss.collect_per_sec / 1e3
             << "k trials/s collect, " << ss.stream_per_sec / 1e3
             << "k trials/s streaming (" << ss.ratio() << "x)\n"
+            << "sweep B(8) wave: " << ssw.collect_per_sec / 1e3
+            << "k trials/s collect, " << ssw.stream_per_sec / 1e3
+            << "k trials/s streaming (" << ssw.ratio() << "x)\n"
             << "wrote " << out_path << "\n";
+
+  if (args.has("check")) {
+    return check_against_baseline(os.str(),
+                                  args.get("baseline", "BENCH_micro.json"));
+  }
   return 0;
 }
 

@@ -6,12 +6,15 @@
 //                 [--trials 200] [--threads 0] [--seed 1]
 //                 [--c_min 1] [--c_max 2.5] [--local_delay 0]
 //                 [--processes 8] [--ops 4] [--timeout_ms 0] [--retries 0]
-//                 [--stream] [--record <path>] [--replay <path>]
+//                 [--stream] [--wave] [--record <path>] [--replay <path>]
 //                 [--json] [--list]
 //
 // --stream runs every trial against the incremental consistency checker
 // (RunSpec::keep_trace = false): same aggregate report, O(open
-// operations) trace memory per trial instead of O(tokens). --record
+// operations) trace memory per trial instead of O(tokens). --wave runs
+// the simulated backends through the level-synchronous wave interpreter
+// (RunSpec::wave_exec = true): byte-identical aggregate report, traversal
+// batched level-by-level instead of token-by-token. --record
 // writes the trace of a single trial (forces --trials 1) to a file in
 // the versioned binary format of trace/serialize.hpp; --replay selects
 // the "replay" backend on such a file.
@@ -58,6 +61,7 @@ int main(int argc, char** argv) {
   sweep.max_retries = static_cast<std::uint32_t>(args.get_int("retries", 0));
 
   spec.keep_trace = !args.get_bool("stream", false);
+  spec.wave_exec = args.get_bool("wave", false);
   spec.record_path = args.get("record", "");
   spec.replay_path = args.get("replay", "");
   if (!spec.replay_path.empty()) spec.backend = "replay";

@@ -33,8 +33,9 @@
 #include "sim/simulator.hpp"        // IWYU pragma: export
 #include "sim/timed_execution.hpp"  // IWYU pragma: export
 #include "sim/timing.hpp"           // IWYU pragma: export
-#include "sim/trace.hpp"            // IWYU pragma: export
 #include "sim/workload.hpp"         // IWYU pragma: export
+
+#include "trace/trace.hpp"          // IWYU pragma: export
 
 #include "msg/event_kernel.hpp"     // IWYU pragma: export
 #include "msg/service.hpp"          // IWYU pragma: export

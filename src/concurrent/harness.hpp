@@ -11,7 +11,7 @@
 #include "concurrent/concurrent_network.hpp"
 #include "fault/fault.hpp"
 #include "sim/timed_execution.hpp"
-#include "sim/trace.hpp"
+#include "trace/trace.hpp"
 #include "trace/sink.hpp"
 
 namespace cn {

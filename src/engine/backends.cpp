@@ -75,7 +75,9 @@ void finish_simulated(RunResult& out, const RunSpec& spec, TimedExecution exec,
   if (spec.fault.sim_faults()) {
     const fault::SimFaults faults =
         fault::draw_sim_faults(*exec.net, exec, spec.fault, spec.seed);
-    fault::FaultedSimResult sim = fault::simulate_faulted(exec, faults);
+    fault::FaultedSimResult sim =
+        spec.wave_exec ? fault::simulate_faulted_wave(exec, faults, arena)
+                       : fault::simulate_faulted(exec, faults);
     if (!sim.ok()) {
       out.error = "faulted simulation failed: " + sim.error;
       return;
@@ -85,7 +87,8 @@ void finish_simulated(RunResult& out, const RunSpec& spec, TimedExecution exec,
     record_sim_fault_metrics(out, faults);
     return;
   }
-  SimulationResult sim = simulate(exec, arena);
+  SimulationResult sim =
+      spec.wave_exec ? simulate_wave(exec, arena) : simulate(exec, arena);
   if (!sim.ok()) {
     out.error = "simulation failed: " + sim.error;
     return;
@@ -105,7 +108,9 @@ void finish_simulated_stream(RunResult& out, const RunSpec& spec,
     const fault::SimFaults faults =
         fault::draw_sim_faults(*exec.net, exec, spec.fault, spec.seed);
     const fault::FaultedSimResult sim =
-        fault::simulate_faulted_stream(exec, faults, sink);
+        spec.wave_exec
+            ? fault::simulate_faulted_wave_stream(exec, faults, arena, sink)
+            : fault::simulate_faulted_stream(exec, faults, sink);
     if (!sim.ok()) {
       out.error = "faulted simulation failed: " + sim.error;
       return;
@@ -113,7 +118,9 @@ void finish_simulated_stream(RunResult& out, const RunSpec& spec,
     record_sim_fault_metrics(out, faults);
     return;
   }
-  const SimulationResult sim = simulate_stream(exec, arena, sink);
+  const SimulationResult sim = spec.wave_exec
+                                   ? simulate_wave_stream(exec, arena, sink)
+                                   : simulate_stream(exec, arena, sink);
   if (!sim.ok()) out.error = "simulation failed: " + sim.error;
 }
 
@@ -129,7 +136,16 @@ bool apply_sim_faults(RunResult& out, const RunSpec& spec) {
   }
   const fault::SimFaults faults =
       fault::draw_sim_faults(*out.exec.net, out.exec, spec.fault, spec.seed);
-  fault::FaultedSimResult sim = fault::simulate_faulted(out.exec, faults);
+  fault::FaultedSimResult sim;
+  if (spec.wave_exec) {
+    // These backends (wave / optimizer) build their schedule without a
+    // RunContext, so there is no shared arena to reuse; a local one
+    // compiles the tables once for this re-interpretation.
+    SimArena arena;
+    sim = fault::simulate_faulted_wave(out.exec, faults, arena);
+  } else {
+    sim = fault::simulate_faulted(out.exec, faults);
+  }
   if (!sim.ok()) {
     out.error = "faulted simulation failed: " + sim.error;
     return false;

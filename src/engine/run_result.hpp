@@ -11,7 +11,7 @@
 #include "core/topology.hpp"
 #include "sim/consistency.hpp"
 #include "sim/timed_execution.hpp"
-#include "sim/trace.hpp"
+#include "trace/trace.hpp"
 
 namespace cn::engine {
 

@@ -95,6 +95,14 @@ struct RunSpec {
   /// TraceSource) never build the trace at all; the rest collect
   /// internally and replay into the sink.
   bool keep_trace = true;
+  /// When true, the simulated backends (simulator / sim_burst /
+  /// sim_heterogeneous, plus the wave and optimizer fault re-runs)
+  /// execute through the level-synchronous wave interpreters
+  /// (simulate_wave / simulate_faulted_wave) instead of the scalar event
+  /// loop. Byte-identical results — trace, errors, streaming emission,
+  /// fault metrics — selected per trial; networks the wave path cannot
+  /// take fall back to the scalar interpreter internally.
+  bool wave_exec = false;
   /// When non-empty, the produced trace is also written to this file in
   /// the versioned binary format of trace/serialize.hpp (forces the
   /// collecting path — a recorded run always materializes its trace).

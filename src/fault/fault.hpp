@@ -21,11 +21,12 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
-#include "sim/trace.hpp"
 #include "trace/sink.hpp"
+#include "trace/trace.hpp"
 #include "util/rng.hpp"
 
 namespace cn::fault {
@@ -163,6 +164,9 @@ Degradation degradation(const Trace& trace, std::uint32_t fan_out);
 class DegradationAccumulator final : public TraceSink {
  public:
   void on_record(const TokenRecord& record) override;
+  void on_records(std::span<const TokenRecord> records) override {
+    for (const TokenRecord& r : records) on_record(r);
+  }
   void finish() override {}
 
   void reset();

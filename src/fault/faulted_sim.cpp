@@ -1,8 +1,12 @@
 #include "fault/faulted_sim.hpp"
 
 #include <algorithm>
+#include <cstddef>
 #include <map>
 #include <optional>
+#include <vector>
+
+#include "core/wave.hpp"
 
 namespace cn::fault {
 
@@ -136,12 +140,16 @@ FaultedSimResult simulate_faulted_with(const TimedExecution& exec,
   // Streaming runs emit records at the counter crossing; only the collect
   // path materializes the O(tokens) records array. Completions happen in
   // seq order, but the sink contract is issue order, so emissions pass
-  // through a reorder buffer; a vanishing token must drop its open entry
-  // or it would hold back every later-issued completion until flush.
-  std::optional<IssueOrderBuffer> reorder;
+  // through a reorder window (first_seqs come from the incrementing
+  // `seq`, so IssueWindowBuffer's monotone-producer contract holds); a
+  // vanishing token must drop its issue slot or it would hold back every
+  // later-issued completion until flush.
+  std::optional<IssueWindowBuffer> reorder;
   if (sink != nullptr) reorder.emplace(*sink);
   std::vector<TokenRecord> records(sink == nullptr ? max_token + 1 : 0);
   std::vector<std::uint64_t> first_seq_of_process(
+      sink == nullptr ? 0 : max_process + 1, 0);
+  std::vector<std::uint64_t> pos_of_process(
       sink == nullptr ? 0 : max_process + 1, 0);
   std::vector<WireIndex> wire_of(max_token + 1, kInvalidWire);
   std::vector<bool> completed(max_token + 1, false);
@@ -169,7 +177,7 @@ FaultedSimResult simulate_faulted_with(const TimedExecution& exec,
     // so a vanishing token has an open reorder entry to drop.)
     if (ev.hop == doom(ev.token)) {
       in_flight_of_process[plan.process] = kNoToken;
-      if (sink != nullptr) reorder->drop(first_seq_of_process[plan.process]);
+      if (sink != nullptr) reorder->drop(pos_of_process[plan.process]);
       continue;
     }
 
@@ -188,7 +196,7 @@ FaultedSimResult simulate_faulted_with(const TimedExecution& exec,
         records[ev.token].first_seq = seq;
       } else {
         first_seq_of_process[plan.process] = seq;
-        reorder->open(seq);
+        pos_of_process[plan.process] = reorder->open();
       }
     }
 
@@ -245,7 +253,7 @@ FaultedSimResult simulate_faulted_with(const TimedExecution& exec,
         rec.t_out = plan.t_out();
         rec.first_seq = first_seq_of_process[plan.process];
         rec.last_seq = seq - 1;
-        reorder->close(rec);
+        reorder->close(pos_of_process[plan.process], rec);
       }
     } else {
       if (ev.hop + 1 >= plan.times.size()) {
@@ -271,6 +279,222 @@ FaultedSimResult simulate_faulted_with(const TimedExecution& exec,
   return result;
 }
 
+/// Wave mode pre-sorts the complete (fault-trimmed) event list; `hop`
+/// joins the sort key as the final tie-break so the sorted order equals
+/// the scalar heap's pop order (see sim/simulator.hpp, simulate_wave).
+struct WaveEvent {
+  double time;
+  double rank;
+  TokenId token;
+  std::uint32_t hop;
+};
+
+constexpr auto wave_event_less = [](const WaveEvent& a, const WaveEvent& b) {
+  if (a.time != b.time) return a.time < b.time;
+  if (a.rank != b.rank) return a.rank < b.rank;
+  if (a.token != b.token) return a.token < b.token;
+  return a.hop < b.hop;
+};
+
+constexpr std::size_t kWaveChunk = 4096;
+
+FaultedSimResult simulate_faulted_wave_with(const TimedExecution& exec,
+                                            const SimFaults& faults,
+                                            SimArena& arena,
+                                            TraceSink* sink) {
+  FaultedSimResult result;
+  result.error = validate(exec);
+  if (!result.error.empty()) return result;
+
+  const Network& net = *exec.net;
+  const SimArena::WaveTables tables = arena.wave_tables(net);
+  const CompiledNetwork& cnet = *tables.compiled;
+  const std::uint32_t d = net.depth();
+  if (!tables.plan->uniform() || tables.plan->depth() != d) {
+    // The scalar interpreter is the spec, including its dynamic
+    // non-uniformity errors: run it wholesale.
+    return sink == nullptr ? simulate_faulted(exec, faults)
+                           : simulate_faulted_stream(exec, faults, *sink);
+  }
+
+  TokenId max_token = 0;
+  ProcessId max_process = 0;
+  for (const TokenPlan& p : exec.plans) {
+    if (p.token == kNoToken) {
+      result.error = "token id " + std::to_string(kNoToken) + " is reserved";
+      return result;
+    }
+    max_token = std::max(max_token, p.token);
+    max_process = std::max(max_process, p.process);
+  }
+
+  const auto doom = [&](TokenId t) -> std::uint32_t {
+    return t < faults.lost_before_hop.size() ? faults.lost_before_hop[t]
+                                             : kCompletes;
+  };
+
+  // The canonical event order, with the overlay already folded in:
+  // never-issued tokens contribute nothing, a doomed token's events stop
+  // at its drop hop (the drop event is processed — it frees the process
+  // and the reorder slot — but executes no transition and draws no seq).
+  std::vector<const TokenPlan*> plan_of(max_token + 1, nullptr);
+  std::vector<WaveEvent> events;
+  events.reserve(exec.plans.size() * (d + 1));
+  for (const TokenPlan& p : exec.plans) {
+    plan_of[p.token] = &p;
+    const std::uint32_t dm = doom(p.token);
+    if (dm == 0) continue;  // never issued
+    const std::uint32_t last = std::min(dm, d);
+    for (std::uint32_t h = 0; h <= last; ++h) {
+      events.push_back({p.times[h], p.rank, p.token, h});
+    }
+  }
+  std::sort(events.begin(), events.end(), wave_event_less);
+
+  // Step-order overlap pre-check over the canonical order — the same
+  // transitions on the same per-process slots the scalar loop performs.
+  // A rejected schedule falls back to the scalar interpreter so the
+  // error text and any partial sink emission match exactly.
+  {
+    std::vector<TokenId> in_flight(max_process + 1, kNoToken);
+    for (const WaveEvent& e : events) {
+      const ProcessId proc = plan_of[e.token]->process;
+      if (e.hop == doom(e.token)) {
+        in_flight[proc] = kNoToken;
+        continue;
+      }
+      if (e.hop == 0) {
+        if (in_flight[proc] != kNoToken) {
+          return sink == nullptr
+                     ? simulate_faulted(exec, faults)
+                     : simulate_faulted_stream(exec, faults, *sink);
+        }
+        in_flight[proc] = e.token;
+      }
+      if (e.hop == d) in_flight[proc] = kNoToken;
+    }
+  }
+
+  // Dynamic state, graph-walk flavor (reference semantics): explicit
+  // round-robin positions — a stuck balancer freezes its position, which
+  // the throughput-encoded representation cannot express — and next
+  // counter values. Routing itself runs over the compiled tables, a
+  // re-indexing of the graph walk.
+  std::vector<PortIndex> balancer_pos(net.num_balancers(), 0);
+  std::vector<Value> counter_next(net.fan_out());
+  for (std::uint32_t j = 0; j < net.fan_out(); ++j) counter_next[j] = j;
+
+  std::optional<IssueWindowBuffer> reorder;
+  if (sink != nullptr) reorder.emplace(*sink, /*deferred=*/true);
+  std::vector<TokenRecord> records(sink == nullptr ? max_token + 1 : 0);
+  // Per TOKEN, not per process: inside one chunk a process's next issue
+  // is processed (level 0) before its previous token's drop (level >= 1).
+  std::vector<std::uint64_t> first_seq_of_token(
+      sink == nullptr ? 0 : max_token + 1, 0);
+  std::vector<std::uint64_t> pos_of_token(
+      sink == nullptr ? 0 : max_token + 1, 0);
+  std::vector<WireIndex> wire_of(max_token + 1, kInvalidWire);
+  std::vector<bool> completed(max_token + 1, false);
+
+  std::vector<std::uint32_t> bucket_start(d + 2, 0);
+  std::vector<std::uint32_t> bucket_pos(d + 1, 0);
+  std::vector<std::uint32_t> order;
+  std::vector<std::uint64_t> seq_of;
+  std::uint64_t seq = 0;
+
+  for (std::size_t base = 0; base < events.size(); base += kWaveChunk) {
+    const std::size_t n = std::min(kWaveChunk, events.size() - base);
+    const WaveEvent* chunk = events.data() + base;
+
+    // Canonical per-event seqs, assigned before bucketing: drop events
+    // draw none, exactly like the scalar loop's skipped increment.
+    seq_of.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      seq_of[i] = chunk[i].hop == doom(chunk[i].token) ? 0 : seq++;
+    }
+
+    // Stable counting sort of the chunk by hop (= level).
+    std::fill(bucket_start.begin(), bucket_start.end(), 0u);
+    for (std::size_t i = 0; i < n; ++i) ++bucket_start[chunk[i].hop + 1];
+    for (std::uint32_t h = 0; h <= d; ++h) bucket_start[h + 1] += bucket_start[h];
+    std::copy(bucket_start.begin(), bucket_start.end() - 1, bucket_pos.begin());
+    order.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      order[bucket_pos[chunk[i].hop]++] = static_cast<std::uint32_t>(i);
+    }
+
+    for (std::uint32_t lvl = 0; lvl <= d; ++lvl) {
+      for (std::uint32_t s = bucket_start[lvl]; s < bucket_start[lvl + 1]; ++s) {
+        const std::uint32_t idx = order[s];
+        const WaveEvent& e = chunk[idx];
+        const TokenPlan& plan = *plan_of[e.token];
+
+        // The token vanishes here: no transition, no seq. (Emission
+        // eligibility is reconciled at the chunk's deferred drain, so
+        // within-chunk call order against other levels is immaterial.)
+        if (e.hop == doom(e.token)) {
+          if (sink != nullptr) reorder->drop(pos_of_token[e.token]);
+          continue;
+        }
+
+        if (lvl == 0) {
+          wire_of[e.token] = cnet.source_wire(plan.source);
+          if (sink == nullptr) {
+            records[e.token].first_seq = seq_of[idx];
+          } else {
+            // Hop-0 events are visited in sorted-index order within the
+            // chunk's level-0 slice, so opens arrive in first_seq order.
+            first_seq_of_token[e.token] = seq_of[idx];
+            pos_of_token[e.token] = reorder->open();
+          }
+        }
+
+        const CompiledNetwork::Route& r = cnet.route(wire_of[e.token]);
+        if (lvl < d) {
+          const PortIndex out = balancer_pos[r.node];
+          if (!faults.stuck[r.node]) {
+            balancer_pos[r.node] = static_cast<PortIndex>(
+                (out + 1) % cnet.balancer_fan_out(r.node));
+          }
+          wire_of[e.token] = cnet.out_wire_at(r.out_base + out);
+        } else {
+          const std::uint32_t counter = r.node;
+          const Value v = counter_next[counter];
+          counter_next[counter] += cnet.fan_out();
+          completed[e.token] = true;
+          TokenRecord rec;
+          rec.token = plan.token;
+          rec.process = plan.process;
+          rec.source = plan.source;
+          rec.sink = counter;
+          rec.value = v;
+          rec.t_in = plan.t_in();
+          rec.t_out = plan.t_out();
+          rec.last_seq = seq_of[idx];
+          if (sink == nullptr) {
+            rec.first_seq = records[e.token].first_seq;
+            records[e.token] = rec;
+          } else {
+            rec.first_seq = first_seq_of_token[e.token];
+            reorder->close(pos_of_token[e.token], rec);
+          }
+        }
+      }
+    }
+    if (sink != nullptr) reorder->drain();
+  }
+
+  if (sink == nullptr) {
+    result.trace.reserve(exec.plans.size());
+    for (const TokenPlan& p : exec.plans) {
+      if (completed[p.token]) result.trace.push_back(records[p.token]);
+    }
+  } else {
+    reorder->flush();
+  }
+  return result;
+}
+
 }  // namespace
 
 FaultedSimResult simulate_faulted(const TimedExecution& exec,
@@ -282,6 +506,19 @@ FaultedSimResult simulate_faulted_stream(const TimedExecution& exec,
                                          const SimFaults& faults,
                                          TraceSink& sink) {
   return simulate_faulted_with(exec, faults, &sink);
+}
+
+FaultedSimResult simulate_faulted_wave(const TimedExecution& exec,
+                                       const SimFaults& faults,
+                                       SimArena& arena) {
+  return simulate_faulted_wave_with(exec, faults, arena, nullptr);
+}
+
+FaultedSimResult simulate_faulted_wave_stream(const TimedExecution& exec,
+                                              const SimFaults& faults,
+                                              SimArena& arena,
+                                              TraceSink& sink) {
+  return simulate_faulted_wave_with(exec, faults, arena, &sink);
 }
 
 }  // namespace cn::fault

@@ -18,8 +18,12 @@
 // With an empty overlay the interpreter is step-for-step identical to
 // simulate(): same event order, same balancer/counter semantics, same
 // trace fields (guarded by tests/fault_test.cpp differential tests).
-// It deliberately walks the Network graph instead of the compiled
-// routing tables: the fast path stays untouched by the fault layer.
+// The scalar interpreter deliberately walks the Network graph instead of
+// the compiled routing tables: the fast path stays untouched by the
+// fault layer. The wave interpreter below is the level-synchronous
+// execution of the same semantics (tests/wave_test.cpp holds the two
+// byte-identical), routing over the compiled tables but keeping the
+// explicit per-balancer positions stuck faults require.
 #pragma once
 
 #include <cstdint>
@@ -29,9 +33,10 @@
 
 #include "core/topology.hpp"
 #include "fault/fault.hpp"
+#include "sim/simulator.hpp"
 #include "sim/timed_execution.hpp"
-#include "sim/trace.hpp"
 #include "trace/sink.hpp"
+#include "trace/trace.hpp"
 
 namespace cn::fault {
 
@@ -83,12 +88,37 @@ FaultedSimResult simulate_faulted(const TimedExecution& exec,
                                   const SimFaults& faults);
 
 /// Streaming variant: emits completed tokens' records to `sink` in ISSUE
-/// order (via an IssueOrderBuffer, as in simulate_stream; a vanishing
-/// token drops its open entry at its drop event) and leaves
+/// order (via an IssueWindowBuffer, as in simulate_stream; a vanishing
+/// token drops its issue slot at its drop event) and leaves
 /// FaultedSimResult::trace empty. Lost / never-issued tokens emit
 /// nothing, exactly like the batch trace. Does not call sink.finish().
 FaultedSimResult simulate_faulted_stream(const TimedExecution& exec,
                                          const SimFaults& faults,
                                          TraceSink& sink);
+
+/// Level-synchronous wave interpreter of the same overlay: the canonical
+/// (time, rank, token, hop) event order is sorted once, chunked, and each
+/// chunk is bucketed by level, with the fault overlay applied per wave —
+/// a doomed token's drop event is consumed at its level without drawing a
+/// sequence number, and stuck balancers freeze the explicit per-balancer
+/// position the wave loop advances. Routing runs over the compiled
+/// tables cached in `arena` (a re-indexing of the graph walk, held
+/// identical by tests/compiled_test.cpp). Byte-identical to
+/// simulate_faulted(); with an empty overlay, byte-identical to
+/// simulate_wave() and simulate() (zero-fault identity). Structurally
+/// non-uniform networks and schedules that fail the per-process overlap
+/// pre-check fall back to the scalar interpreter wholesale, reproducing
+/// its errors exactly.
+FaultedSimResult simulate_faulted_wave(const TimedExecution& exec,
+                                       const SimFaults& faults,
+                                       SimArena& arena);
+
+/// Streaming twin of simulate_faulted_wave: same record sequence as
+/// simulate_faulted_stream, emitted in per-wave on_records batches (the
+/// reorder buffer drains once per chunk). Does not call sink.finish().
+FaultedSimResult simulate_faulted_wave_stream(const TimedExecution& exec,
+                                              const SimFaults& faults,
+                                              SimArena& arena,
+                                              TraceSink& sink);
 
 }  // namespace cn::fault

@@ -9,7 +9,7 @@
 #include "core/topology.hpp"
 #include "fault/fault.hpp"
 #include "msg/event_kernel.hpp"
-#include "sim/trace.hpp"
+#include "trace/trace.hpp"
 #include "trace/sink.hpp"
 
 namespace cn::msg {

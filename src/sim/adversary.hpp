@@ -20,7 +20,7 @@
 #include "sim/consistency.hpp"
 #include "sim/timed_execution.hpp"
 #include "sim/timing.hpp"
-#include "sim/trace.hpp"
+#include "trace/trace.hpp"
 #include "util/rng.hpp"
 
 namespace cn {

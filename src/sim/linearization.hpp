@@ -16,7 +16,7 @@
 #include <optional>
 #include <vector>
 
-#include "sim/trace.hpp"
+#include "trace/trace.hpp"
 
 namespace cn {
 

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <limits>
-#include <optional>
+#include <span>
 #include <vector>
+
+#include "core/wave.hpp"
 
 namespace cn {
 
@@ -31,6 +33,29 @@ constexpr auto event_after = [](const Event& a, const Event& b) { return a > b; 
 
 constexpr TokenId kNoToken = std::numeric_limits<TokenId>::max();
 
+/// Wave mode pre-sorts the complete event list instead of heaping pending
+/// events; `hop` joins the sort key as the final tie-break so the sorted
+/// order equals the scalar heap's pop order (see simulate_wave's header
+/// comment).
+struct WaveEvent {
+  double time;
+  double rank;
+  TokenId token;
+  std::uint32_t hop;
+};
+
+constexpr auto wave_event_less = [](const WaveEvent& a, const WaveEvent& b) {
+  if (a.time != b.time) return a.time < b.time;
+  if (a.rank != b.rank) return a.rank < b.rank;
+  if (a.token != b.token) return a.token < b.token;
+  return a.hop < b.hop;
+};
+
+/// Chunk of the canonical event order processed per wave round. Large
+/// enough to amortize the per-chunk bucket pass and sink batch, small
+/// enough that the chunk's cursors stay cache-resident.
+constexpr std::size_t kWaveChunk = 4096;
+
 }  // namespace
 
 /// Per-call buffers, kept allocated across calls.
@@ -39,15 +64,44 @@ struct SimArena::Scratch {
   std::vector<const TokenPlan*> plan_of;
   std::vector<TokenRecord> records;
   std::vector<TokenId> in_flight_of_process;
-  /// Streaming mode: first_seq of each process's in-flight token — the
-  /// only per-token state that must survive from entry to exit.
+  /// Streaming mode: first_seq and issue slot of each process's
+  /// in-flight token — the only per-token state that must survive from
+  /// entry to exit.
   std::vector<std::uint64_t> first_seq_of_process;
+  std::vector<std::uint64_t> pos_of_process;
+  IssueWindowBuffer window;  ///< Ring reused across calls.
+  // --- wave mode ---------------------------------------------------------
+  std::vector<WaveEvent> events;            ///< All steps, canonical order.
+  std::vector<std::uint32_t> bucket_start;  ///< Per-level chunk offsets.
+  std::vector<std::uint32_t> bucket_pos;    ///< Scatter cursor per level.
+  std::vector<std::uint32_t> order;         ///< Chunk indices by level.
+  std::vector<WireIndex> wire_of;           ///< Current wire per token.
+  /// Wave streaming keeps first_seq and issue slot per TOKEN, not per
+  /// process: inside one chunk a process's next issue is processed
+  /// (level 0) before its previous token's completion (level d), so a
+  /// per-process slot would be overwritten too early. O(max token id)
+  /// scratch, arena-reused.
+  std::vector<std::uint64_t> first_seq_of_token;
+  std::vector<std::uint64_t> pos_of_token;
+  std::vector<TokenCursor> cursors;         ///< One wave's gather buffer.
+  std::vector<Value> values;                ///< Counter-wave results.
 };
 
 SimArena::SimArena() : scratch_(std::make_unique<Scratch>()) {}
 SimArena::~SimArena() = default;
 SimArena::SimArena(SimArena&&) noexcept = default;
 SimArena& SimArena::operator=(SimArena&&) noexcept = default;
+
+SimArena::WaveTables SimArena::wave_tables(const Network& net) {
+  acquire(net);
+  if (wave_plan_ == nullptr || &wave_plan_->compiled() != compiled_.get()) {
+    wave_plan_ = std::make_unique<WavePlan>(*compiled_);
+    wave_state_ = std::make_unique<CompiledState>(*compiled_);
+  } else {
+    wave_state_->reset();
+  }
+  return {compiled_.get(), wave_plan_.get()};
+}
 
 NetworkState& SimArena::acquire(const Network& net) {
   // Cached by address; the shape check catches the (unlikely) case of a
@@ -93,13 +147,15 @@ SimulationResult simulate_with(const TimedExecution& exec, SimArena& arena,
   // Streaming runs emit records as tokens exit; only the collect path
   // materializes the O(tokens) records array. Completions happen in seq
   // order, but the sink contract is issue order, so they pass through a
-  // reorder buffer bounded by the open-token concurrency.
-  std::optional<IssueOrderBuffer> reorder;
+  // reorder window bounded by the open-token concurrency (first_seqs
+  // come from the incrementing `seq`, so the monotone-producer
+  // contract of IssueWindowBuffer holds).
   if (sink == nullptr) {
     scr.records.assign(max_token + 1, TokenRecord{});
   } else {
     scr.first_seq_of_process.assign(max_process + 1, 0);
-    reorder.emplace(*sink);
+    scr.pos_of_process.assign(max_process + 1, 0);
+    scr.window.reset(*sink, /*deferred=*/false);
   }
   // Paper Section 2.2, rule 3: all steps of a process's token must
   // precede all steps of its next token IN THE STEP SEQUENCE. Equal times
@@ -135,7 +191,7 @@ SimulationResult simulate_with(const TimedExecution& exec, SimArena& arena,
         scr.records[ev.token].first_seq = seq;
       } else {
         scr.first_seq_of_process[plan.process] = seq;
-        reorder->open(seq);
+        scr.pos_of_process[plan.process] = scr.window.open();
       }
     }
     const bool finished = state.step_fast(plan.token);
@@ -170,7 +226,7 @@ SimulationResult simulate_with(const TimedExecution& exec, SimArena& arena,
         rec.t_out = plan.t_out();
         rec.first_seq = scr.first_seq_of_process[plan.process];
         rec.last_seq = seq - 1;
-        reorder->close(rec);
+        scr.window.close(scr.pos_of_process[plan.process], rec);
       }
     } else {
       if (ev.hop + 1 >= plan.times.size()) {
@@ -191,9 +247,183 @@ SimulationResult simulate_with(const TimedExecution& exec, SimArena& arena,
       result.trace.push_back(scr.records[p.token]);
     }
   } else {
-    reorder->flush();
+    scr.window.flush();
   }
   if (record_steps) result.steps = state.log();
+  return result;
+}
+
+SimulationResult simulate_wave_with(const TimedExecution& exec,
+                                    SimArena& arena, TraceSink* sink) {
+  SimulationResult result;
+  result.error = validate(exec);
+  if (!result.error.empty()) return result;
+
+  const Network& net = *exec.net;
+  arena.wave_tables(net);
+  const std::uint32_t d = net.depth();
+  if (!arena.wave_plan_->uniform() || arena.wave_plan_->depth() != d) {
+    // The scalar interpreter is the executable spec, including its
+    // dynamic non-uniformity errors (and any sink prefix emitted before
+    // the error): run it wholesale.
+    return simulate_with(exec, arena, /*record_steps=*/false, sink);
+  }
+
+  SimArena::Scratch& scr = *arena.scratch_;
+  TokenId max_token = 0;
+  ProcessId max_process = 0;
+  for (const TokenPlan& p : exec.plans) {
+    if (p.token == kNoToken) {
+      result.error = "token id " + std::to_string(kNoToken) + " is reserved";
+      return result;
+    }
+    max_token = std::max(max_token, p.token);
+    max_process = std::max(max_process, p.process);
+  }
+
+  // The canonical event order: one global sort replaces the heap. The
+  // scalar pop order is exactly this order — at every pop the heap holds
+  // each unfinished token's earliest unprocessed event, and a successor
+  // event never sorts before its predecessor (times are non-decreasing
+  // per plan; `hop` breaks the equal-time case), so the minimum over
+  // pending events is the minimum over all unprocessed events.
+  scr.plan_of.assign(max_token + 1, nullptr);
+  scr.events.clear();
+  scr.events.reserve(exec.plans.size() * (d + 1));
+  for (const TokenPlan& p : exec.plans) {
+    scr.plan_of[p.token] = &p;
+    for (std::uint32_t h = 0; h <= d; ++h) {
+      scr.events.push_back({p.times[h], p.rank, p.token, h});
+    }
+  }
+  std::sort(scr.events.begin(), scr.events.end(), wave_event_less);
+
+  // Paper Section 2.2, rule 3 (step-order overlap): decided up front over
+  // the canonical order — the same hop-0 checks in the same order the
+  // scalar loop performs them. A rejected schedule falls back to the
+  // scalar interpreter so the error text and any partial sink emission
+  // match exactly.
+  scr.in_flight_of_process.assign(max_process + 1, kNoToken);
+  for (const WaveEvent& e : scr.events) {
+    if (e.hop == 0) {
+      TokenId& slot = scr.in_flight_of_process[scr.plan_of[e.token]->process];
+      if (slot != kNoToken) {
+        return simulate_with(exec, arena, /*record_steps=*/false, sink);
+      }
+      slot = e.token;
+    }
+    if (e.hop == d) {
+      scr.in_flight_of_process[scr.plan_of[e.token]->process] = kNoToken;
+    }
+  }
+
+  if (sink == nullptr) {
+    scr.records.assign(max_token + 1, TokenRecord{});
+  } else {
+    scr.first_seq_of_token.assign(max_token + 1, 0);
+    scr.pos_of_token.assign(max_token + 1, 0);
+    scr.window.reset(*sink, /*deferred=*/true);
+  }
+  scr.wire_of.assign(max_token + 1, kInvalidWire);
+
+  const CompiledNetwork& cnet = *arena.compiled_;
+  CompiledState& cstate = *arena.wave_state_;
+  const std::uint32_t fan_out = cnet.fan_out();
+  scr.bucket_start.assign(d + 2, 0);
+  scr.bucket_pos.assign(d + 1, 0);
+
+  for (std::size_t base = 0; base < scr.events.size(); base += kWaveChunk) {
+    const std::size_t n = std::min(kWaveChunk, scr.events.size() - base);
+    const WaveEvent* chunk = scr.events.data() + base;
+
+    // Stable counting sort of the chunk by hop. A balancer lives at
+    // exactly one level, so grouping by level keeps each balancer's
+    // arrival order; hop h sorts before hop h+1, so a token's own steps
+    // stay ordered within the chunk.
+    std::fill(scr.bucket_start.begin(), scr.bucket_start.end(), 0u);
+    for (std::size_t i = 0; i < n; ++i) ++scr.bucket_start[chunk[i].hop + 1];
+    for (std::uint32_t h = 0; h <= d; ++h) {
+      scr.bucket_start[h + 1] += scr.bucket_start[h];
+    }
+    std::copy(scr.bucket_start.begin(), scr.bucket_start.end() - 1,
+              scr.bucket_pos.begin());
+    scr.order.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      scr.order[scr.bucket_pos[chunk[i].hop]++] =
+          static_cast<std::uint32_t>(i);
+    }
+
+    for (std::uint32_t lvl = 0; lvl <= d; ++lvl) {
+      const std::span<const std::uint32_t> slice(
+          scr.order.data() + scr.bucket_start[lvl],
+          scr.bucket_start[lvl + 1] - scr.bucket_start[lvl]);
+      if (slice.empty()) continue;
+
+      if (lvl == 0) {
+        // Entry bookkeeping; seq of an event is its global sorted index.
+        for (const std::uint32_t idx : slice) {
+          const WaveEvent& e = chunk[idx];
+          const TokenPlan& plan = *scr.plan_of[e.token];
+          scr.wire_of[e.token] = cnet.source_wire(plan.source);
+          ++cstate.source_count[plan.source];
+          const std::uint64_t seq = base + idx;
+          if (sink == nullptr) {
+            scr.records[e.token].first_seq = seq;
+          } else {
+            // Hop-0 events are visited in sorted-index order within each
+            // chunk's level-0 slice, so opens arrive in first_seq order.
+            scr.first_seq_of_token[e.token] = seq;
+            scr.pos_of_token[e.token] = scr.window.open();
+          }
+        }
+      }
+
+      scr.cursors.clear();
+      for (const std::uint32_t idx : slice) {
+        scr.cursors.push_back({scr.wire_of[chunk[idx].token], idx});
+      }
+      if (lvl < d) {
+        step_wave(cnet, cstate, scr.cursors);
+        for (const TokenCursor& c : scr.cursors) {
+          scr.wire_of[chunk[c.tag].token] = c.wire;
+        }
+      } else {
+        scr.values.resize(scr.cursors.size());
+        step_wave_counters(cnet, cstate, scr.cursors, scr.values);
+        for (std::size_t k = 0; k < scr.cursors.size(); ++k) {
+          const WaveEvent& e = chunk[scr.cursors[k].tag];
+          const TokenPlan& plan = *scr.plan_of[e.token];
+          const Value v = scr.values[k];
+          TokenRecord rec;
+          rec.token = plan.token;
+          rec.process = plan.process;
+          rec.source = plan.source;
+          rec.sink = static_cast<std::uint32_t>(v % fan_out);
+          rec.value = v;
+          rec.t_in = plan.t_in();
+          rec.t_out = plan.t_out();
+          rec.last_seq = base + scr.cursors[k].tag;
+          if (sink == nullptr) {
+            rec.first_seq = scr.records[e.token].first_seq;
+            scr.records[e.token] = rec;
+          } else {
+            rec.first_seq = scr.first_seq_of_token[e.token];
+            scr.window.close(scr.pos_of_token[e.token], rec);
+          }
+        }
+      }
+    }
+    if (sink != nullptr) scr.window.drain();
+  }
+
+  if (sink == nullptr) {
+    result.trace.reserve(exec.plans.size());
+    for (const TokenPlan& p : exec.plans) {
+      result.trace.push_back(scr.records[p.token]);
+    }
+  } else {
+    scr.window.flush();
+  }
   return result;
 }
 
@@ -214,6 +444,15 @@ SimulationResult simulate_recorded(const TimedExecution& exec) {
 SimulationResult simulate_stream(const TimedExecution& exec, SimArena& arena,
                                  TraceSink& sink) {
   return simulate_with(exec, arena, /*record_steps=*/false, &sink);
+}
+
+SimulationResult simulate_wave(const TimedExecution& exec, SimArena& arena) {
+  return simulate_wave_with(exec, arena, nullptr);
+}
+
+SimulationResult simulate_wave_stream(const TimedExecution& exec,
+                                      SimArena& arena, TraceSink& sink) {
+  return simulate_wave_with(exec, arena, &sink);
 }
 
 }  // namespace cn

@@ -20,10 +20,12 @@
 
 #include "core/sequential.hpp"
 #include "sim/timed_execution.hpp"
-#include "sim/trace.hpp"
+#include "trace/trace.hpp"
 #include "trace/sink.hpp"
 
 namespace cn {
+
+class WavePlan;
 
 struct SimulationResult {
   Trace trace;            ///< One record per token, in token-plan order.
@@ -57,14 +59,31 @@ class SimArena {
   /// routing tables on first use, recompiling only when `net` changes.
   NetworkState& acquire(const Network& net);
 
+  /// Compiled routing tables plus level structure for `net`, cached like
+  /// acquire(): the shared immutable input of the wave interpreters (the
+  /// faulted one lives in fault/faulted_sim.hpp). Also refreshes the
+  /// internal wave-mode state arena.
+  struct WaveTables {
+    const CompiledNetwork* compiled;
+    const WavePlan* plan;
+  };
+  WaveTables wave_tables(const Network& net);
+
  private:
   friend SimulationResult simulate_with(const TimedExecution& exec,
                                         SimArena& arena, bool record_steps,
                                         TraceSink* sink);
+  friend SimulationResult simulate_wave_with(const TimedExecution& exec,
+                                             SimArena& arena, TraceSink* sink);
   struct Scratch;
   const Network* net_ = nullptr;
   std::shared_ptr<const CompiledNetwork> compiled_;
   std::unique_ptr<NetworkState> state_;
+  /// Wave-mode caches: the level structure of compiled_ and a dedicated
+  /// CompiledState (the wave interpreter mutates raw compiled state; the
+  /// scalar NetworkState above stays untouched). Rebuilt with compiled_.
+  std::unique_ptr<WavePlan> wave_plan_;
+  std::unique_ptr<CompiledState> wave_state_;
   std::unique_ptr<Scratch> scratch_;
 };
 
@@ -84,12 +103,40 @@ SimulationResult simulate_recorded(const TimedExecution& exec);
 /// Streaming variant: emits each TokenRecord to `sink` in ISSUE order
 /// (non-decreasing (first_seq, last_seq, token) — the TraceSink contract)
 /// and leaves SimulationResult::trace empty. Tokens complete in seq
-/// order, so records pass through an IssueOrderBuffer; trace memory is
-/// O(open tokens) (one first_seq slot per process plus the reorder
-/// buffer) instead of O(tokens). Emits the same record set as simulate()'s
-/// trace; does not call sink.finish() — the caller owns the stream
-/// lifetime.
+/// order, so records pass through an IssueWindowBuffer (first_seqs are
+/// drawn from the incrementing step counter, so issue order equals open
+/// order); trace memory is O(open tokens) (one first_seq slot per
+/// process plus the emission window) instead of O(tokens). Emits the
+/// same record set as simulate()'s trace; does not call sink.finish() —
+/// the caller owns the stream lifetime.
 SimulationResult simulate_stream(const TimedExecution& exec, SimArena& arena,
                                  TraceSink& sink);
+
+/// Level-synchronous wave interpreter: byte-identical results to
+/// simulate(exec, arena), computed wave-by-wave instead of event-by-event.
+///
+/// Every step of a timed execution is known up front (the plans fix all
+/// crossing times), and the scalar event heap pops in exactly the total
+/// order (time, rank, token, hop) — a pending successor event never
+/// precedes its predecessor under that key. So the wave interpreter sorts
+/// all N*(d+1) events once, takes fixed-size chunks of the sorted order,
+/// buckets each chunk by hop (= level, for a uniform network), and runs
+/// each level as one wave through the core wave kernels
+/// (core/wave.hpp). Per-balancer arrival order is preserved because a
+/// balancer lives at exactly one level and bucketing is stable; sequence
+/// numbers are the sorted positions, which is exactly the scalar seq
+/// assignment. Executions the wave path cannot take — structurally
+/// non-uniform networks, schedules that fail the per-process overlap
+/// check — fall back to the scalar interpreter wholesale, reproducing its
+/// errors (and any partial sink emission) exactly.
+SimulationResult simulate_wave(const TimedExecution& exec, SimArena& arena);
+
+/// Streaming twin of simulate_wave: same record sequence as
+/// simulate_stream (the reorder buffer drains once per chunk, which
+/// releases records in the identical order — the minimum open first_seq
+/// only ever grows), emitted in per-wave on_records batches. Does not
+/// call sink.finish().
+SimulationResult simulate_wave_stream(const TimedExecution& exec,
+                                      SimArena& arena, TraceSink& sink);
 
 }  // namespace cn

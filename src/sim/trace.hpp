@@ -1,8 +1,9 @@
 // Forwarding header: TokenRecord/Trace moved to the src/trace layer so
 // that producers (sim, msg, concurrent, baselines) and consumers
 // (consistency analysis, serialization) share one root without sim in the
-// middle. Kept so existing includes keep compiling.
+// middle. Nothing in the tree includes this header anymore; it is kept
+// one release for out-of-tree users, with no extra transitive baggage.
+// Include "trace/trace.hpp" directly.
 #pragma once
 
-#include "core/sequential.hpp"  // Historical transitive include.
 #include "trace/trace.hpp"

@@ -19,14 +19,12 @@ namespace {
 
 template <typename Less>
 void feed_sorted(const Trace& trace, TraceSink& sink, Less less) {
-  std::vector<const TokenRecord*> order;
-  order.reserve(trace.size());
-  for (const TokenRecord& r : trace) order.push_back(&r);
-  std::sort(order.begin(), order.end(),
-            [&](const TokenRecord* a, const TokenRecord* b) {
-              return less(*a, *b);
-            });
-  for (const TokenRecord* r : order) sink.on_record(*r);
+  // Both orders are total (token ids break every tie), so the sorted copy
+  // is deterministic; delivering it as one batch lets span-aware sinks
+  // skip the per-record virtual dispatch.
+  Trace sorted(trace);
+  std::sort(sorted.begin(), sorted.end(), less);
+  sink.on_records(sorted);
 }
 
 }  // namespace

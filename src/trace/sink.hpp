@@ -13,12 +13,21 @@
 // key. See trace/streaming.hpp for the consumer side of this contract,
 // and the feed_* helpers below for replaying a materialized Trace into a
 // sink in either order.
+//
+// Batching: records usually become emittable in RUNS — a wave of tokens
+// exits, a reorder buffer drains, a merged partial flushes. on_records()
+// delivers such a run in one virtual call (default: loop over
+// on_record()), so sinks that can ingest a contiguous span amortize the
+// per-record dispatch that made per-token streaming slower than
+// collect-then-analyze. The span contents obey the same issue-order
+// contract, both inside a batch and across batches.
 #pragma once
 
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
-#include <set>
+#include <functional>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -33,6 +42,11 @@ class TraceSink {
  public:
   virtual ~TraceSink() = default;
   virtual void on_record(const TokenRecord& record) = 0;
+  /// Batched delivery: equivalent to on_record(r) for each r in order.
+  /// Producers prefer this form; sinks override it to amortize dispatch.
+  virtual void on_records(std::span<const TokenRecord> records) {
+    for (const TokenRecord& r : records) on_record(r);
+  }
   virtual void finish() {}
 };
 
@@ -42,6 +56,10 @@ class CollectSink final : public TraceSink {
  public:
   void on_record(const TokenRecord& record) override {
     trace_.push_back(record);
+  }
+
+  void on_records(std::span<const TokenRecord> records) override {
+    trace_.insert(trace_.end(), records.begin(), records.end());
   }
 
   const Trace& trace() const noexcept { return trace_; }
@@ -64,6 +82,11 @@ class TeeSink final : public TraceSink {
     second_.on_record(record);
   }
 
+  void on_records(std::span<const TokenRecord> records) override {
+    first_.on_records(records);
+    second_.on_records(records);
+  }
+
   void finish() override {
     first_.finish();
     second_.finish();
@@ -84,8 +107,9 @@ bool issue_order_less(const TokenRecord& a, const TokenRecord& b) noexcept;
 bool completion_order_less(const TokenRecord& a, const TokenRecord& b) noexcept;
 
 /// Replays a materialized trace into a sink, sorted by issue_order_less /
-/// completion_order_less respectively. Neither calls sink.finish(); the
-/// caller decides when the stream ends.
+/// completion_order_less respectively (each delivers the whole trace as
+/// one on_records batch). Neither calls sink.finish(); the caller decides
+/// when the stream ends.
 void feed_issue_order(const Trace& trace, TraceSink& sink);
 void feed_completion_order(const Trace& trace, TraceSink& sink);
 
@@ -104,30 +128,71 @@ void feed_completion_order(const Trace& trace, TraceSink& sink);
 /// process). flush() at end of stream emits any residue held back by
 /// operations that never resolved. first_seqs must be unique among open
 /// operations.
+///
+/// Emission granularity: records are released in on_records() batches —
+/// one per drain. Scalar producers drain on every close/drop (`deferred
+/// = false`, batches are the natural release runs); wave producers pass
+/// `deferred = true` and call drain() once per wave. Deferring is
+/// release-EQUIVALENT, not just order-preserving: open first_seqs are
+/// drawn from a non-decreasing seq counter, so the minimum open first_seq
+/// only ever grows and a record emittable now is still emittable (ahead
+/// of everything buffered later) at the next drain — the concatenation of
+/// batches is the identical record sequence either way.
+///
+/// The open set and the ready buffer are flat binary heaps with lazy
+/// deletion (erased opens cancel against the open heap at its top), so
+/// the steady state allocates nothing and never touches node-based
+/// containers on the hot path.
 class IssueOrderBuffer {
  public:
-  explicit IssueOrderBuffer(TraceSink& out) : out_(&out) {}
+  explicit IssueOrderBuffer(TraceSink& out, bool deferred = false)
+      : out_(&out), deferred_(deferred) {}
 
-  void open(std::uint64_t first_seq) { open_firsts_.insert(first_seq); }
+  void open(std::uint64_t first_seq) {
+    open_.push_back(first_seq);
+    std::push_heap(open_.begin(), open_.end(), std::greater<>{});
+  }
 
   void drop(std::uint64_t first_seq) {
-    open_firsts_.erase(open_firsts_.find(first_seq));
-    drain();
+    erase_open(first_seq);
+    if (!deferred_) drain();
   }
 
   void close(const TokenRecord& record) {
-    open_firsts_.erase(open_firsts_.find(record.first_seq));
+    erase_open(record.first_seq);
     ready_.push_back(record);
     std::push_heap(ready_.begin(), ready_.end(), ready_after);
-    drain();
+    if (!deferred_) drain();
+  }
+
+  /// Releases every record no still-open operation can precede, as one
+  /// on_records() batch. Called automatically per close/drop unless
+  /// deferred; wave producers call it once per wave.
+  void drain() {
+    if (ready_.size() > peak_buffered_) peak_buffered_ = ready_.size();
+    if (ready_.empty()) return;
+    batch_.clear();
+    while (!ready_.empty() &&
+           (open_.empty() || ready_.front().first_seq < open_.front())) {
+      std::pop_heap(ready_.begin(), ready_.end(), ready_after);
+      batch_.push_back(ready_.back());
+      ready_.pop_back();
+    }
+    if (!batch_.empty()) out_->on_records(batch_);
   }
 
   void flush() {
-    while (!ready_.empty()) emit_top();
+    batch_.clear();
+    while (!ready_.empty()) {
+      std::pop_heap(ready_.begin(), ready_.end(), ready_after);
+      batch_.push_back(ready_.back());
+      ready_.pop_back();
+    }
+    if (!batch_.empty()) out_->on_records(batch_);
   }
 
   /// High-water mark of held-back records (the producer-side "trace
-  /// memory" of a streaming run).
+  /// memory" of a streaming run), sampled at each drain.
   std::size_t peak_buffered() const noexcept { return peak_buffered_; }
 
  private:
@@ -136,25 +201,151 @@ class IssueOrderBuffer {
     return issue_order_less(b, a);
   }
 
-  void emit_top() {
-    std::pop_heap(ready_.begin(), ready_.end(), ready_after);
-    out_->on_record(ready_.back());
-    ready_.pop_back();
-  }
-
-  void drain() {
-    if (ready_.size() > peak_buffered_) peak_buffered_ = ready_.size();
-    while (!ready_.empty() &&
-           (open_firsts_.empty() ||
-            ready_.front().first_seq < *open_firsts_.begin())) {
-      emit_top();
+  void erase_open(std::uint64_t first_seq) {
+    erased_.push_back(first_seq);
+    std::push_heap(erased_.begin(), erased_.end(), std::greater<>{});
+    // Every erased value is still in open_, and both are min-heaps, so a
+    // stale minimum is cancelled exactly when the two tops meet.
+    while (!erased_.empty() && !open_.empty() &&
+           open_.front() == erased_.front()) {
+      std::pop_heap(open_.begin(), open_.end(), std::greater<>{});
+      open_.pop_back();
+      std::pop_heap(erased_.begin(), erased_.end(), std::greater<>{});
+      erased_.pop_back();
     }
   }
 
   TraceSink* out_;
-  std::multiset<std::uint64_t> open_firsts_;
-  std::vector<TokenRecord> ready_;
+  bool deferred_ = false;
+  std::vector<std::uint64_t> open_;    ///< Min-heap of open first_seqs.
+  std::vector<std::uint64_t> erased_;  ///< Lazy deletions against open_.
+  std::vector<TokenRecord> ready_;     ///< Min-heap on the issue key.
+  std::vector<TokenRecord> batch_;     ///< Per-drain emission scratch.
   std::size_t peak_buffered_ = 0;
+};
+
+/// Issue-order emitter for MONOTONE producers: open() must be called in
+/// nondecreasing first_seq order. That is true of every simulator
+/// producer — first_seqs are drawn from one incrementing step counter —
+/// and it collapses the reorder problem: the issue order IS the open
+/// order, so emission is a cursor over a ring of issue slots instead of
+/// IssueOrderBuffer's heaps. No comparisons, O(1) per record, and a
+/// drain emits each release run as one zero-copy span straight out of
+/// the ring. (IssueOrderBuffer remains for producers whose issue keys
+/// are not open-ordered, e.g. the msg kernel's service threads.)
+///
+/// Protocol: pos = open() when an operation's first_seq is drawn, then
+/// exactly one of close(pos, record) or drop(pos). drain() releases
+/// every slot before the first still-open position — exactly "first_seq
+/// below the minimum open first_seq", since position order equals
+/// first_seq order — and runs per close/drop unless `deferred`; wave
+/// producers defer and drain once per chunk. flush() at end of stream
+/// emits the completed residue held back by never-resolved opens. For
+/// any monotone producer the concatenated record sequence is identical
+/// to IssueOrderBuffer's.
+///
+/// Memory is the peak issued-but-unemitted window: O(open concurrency)
+/// for per-close drains, up to one chunk of completions when deferred.
+/// The ring grows by doubling and is reusable across calls via reset().
+class IssueWindowBuffer {
+ public:
+  IssueWindowBuffer() = default;  ///< Must reset() before use.
+  explicit IssueWindowBuffer(TraceSink& out, bool deferred = false)
+      : out_(&out), deferred_(deferred) {}
+
+  /// Rebinds the sink and empties the window, keeping ring capacity.
+  void reset(TraceSink& out, bool deferred) {
+    out_ = &out;
+    deferred_ = deferred;
+    next_ = 0;
+    head_ = 0;
+    peak_window_ = 0;
+  }
+
+  std::uint64_t open() {
+    if (next_ - head_ == slots_.size()) grow();
+    state_[index(next_)] = Slot::kOpen;
+    const auto window = static_cast<std::size_t>(next_ - head_) + 1;
+    if (window > peak_window_) peak_window_ = window;
+    return next_++;
+  }
+
+  void close(std::uint64_t pos, const TokenRecord& record) {
+    slots_[index(pos)] = record;
+    state_[index(pos)] = Slot::kClosed;
+    if (!deferred_) drain();
+  }
+
+  void drop(std::uint64_t pos) {
+    state_[index(pos)] = Slot::kDropped;
+    if (!deferred_) drain();
+  }
+
+  /// Releases every slot before the first still-open position.
+  void drain() {
+    std::uint64_t stop = head_;
+    while (stop < next_ && state_[index(stop)] != Slot::kOpen) ++stop;
+    emit_closed(head_, stop);
+    head_ = stop;
+  }
+
+  void flush() {
+    emit_closed(head_, next_);
+    head_ = next_;
+  }
+
+  /// High-water mark of issued-but-unemitted operations — the ring
+  /// footprint of a streaming run, sampled at each open.
+  std::size_t peak_window() const noexcept { return peak_window_; }
+
+ private:
+  enum class Slot : std::uint8_t { kOpen, kClosed, kDropped };
+
+  std::size_t index(std::uint64_t pos) const noexcept {
+    return static_cast<std::size_t>(pos) & (slots_.size() - 1);
+  }
+
+  /// Emits the closed slots in [from, to) as contiguous spans, breaking
+  /// runs at non-closed slots and at the ring's wrap point.
+  void emit_closed(std::uint64_t from, std::uint64_t to) {
+    std::uint64_t run = from;
+    for (std::uint64_t p = from; p < to; ++p) {
+      if (state_[index(p)] != Slot::kClosed) {
+        emit(run, p);
+        run = p + 1;
+      } else if (index(p) == slots_.size() - 1) {
+        emit(run, p + 1);
+        run = p + 1;
+      }
+    }
+    emit(run, to);
+  }
+
+  void emit(std::uint64_t from, std::uint64_t to) {
+    if (from >= to) return;
+    out_->on_records(std::span<const TokenRecord>(
+        slots_.data() + index(from), static_cast<std::size_t>(to - from)));
+  }
+
+  void grow() {
+    const std::size_t cap = slots_.empty() ? 64 : slots_.size() * 2;
+    std::vector<TokenRecord> slots(cap);
+    std::vector<Slot> state(cap);
+    for (std::uint64_t p = head_; p < next_; ++p) {
+      slots[static_cast<std::size_t>(p) & (cap - 1)] = slots_[index(p)];
+      state[static_cast<std::size_t>(p) & (cap - 1)] = state_[index(p)];
+    }
+    slots_.swap(slots);
+    state_.swap(state);
+  }
+
+  TraceSink* out_ = nullptr;
+  bool deferred_ = false;
+  std::vector<TokenRecord> slots_;  ///< Power-of-two ring of issue slots.
+  std::vector<Slot> state_;
+  std::uint64_t next_ = 0;  ///< Next issue position.
+  std::uint64_t head_ = 0;  ///< First unemitted position.
+  std::size_t peak_window_ = 0;
 };
 
 }  // namespace cn

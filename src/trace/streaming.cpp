@@ -24,6 +24,14 @@ void StreamingConsistency::reset() {
 }
 
 void StreamingConsistency::on_record(const TokenRecord& record) {
+  ingest(record);
+}
+
+void StreamingConsistency::on_records(std::span<const TokenRecord> records) {
+  for (const TokenRecord& r : records) ingest(r);
+}
+
+void StreamingConsistency::ingest(const TokenRecord& record) {
   if (finished_) {
     throw std::logic_error(
         "StreamingConsistency: on_record after finish (reset to reuse)");

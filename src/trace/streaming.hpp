@@ -39,6 +39,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "trace/consistency.hpp"
@@ -54,6 +55,9 @@ class StreamingConsistency final : public TraceSink {
   void reset();
 
   void on_record(const TokenRecord& record) override;
+  /// Batched arrival: one virtual call per producer wave, then the
+  /// non-virtual per-record pipeline.
+  void on_records(std::span<const TokenRecord> records) override;
   void finish() override;
 
   /// The report; byte-identical to analyze() on the same records.
@@ -87,6 +91,7 @@ class StreamingConsistency final : public TraceSink {
     return a.last_seq > b.last_seq;
   }
 
+  void ingest(const TokenRecord& record);
   void check_arrival_order(const TokenRecord& record);
   void sweep_non_linearizable(const TokenRecord& record);
   ProcState& proc_state(ProcessId process);

@@ -30,6 +30,8 @@ struct TokenRecord {
   /// tie: T completely precedes T' iff T.last_seq < T'.first_seq.
   std::uint64_t first_seq = 0;
   std::uint64_t last_seq = 0;
+
+  friend bool operator==(const TokenRecord&, const TokenRecord&) = default;
 };
 
 using Trace = std::vector<TokenRecord>;

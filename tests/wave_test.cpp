@@ -1,0 +1,634 @@
+// Differential tests for the level-synchronous wave execution stack
+// (core/wave + simulate_wave + simulate_faulted_wave + engine wave_exec)
+// against the scalar interpreters, which remain the executable
+// specification.
+//
+// The contract under test is BYTE-IDENTITY: for every execution the wave
+// path accepts it must reproduce the scalar path's traces (every
+// TokenRecord field, including seq numbers), errors, streaming record
+// sequences, consistency reports, and sweep JSON; executions it cannot
+// take (non-uniform networks, overlap violations) must fall back to the
+// scalar interpreter and reproduce its behavior exactly.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "core/compiled.hpp"
+#include "core/constructions.hpp"
+#include "core/sequential.hpp"
+#include "core/wave.hpp"
+#include "engine/engine.hpp"
+#include "fault/faulted_sim.hpp"
+#include "sim/simulator.hpp"
+#include "sim/timed_execution.hpp"
+#include "sim/workload.hpp"
+#include "trace/consistency.hpp"
+#include "trace/sink.hpp"
+#include "trace/streaming.hpp"
+#include "util/rng.hpp"
+
+namespace cn {
+namespace {
+
+// ---------------------------------------------------------------------
+// WavePlan: level assignment and the uniformity certificate.
+// ---------------------------------------------------------------------
+
+TEST(WavePlan, LevelsBitonic8) {
+  const Network net = make_bitonic(8);
+  const CompiledNetwork compiled(net);
+  const WavePlan plan(compiled);
+  ASSERT_TRUE(plan.uniform());
+  EXPECT_EQ(plan.depth(), net.depth());
+  // Level 0 is exactly the source wires, in ascending wire order.
+  ASSERT_EQ(plan.wires_at(0).size(), 8u);
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(plan.level_of_wire(compiled.source_wire(i)), 0u);
+  }
+  // Every level of B(8) has full width; counters sit at level depth.
+  for (std::uint32_t l = 0; l <= plan.depth(); ++l) {
+    EXPECT_EQ(plan.wires_at(l).size(), 8u) << "level " << l;
+  }
+  for (const WireIndex w : plan.wires_at(plan.depth())) {
+    EXPECT_TRUE(compiled.route(w).is_sink);
+  }
+}
+
+TEST(WavePlan, CountingTreeIsUniform) {
+  const Network net = make_counting_tree(8);
+  const CompiledNetwork compiled(net);
+  const WavePlan plan(compiled);
+  EXPECT_TRUE(plan.uniform());
+  EXPECT_EQ(plan.depth(), net.depth());
+  EXPECT_EQ(plan.wires_at(0).size(), 1u);  // one source
+}
+
+TEST(WavePlan, BrickWallIsNotUniform) {
+  const Network net = make_brick_wall(4, 3);
+  const CompiledNetwork compiled(net);
+  const WavePlan plan(compiled);
+  EXPECT_FALSE(plan.uniform());
+}
+
+// ---------------------------------------------------------------------
+// Generic wave kernels vs the scalar engine, level-major order.
+// ---------------------------------------------------------------------
+
+// Scalar reference for one wave round: enter tokens in span order, then
+// advance every token one node per level, in span order — exactly the
+// order the wave kernels promise.
+TEST(GenericWave, MatchesScalarLevelMajorStepping) {
+  const Network net = make_bitonic(8);
+  const CompiledNetwork compiled(net);
+  const WavePlan plan(compiled);
+  ASSERT_TRUE(plan.uniform());
+  const std::uint32_t d = plan.depth();
+
+  NetworkState scalar(net);
+  CompiledState wave_state(compiled);
+  TokenId next = 0;
+  for (std::uint32_t round = 0; round < 5; ++round) {
+    std::vector<TokenCursor> wave(8);
+    std::vector<TokenId> ids(8);
+    for (std::uint32_t i = 0; i < 8; ++i) {
+      ids[i] = next++;
+      scalar.enter(ids[i], /*process=*/i, /*source=*/i);
+      wave[i] = TokenCursor{compiled.source_wire(i), i};
+      ++wave_state.source_count[i];
+    }
+    for (std::uint32_t l = 0; l < d; ++l) {
+      for (const TokenId t : ids) scalar.step(t);
+      step_wave(compiled, wave_state, wave);
+    }
+    std::vector<Value> values(8);
+    for (const TokenId t : ids) scalar.step(t);
+    step_wave_counters(compiled, wave_state, wave, values);
+    for (std::uint32_t i = 0; i < 8; ++i) {
+      ASSERT_TRUE(scalar.done(ids[i]));
+      EXPECT_EQ(values[i], scalar.value(ids[i])) << "round " << round
+                                                 << " slot " << i;
+    }
+    // The shared history variables agree at quiescence.
+    for (std::uint32_t j = 0; j < 8; ++j) {
+      EXPECT_EQ(wave_state.counter_next[j], scalar.counter_next(j));
+    }
+    for (NodeIndex b = 0; b < net.num_balancers(); ++b) {
+      EXPECT_EQ(wave_state.bal_through[b] % 2, scalar.balancer_position(b));
+    }
+  }
+}
+
+// Non-power-of-two fan-out ((1,3) balancers): the kNoMask modulo path.
+TEST(GenericWave, HandlesNonPowerOfTwoFanOut) {
+  const Network net = make_counting_tree_k(9, 3);
+  const CompiledNetwork compiled(net);
+  const WavePlan plan(compiled);
+  ASSERT_TRUE(plan.uniform());
+  const std::uint32_t d = plan.depth();
+
+  NetworkState scalar(net);
+  CompiledState wave_state(compiled);
+  const std::uint32_t batch = 9;
+  TokenId next = 0;
+  for (std::uint32_t round = 0; round < 4; ++round) {
+    std::vector<TokenCursor> wave(batch);
+    std::vector<TokenId> ids(batch);
+    for (std::uint32_t i = 0; i < batch; ++i) {
+      ids[i] = next++;
+      scalar.enter(ids[i], /*process=*/i, /*source=*/0);
+      wave[i] = TokenCursor{compiled.source_wire(0), i};
+    }
+    for (std::uint32_t l = 0; l < d; ++l) {
+      for (const TokenId t : ids) scalar.step(t);
+      step_wave(compiled, wave_state, wave);
+    }
+    std::vector<Value> values(batch);
+    for (const TokenId t : ids) scalar.step(t);
+    step_wave_counters(compiled, wave_state, wave, values);
+    for (std::uint32_t i = 0; i < batch; ++i) {
+      EXPECT_EQ(values[i], scalar.value(ids[i]));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// WidthWaves<W>: the specialized tables are a re-indexing of the generic
+// ones — identical values, identical CompiledState.
+// ---------------------------------------------------------------------
+
+template <std::uint32_t W>
+void run_width_differential(const Network& net, std::uint32_t rounds) {
+  const CompiledNetwork compiled(net);
+  const WavePlan plan(compiled);
+  ASSERT_TRUE(plan.uniform());
+  const auto waves = WidthWaves<W>::try_build(plan);
+  ASSERT_NE(waves, nullptr);
+  EXPECT_EQ(waves->depth(), plan.depth());
+  // Slot-to-wire cross-check at the entry level.
+  for (std::uint32_t i = 0; i < W; ++i) {
+    EXPECT_EQ(waves->wire_of_slot(0, waves->entry_slot(i)),
+              compiled.source_wire(i));
+  }
+
+  CompiledState generic_state(compiled);
+  CompiledState spec_state(compiled);
+  Xoshiro256 rng(99);
+  for (std::uint32_t round = 0; round < rounds; ++round) {
+    // A random subset of sources, random order: partial waves too.
+    std::vector<std::uint32_t> sources;
+    for (std::uint32_t i = 0; i < W; ++i) {
+      if (rng.below(4) != 0) sources.push_back(i);
+    }
+    for (std::size_t i = sources.size(); i > 1; --i) {
+      std::swap(sources[i - 1], sources[rng.below(i)]);
+    }
+    const auto n = static_cast<std::uint32_t>(sources.size());
+    std::vector<TokenCursor> generic_wave(n), spec_wave(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      generic_wave[i] = TokenCursor{compiled.source_wire(sources[i]), i};
+      spec_wave[i] = TokenCursor{waves->entry_slot(sources[i]), i};
+    }
+    for (std::uint32_t l = 0; l < plan.depth(); ++l) {
+      step_wave(compiled, generic_state, generic_wave);
+      waves->step_level(l, spec_state, spec_wave);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        EXPECT_EQ(waves->wire_of_slot(l + 1, spec_wave[i].wire),
+                  generic_wave[i].wire)
+            << "round " << round << " level " << l << " cursor " << i;
+      }
+    }
+    std::vector<Value> generic_values(n), spec_values(n);
+    step_wave_counters(compiled, generic_state, generic_wave, generic_values);
+    waves->step_counters(spec_state, spec_wave, spec_values);
+    EXPECT_EQ(generic_values, spec_values) << "round " << round;
+    EXPECT_EQ(generic_state, spec_state) << "round " << round;
+  }
+}
+
+TEST(WidthWaves, MatchesGenericBitonic8) {
+  run_width_differential<8>(make_bitonic(8), 12);
+}
+
+TEST(WidthWaves, MatchesGenericPeriodic8) {
+  run_width_differential<8>(make_periodic(8), 12);
+}
+
+TEST(WidthWaves, MatchesGenericBitonic32) {
+  run_width_differential<32>(make_bitonic(32), 6);
+}
+
+TEST(WidthWaves, MatchesGenericBitonic64) {
+  run_width_differential<64>(make_bitonic(64), 4);
+}
+
+TEST(WidthWaves, RejectsWrongShape) {
+  const Network b32 = make_bitonic(32);
+  const CompiledNetwork c32(b32);
+  const WavePlan p32(c32);
+  EXPECT_EQ(WidthWaves<8>::try_build(p32), nullptr);  // wrong width
+
+  const Network b8 = make_bitonic(8);
+  const CompiledNetwork c8(b8);
+  const WavePlan p8(c8);
+  EXPECT_EQ(WidthWaves<32>::try_build(p8), nullptr);
+
+  // Counting tree: levels narrower than the sink width, (1,2) balancers.
+  const Network tree = make_counting_tree(8);
+  const CompiledNetwork ctree(tree);
+  const WavePlan ptree(ctree);
+  ASSERT_TRUE(ptree.uniform());
+  EXPECT_EQ(WidthWaves<8>::try_build(ptree), nullptr);
+}
+
+// ---------------------------------------------------------------------
+// simulate_wave vs simulate: full-trace byte-identity.
+// ---------------------------------------------------------------------
+
+void expect_same_result(const SimulationResult& scalar,
+                        const SimulationResult& wave,
+                        const std::string& what) {
+  EXPECT_EQ(scalar.error, wave.error) << what;
+  ASSERT_EQ(scalar.trace.size(), wave.trace.size()) << what;
+  for (std::size_t i = 0; i < scalar.trace.size(); ++i) {
+    EXPECT_EQ(scalar.trace[i], wave.trace[i]) << what << " record " << i;
+  }
+}
+
+TEST(SimulateWave, MatchesScalarOnRandomWorkloads) {
+  struct Config {
+    Network net;
+    std::string name;
+  };
+  std::vector<Config> configs;
+  configs.push_back({make_bitonic(8), "bitonic8"});
+  configs.push_back({make_periodic(8), "periodic8"});
+  configs.push_back({make_bitonic(32), "bitonic32"});
+  configs.push_back({make_counting_tree(8), "tree8"});
+  configs.push_back({make_counting_tree_k(9, 3), "tree9x3"});
+
+  SimArena arena;
+  for (const Config& cfg : configs) {
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      WorkloadSpec spec;
+      spec.processes = 6;
+      spec.tokens_per_process = 24;  // several kWaveChunk-relative sizes
+      spec.c_min = 1.0;
+      spec.c_max = 2.5;
+      spec.local_delay_max = 1.0;
+      Xoshiro256 rng(seed);
+      const TimedExecution exec = generate_workload(cfg.net, spec, rng);
+      const SimulationResult scalar = simulate(exec);
+      const SimulationResult wave = simulate_wave(exec, arena);
+      expect_same_result(scalar, wave,
+                         cfg.name + " seed " + std::to_string(seed));
+    }
+  }
+}
+
+// Tie-heavy schedules: every crossing time an integer, many simultaneous
+// events, ranks deciding the order — the regime where seq assignment and
+// per-balancer arrival order actually bite.
+TEST(SimulateWave, MatchesScalarOnTieHeavySchedules) {
+  const Network net = make_bitonic(8);
+  SimArena arena;
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    Xoshiro256 rng(100 + seed);
+    TimedExecution exec;
+    exec.net = &net;
+    for (TokenId t = 0; t < 64; ++t) {
+      TokenPlan p = make_uniform_plan(
+          t, /*process=*/static_cast<ProcessId>(t % 16),
+          /*source=*/static_cast<std::uint32_t>(rng.below(8)), net.depth(),
+          /*t_in=*/static_cast<double>((t / 16) * (net.depth() + 1)),
+          /*delay=*/1.0,
+          /*rank=*/static_cast<double>(rng.below(5)));
+      exec.plans.push_back(std::move(p));
+    }
+    ASSERT_EQ(validate(exec), "");
+    const SimulationResult scalar = simulate(exec);
+    ASSERT_TRUE(scalar.ok()) << scalar.error;
+    const SimulationResult wave = simulate_wave(exec, arena);
+    expect_same_result(scalar, wave, "ties seed " + std::to_string(seed));
+  }
+}
+
+TEST(SimulateWave, EmptyAndSingleToken) {
+  const Network net = make_bitonic(8);
+  SimArena arena;
+  TimedExecution empty;
+  empty.net = &net;
+  expect_same_result(simulate(empty), simulate_wave(empty, arena), "empty");
+
+  TimedExecution one;
+  one.net = &net;
+  one.plans.push_back(make_uniform_plan(0, 0, 3, net.depth(), 0.0, 1.0));
+  const SimulationResult scalar = simulate(one);
+  ASSERT_TRUE(scalar.ok());
+  ASSERT_EQ(scalar.trace.size(), 1u);
+  expect_same_result(scalar, simulate_wave(one, arena), "single");
+}
+
+// Non-uniform network: the wave path must fall back and reproduce the
+// scalar error text exactly.
+TEST(SimulateWave, NonUniformFallsBackToScalarError) {
+  const Network net = make_brick_wall(4, 3);
+  TimedExecution exec;
+  exec.net = &net;
+  exec.plans.push_back(make_uniform_plan(0, 0, 0, net.depth(), 0.0, 1.0));
+  SimArena arena;
+  const SimulationResult scalar = simulate(exec);
+  const SimulationResult wave = simulate_wave(exec, arena);
+  EXPECT_EQ(scalar.error, wave.error);
+  EXPECT_FALSE(wave.ok());
+}
+
+TEST(SimulateWave, ReservedTokenIdError) {
+  const Network net = make_bitonic(4);
+  TimedExecution exec;
+  exec.net = &net;
+  exec.plans.push_back(
+      make_uniform_plan(std::numeric_limits<TokenId>::max(), 0, 0,
+                        net.depth(), 0.0, 1.0));
+  SimArena arena;
+  const SimulationResult scalar = simulate(exec);
+  const SimulationResult wave = simulate_wave(exec, arena);
+  EXPECT_FALSE(scalar.ok());
+  EXPECT_EQ(scalar.error, wave.error);
+}
+
+// Equal-time adverse-rank overlap: validate() passes (back-to-back times
+// are legal) but the runtime event order issues process 9's second token
+// before its first completes. The wave pre-check must detect this and
+// fall back, reproducing the scalar error AND the scalar's partial
+// stream emission.
+TimedExecution make_overlap_exec(const Network& net) {
+  TimedExecution exec;
+  exec.net = &net;
+  const std::uint32_t d = net.depth();
+  // Two earlier tokens that complete cleanly (the emitted prefix).
+  exec.plans.push_back(make_uniform_plan(0, 0, 0, d, 0.0, 0.25));
+  exec.plans.push_back(make_uniform_plan(1, 1, 1, d, 0.0, 0.25));
+  // Token 2 of process 9 exits at time d; token 3 of process 9 enters at
+  // time d with a LOWER rank, so its entry event pops first.
+  TokenPlan a = make_uniform_plan(2, 9, 2, d, 0.0, 1.0, /*rank=*/1.0);
+  TokenPlan b = make_uniform_plan(3, 9, 3, d, static_cast<double>(d), 1.0,
+                                  /*rank=*/0.0);
+  exec.plans.push_back(std::move(a));
+  exec.plans.push_back(std::move(b));
+  return exec;
+}
+
+TEST(SimulateWave, OverlapPrecheckFallsBackIdentically) {
+  const Network net = make_bitonic(8);
+  const TimedExecution exec = make_overlap_exec(net);
+  ASSERT_EQ(validate(exec), "");
+  SimArena arena;
+  const SimulationResult scalar = simulate(exec);
+  ASSERT_FALSE(scalar.ok());
+  EXPECT_NE(scalar.error.find("step-order overlap"), std::string::npos)
+      << scalar.error;
+  const SimulationResult wave = simulate_wave(exec, arena);
+  EXPECT_EQ(scalar.error, wave.error);
+
+  // Streaming: the partial emission before the failure must match too.
+  CollectSink scalar_sink, wave_sink;
+  SimArena a2;
+  const SimulationResult s2 = simulate_stream(exec, a2, scalar_sink);
+  const SimulationResult w2 = simulate_wave_stream(exec, a2, wave_sink);
+  EXPECT_EQ(s2.error, w2.error);
+  EXPECT_EQ(scalar_sink.trace(), wave_sink.trace());
+}
+
+// ---------------------------------------------------------------------
+// Streaming: identical record sequences and consistency reports.
+// ---------------------------------------------------------------------
+
+void expect_same_report(const ConsistencyReport& a,
+                        const ConsistencyReport& b) {
+  EXPECT_EQ(a.total, b.total);
+  EXPECT_EQ(a.non_linearizable, b.non_linearizable);
+  EXPECT_EQ(a.non_sequentially_consistent, b.non_sequentially_consistent);
+  EXPECT_EQ(a.f_nl, b.f_nl);
+  EXPECT_EQ(a.f_nsc, b.f_nsc);
+}
+
+TEST(SimulateWaveStream, MatchesScalarStream) {
+  const Network net = make_bitonic(8);
+  SimArena arena;
+  for (std::uint64_t seed = 21; seed <= 23; ++seed) {
+    WorkloadSpec spec;
+    spec.processes = 8;
+    spec.tokens_per_process = 32;
+    spec.c_max = 3.0;  // past the ratio bound: violations in the stream
+    Xoshiro256 rng(seed);
+    const TimedExecution exec = generate_workload(net, spec, rng);
+
+    CollectSink scalar_collect, wave_collect;
+    StreamingConsistency scalar_cons, wave_cons;
+    TeeSink scalar_tee(scalar_collect, scalar_cons);
+    TeeSink wave_tee(wave_collect, wave_cons);
+    const SimulationResult s = simulate_stream(exec, arena, scalar_tee);
+    const SimulationResult w = simulate_wave_stream(exec, arena, wave_tee);
+    ASSERT_TRUE(s.ok()) << s.error;
+    ASSERT_TRUE(w.ok()) << w.error;
+    scalar_cons.finish();
+    wave_cons.finish();
+    EXPECT_EQ(scalar_collect.trace(), wave_collect.trace());
+    expect_same_report(scalar_cons.report(), wave_cons.report());
+    // And the stream is the batch trace, reordered by issue order.
+    const SimulationResult batch = simulate(exec);
+    EXPECT_EQ(scalar_collect.trace().size(), batch.trace.size());
+  }
+}
+
+// ---------------------------------------------------------------------
+// Faulted wave interpreter.
+// ---------------------------------------------------------------------
+
+void expect_same_faulted(const fault::FaultedSimResult& scalar,
+                         const fault::FaultedSimResult& wave,
+                         const std::string& what) {
+  EXPECT_EQ(scalar.error, wave.error) << what;
+  ASSERT_EQ(scalar.trace.size(), wave.trace.size()) << what;
+  for (std::size_t i = 0; i < scalar.trace.size(); ++i) {
+    EXPECT_EQ(scalar.trace[i], wave.trace[i]) << what << " record " << i;
+  }
+}
+
+TEST(FaultedWave, ZeroFaultIdentity) {
+  const Network net = make_bitonic(8);
+  WorkloadSpec spec;
+  spec.processes = 6;
+  spec.tokens_per_process = 16;
+  Xoshiro256 rng(7);
+  const TimedExecution exec = generate_workload(net, spec, rng);
+  fault::SimFaults none;  // fully-sized overlay with no faults drawn
+  none.lost_before_hop.assign(exec.plans.size(), fault::kCompletes);
+  none.stuck.assign(net.num_balancers(), false);
+  SimArena arena;
+  const fault::FaultedSimResult scalar = fault::simulate_faulted(exec, none);
+  const fault::FaultedSimResult wave =
+      fault::simulate_faulted_wave(exec, none, arena);
+  expect_same_faulted(scalar, wave, "zero-fault");
+  // ... and both equal the pristine interpreters.
+  const SimulationResult pristine = simulate(exec);
+  ASSERT_TRUE(pristine.ok());
+  ASSERT_EQ(wave.trace.size(), pristine.trace.size());
+  for (std::size_t i = 0; i < wave.trace.size(); ++i) {
+    EXPECT_EQ(wave.trace[i], pristine.trace[i]) << "record " << i;
+  }
+}
+
+TEST(FaultedWave, MatchesScalarUnderMixedFaults) {
+  struct Config {
+    Network net;
+    std::string name;
+  };
+  std::vector<Config> configs;
+  configs.push_back({make_bitonic(8), "bitonic8"});
+  configs.push_back({make_periodic(8), "periodic8"});
+  configs.push_back({make_counting_tree_k(9, 3), "tree9x3"});
+
+  SimArena arena;
+  for (const Config& cfg : configs) {
+    for (std::uint64_t seed = 41; seed <= 44; ++seed) {
+      WorkloadSpec wl;
+      wl.processes = 6;
+      wl.tokens_per_process = 24;
+      Xoshiro256 rng(seed);
+      const TimedExecution exec = generate_workload(cfg.net, wl, rng);
+      fault::FaultPlan plan;
+      plan.enabled = true;
+      plan.p_token_loss = 0.2;
+      plan.p_stuck_balancer = 0.25;
+      plan.p_process_crash = 0.15;
+      const fault::SimFaults faults =
+          fault::draw_sim_faults(cfg.net, exec, plan, seed);
+      const fault::FaultedSimResult scalar =
+          fault::simulate_faulted(exec, faults);
+      const fault::FaultedSimResult wave =
+          fault::simulate_faulted_wave(exec, faults, arena);
+      expect_same_faulted(scalar, wave,
+                          cfg.name + " seed " + std::to_string(seed));
+      // The overlay actually did something on at least one seed; the
+      // draw probabilities guarantee it across this grid.
+      if (seed == 41 && cfg.name == "bitonic8") {
+        EXPECT_FALSE(faults.empty());
+      }
+    }
+  }
+}
+
+TEST(FaultedWave, StreamMatchesScalarStream) {
+  const Network net = make_bitonic(8);
+  WorkloadSpec wl;
+  wl.processes = 8;
+  wl.tokens_per_process = 32;
+  wl.c_max = 3.0;
+  SimArena arena;
+  for (std::uint64_t seed = 61; seed <= 63; ++seed) {
+    Xoshiro256 rng(seed);
+    const TimedExecution exec = generate_workload(net, wl, rng);
+    fault::FaultPlan plan;
+    plan.enabled = true;
+    plan.p_token_loss = 0.25;
+    plan.p_stuck_balancer = 0.2;
+    const fault::SimFaults faults =
+        fault::draw_sim_faults(net, exec, plan, seed);
+
+    CollectSink scalar_collect, wave_collect;
+    StreamingConsistency scalar_cons, wave_cons;
+    TeeSink scalar_tee(scalar_collect, scalar_cons);
+    TeeSink wave_tee(wave_collect, wave_cons);
+    const fault::FaultedSimResult s =
+        fault::simulate_faulted_stream(exec, faults, scalar_tee);
+    const fault::FaultedSimResult w =
+        fault::simulate_faulted_wave_stream(exec, faults, arena, wave_tee);
+    ASSERT_TRUE(s.ok()) << s.error;
+    ASSERT_TRUE(w.ok()) << w.error;
+    scalar_cons.finish();
+    wave_cons.finish();
+    EXPECT_EQ(scalar_collect.trace(), wave_collect.trace());
+    expect_same_report(scalar_cons.report(), wave_cons.report());
+  }
+}
+
+// ---------------------------------------------------------------------
+// Engine: RunSpec::wave_exec flips the interpreter, nothing else.
+// ---------------------------------------------------------------------
+
+void expect_same_sweep_json(engine::SweepSpec sweep) {
+  sweep.base.wave_exec = false;
+  sweep.threads = 1;
+  const std::string scalar1 = engine::to_json(engine::sweep_stats(sweep));
+  sweep.base.wave_exec = true;
+  const std::string wave1 = engine::to_json(engine::sweep_stats(sweep));
+  sweep.threads = 4;
+  const std::string wave4 = engine::to_json(engine::sweep_stats(sweep));
+  EXPECT_EQ(scalar1, wave1);
+  EXPECT_EQ(scalar1, wave4);
+}
+
+TEST(EngineWaveExec, SweepJsonIdenticalPristine) {
+  engine::SweepSpec sweep;
+  sweep.base.network = "bitonic";
+  sweep.base.width = 8;
+  sweep.base.c_max = 3.0;
+  sweep.base.seed = 0xABCD;
+  sweep.trials = 48;
+  expect_same_sweep_json(sweep);
+}
+
+TEST(EngineWaveExec, SweepJsonIdenticalStreaming) {
+  engine::SweepSpec sweep;
+  sweep.base.network = "periodic";
+  sweep.base.width = 8;
+  sweep.base.c_max = 3.0;
+  sweep.base.seed = 0x1234;
+  sweep.base.keep_trace = false;  // native streaming path
+  sweep.trials = 48;
+  expect_same_sweep_json(sweep);
+}
+
+TEST(EngineWaveExec, SweepJsonIdenticalFaulted) {
+  engine::SweepSpec sweep;
+  sweep.base.network = "bitonic";
+  sweep.base.width = 8;
+  sweep.base.seed = 0x5678;
+  sweep.base.fault.enabled = true;
+  sweep.base.fault.p_token_loss = 0.15;
+  sweep.base.fault.p_stuck_balancer = 0.1;
+  sweep.base.fault.p_process_crash = 0.1;
+  sweep.trials = 48;
+  expect_same_sweep_json(sweep);
+}
+
+TEST(EngineWaveExec, WaveBackendFaultRerunIdentical) {
+  // The wave/optimizer backends re-interpret their built schedule under
+  // the overlay without a shared arena; wave_exec must not change the
+  // result.
+  engine::RunSpec spec;
+  spec.backend = "wave";
+  spec.network = "bitonic";
+  spec.width = 8;
+  spec.ell = 1;
+  spec.seed = 5;
+  spec.fault.enabled = true;
+  spec.fault.p_token_loss = 0.2;
+  const engine::RunResult scalar = engine::run_backend(spec);
+  spec.wave_exec = true;
+  const engine::RunResult wave = engine::run_backend(spec);
+  ASSERT_TRUE(scalar.ok()) << scalar.error;
+  ASSERT_TRUE(wave.ok()) << wave.error;
+  ASSERT_EQ(scalar.trace.size(), wave.trace.size());
+  for (std::size_t i = 0; i < scalar.trace.size(); ++i) {
+    EXPECT_EQ(scalar.trace[i], wave.trace[i]);
+  }
+  EXPECT_EQ(scalar.metrics, wave.metrics);
+}
+
+}  // namespace
+}  // namespace cn

@@ -63,6 +63,31 @@ int main() {
                fmt_double(res.report.f_nl), fmt_double(res.report.f_nsc),
                cn::bench::yes_no(res.report.sequentially_consistent())});
   }
+  // The sharded service, same analyzers: batching and residue-class
+  // routing reorder value assignment, so its recorded trace is the
+  // "scaled-up" counterpart of the unpaced row (no pacing knobs — the
+  // timing columns do not apply to queued execution).
+  {
+    engine::RunSpec spec;
+    spec.backend = "service";
+    spec.net = &topo;
+    spec.threads = 4;
+    spec.ops_per_thread = 150;
+    spec.service_shards = 2;
+    spec.seed = 4;
+    const engine::RunResult res = engine::run_backend(spec);
+    if (!res.ok()) {
+      std::cerr << "service: " << res.error << "\n";
+      return 1;
+    }
+    t.add_row({"service, 2 shards, batch<=32",
+               std::to_string(
+                   static_cast<std::uint64_t>(res.metric("total_ops"))),
+               fmt_double(res.metric("ops_per_sec"), 0), "-", "-",
+               fmt_double(res.report.f_nl), fmt_double(res.report.f_nsc),
+               cn::bench::yes_no(res.report.sequentially_consistent())});
+  }
+
   t.print(std::cout);
   std::cout << "\nShape check: the C_L timer targets the bound d(G)(c_max "
                "- 2c_min) = "

@@ -34,6 +34,7 @@
 #include "baselines/fetch_inc_counter.hpp"
 #include "bench_common.hpp"
 #include "concurrent/concurrent_network.hpp"
+#include "concurrent/harness.hpp"
 #include "core/compiled.hpp"
 #include "core/constructions.hpp"
 #include "core/reference_state.hpp"
@@ -523,6 +524,74 @@ AnalyzerRates measure_analyzer(double min_seconds) {
   return r;
 }
 
+/// Single-token vs batched traversal on the real-thread shared-memory
+/// network, per thread count. The ratio (batch_over_single) is the
+/// tracked metric: batching replaces per-token balancer RMWs with one
+/// fetch_add(k) per balancer per batch, so it must stay a multiple of
+/// the single-token rate regardless of the runner's absolute speed.
+struct ConcurrentBatchRates {
+  static constexpr std::array<std::uint32_t, 3> kThreads = {1, 4, 8};
+  std::array<double, 3> single_tokens_per_sec{};
+  std::array<double, 3> batch_tokens_per_sec{};
+
+  double ratio(std::size_t i) const {
+    return batch_tokens_per_sec[i] / single_tokens_per_sec[i];
+  }
+};
+
+ConcurrentBatchRates measure_concurrent_batch(std::uint32_t width,
+                                              double min_seconds) {
+  constexpr int kRounds = 3;
+  constexpr std::uint32_t kBatch = 32;
+  constexpr std::uint64_t kTokensPerThread = 20000;
+  const Network topo = make_bitonic(width);
+  ConcurrentBatchRates r;
+  (void)min_seconds;  // thread setup dominates; fixed-ops rounds, max rate
+  for (std::size_t i = 0; i < r.kThreads.size(); ++i) {
+    const std::uint32_t threads = r.kThreads[i];
+    for (int round = 0; round < kRounds; ++round) {
+      {
+        ConcurrentNetwork net(topo);
+        r.single_tokens_per_sec[i] = std::max(
+            r.single_tokens_per_sec[i],
+            run_throughput(threads, kTokensPerThread, [&](std::uint32_t t) {
+              return net.increment(t % topo.fan_in());
+            }));
+      }
+      {
+        ConcurrentNetwork net(topo);
+        r.batch_tokens_per_sec[i] = std::max(
+            r.batch_tokens_per_sec[i],
+            run_batch_throughput(threads, kTokensPerThread, kBatch,
+                                 [&](std::uint32_t t, std::uint64_t* out,
+                                     std::uint32_t k) {
+                                   net.increment_batch(t % topo.fan_in(), k,
+                                                       out);
+                                 }));
+      }
+    }
+  }
+  return r;
+}
+
+std::string json_concurrent_batch(std::uint32_t width,
+                                  const ConcurrentBatchRates& r) {
+  std::ostringstream os;
+  os << std::setprecision(6);
+  os << "  \"concurrent_batch_bitonic" << width << "\": {\n";
+  for (std::size_t i = 0; i < r.kThreads.size(); ++i) {
+    os << "    \"threads_" << r.kThreads[i] << "\": {\n"
+       << "      \"single_tokens_per_sec\": " << r.single_tokens_per_sec[i]
+       << ",\n"
+       << "      \"batch_tokens_per_sec\": " << r.batch_tokens_per_sec[i]
+       << ",\n"
+       << "      \"batch_over_single\": " << r.ratio(i) << "\n"
+       << "    }" << (i + 1 < r.kThreads.size() ? "," : "") << "\n";
+  }
+  os << "  }";
+  return os.str();
+}
+
 struct StreamingSweepRates {
   double collect_per_sec = 0.0;
   double stream_per_sec = 0.0;
@@ -735,6 +804,8 @@ int json_main(const CliArgs& args) {
       measure_streaming_sweep(min_seconds, /*wave_exec=*/false);
   const StreamingSweepRates ssw =
       measure_streaming_sweep(min_seconds, /*wave_exec=*/true);
+  const ConcurrentBatchRates cb8 = measure_concurrent_batch(8, min_seconds);
+  const ConcurrentBatchRates cb32 = measure_concurrent_batch(32, min_seconds);
 
   std::ostringstream os;
   os << std::setprecision(6);
@@ -774,7 +845,9 @@ int json_main(const CliArgs& args) {
      << "    \"trials_per_sec_collect\": " << ssw.collect_per_sec << ",\n"
      << "    \"trials_per_sec_stream\": " << ssw.stream_per_sec << ",\n"
      << "    \"stream_over_collect\": " << ssw.ratio() << "\n"
-     << "  }\n"
+     << "  },\n"
+     << json_concurrent_batch(8, cb8) << ",\n"
+     << json_concurrent_batch(32, cb32) << "\n"
      << "}\n";
 
   std::ofstream out(out_path);
@@ -816,6 +889,12 @@ int json_main(const CliArgs& args) {
             << "sweep B(8) wave: " << ssw.collect_per_sec / 1e3
             << "k trials/s collect, " << ssw.stream_per_sec / 1e3
             << "k trials/s streaming (" << ssw.ratio() << "x)\n"
+            << "batch B(8)  @8T: " << cb8.single_tokens_per_sec[2] / 1e6
+            << "M single tokens/s, " << cb8.batch_tokens_per_sec[2] / 1e6
+            << "M batched tokens/s (" << cb8.ratio(2) << "x)\n"
+            << "batch B(32) @8T: " << cb32.single_tokens_per_sec[2] / 1e6
+            << "M single tokens/s, " << cb32.batch_tokens_per_sec[2] / 1e6
+            << "M batched tokens/s (" << cb32.ratio(2) << "x)\n"
             << "wrote " << out_path << "\n";
 
   if (args.has("check")) {

@@ -36,14 +36,19 @@ int main() {
     std::string backend;
     const Network* net;       ///< Topology for network backends.
     std::uint32_t width = 0;  ///< Tree width for baseline tree backends.
+    std::uint32_t batch = 0;  ///< concurrent: tokens per increment_batch.
+    std::uint32_t shards = 0; ///< service: shard count.
   };
   const Row rows[] = {
-      {"fetch&inc (single atomic)", "fetch_inc", nullptr, 0},
-      {"MCS queue-lock counter", "mcs", nullptr, 0},
-      {"combining tree (16)", "combining_tree", nullptr, 16},
-      {"diffracting tree (8)", "diffracting_tree", nullptr, 8},
-      {"bitonic network (8)", "concurrent", &bitonic8, 0},
-      {"periodic network (8)", "concurrent", &periodic8, 0},
+      {"fetch&inc (single atomic)", "fetch_inc", nullptr, 0, 0, 0},
+      {"MCS queue-lock counter", "mcs", nullptr, 0, 0, 0},
+      {"combining tree (16)", "combining_tree", nullptr, 16, 0, 0},
+      {"diffracting tree (8)", "diffracting_tree", nullptr, 8, 0, 0},
+      {"bitonic network (8)", "concurrent", &bitonic8, 0, 0, 0},
+      {"periodic network (8)", "concurrent", &periodic8, 0, 0, 0},
+      {"bitonic (8), batch=32", "concurrent", &bitonic8, 0, 32, 0},
+      {"service, 2 shards B(8)", "service", &bitonic8, 0, 0, 2},
+      {"service, 4 shards B(8)", "service", &bitonic8, 0, 0, 4},
   };
 
   for (const Row& row : rows) {
@@ -53,6 +58,8 @@ int main() {
       spec.backend = row.backend;
       spec.net = row.net;
       if (row.width > 0) spec.width = row.width;
+      if (row.batch > 0) spec.batch_size = row.batch;
+      if (row.shards > 0) spec.service_shards = row.shards;
       spec.threads = threads;
       spec.ops_per_thread = kOps / threads;
       spec.record_trace = false;  // bare throughput, no recording overhead
@@ -67,6 +74,10 @@ int main() {
   }
 
   t.print(std::cout);
+  std::cout << "\nBatched row: increment_batch(32) pays ~1 balancer RMW "
+               "per batch instead of per token.\nService rows: closed-loop "
+               "clients against the sharded counting service (queue + "
+               "worker round trip per op).\n";
   std::cout << "\nShape notes: the bitonic network costs ~d(G)+1 = "
             << bitonic8.depth() + 1
             << " atomic ops per increment vs 1 for fetch&inc, so it is "

@@ -234,4 +234,38 @@ double run_throughput(std::uint32_t threads, std::uint64_t ops_per_thread,
   return elapsed > 0 ? total / elapsed : 0.0;
 }
 
+double run_batch_throughput(
+    std::uint32_t threads, std::uint64_t tokens_per_thread,
+    std::uint32_t batch,
+    const std::function<void(std::uint32_t, std::uint64_t*, std::uint32_t)>&
+        next_batch) {
+  if (batch == 0) batch = 1;
+  SpinBarrier barrier(threads);
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  std::atomic<std::uint64_t> guard{0};  // keeps values observably used
+  const auto t_start = Clock::now();
+  for (std::uint32_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      std::vector<std::uint64_t> values(batch);
+      barrier.arrive_and_wait();
+      std::uint64_t acc = 0;
+      std::uint64_t left = tokens_per_thread;
+      while (left > 0) {
+        const auto k = static_cast<std::uint32_t>(
+            left < batch ? left : batch);
+        next_batch(t, values.data(), k);
+        for (std::uint32_t i = 0; i < k; ++i) acc ^= values[i];
+        left -= k;
+      }
+      guard.fetch_xor(acc, std::memory_order_relaxed);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - t_start).count();
+  const double total = static_cast<double>(threads) * tokens_per_thread;
+  return elapsed > 0 ? total / elapsed : 0.0;
+}
+
 }  // namespace cn

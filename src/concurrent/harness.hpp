@@ -100,4 +100,16 @@ ConcurrentRunResult run_recorded(ConcurrentNetwork& net,
 double run_throughput(std::uint32_t threads, std::uint64_t ops_per_thread,
                       const std::function<std::uint64_t(std::uint32_t)>& next);
 
+/// Batched twin of run_throughput: each call to
+/// `next_batch(thread, out, k)` must produce k fresh values into out.
+/// Every thread shepherds `tokens_per_thread` tokens in chunks of
+/// `batch` (final chunk smaller when batch does not divide the total).
+/// Returns TOKENS per second, directly comparable with run_throughput's
+/// operations per second.
+double run_batch_throughput(
+    std::uint32_t threads, std::uint64_t tokens_per_thread,
+    std::uint32_t batch,
+    const std::function<void(std::uint32_t, std::uint64_t*, std::uint32_t)>&
+        next_batch);
+
 }  // namespace cn

@@ -118,7 +118,7 @@ const Network* resolve_network(const RunSpec& spec,
                                std::string& error);
 
 /// Registers the built-in backends (simulator, sim_burst,
-/// sim_heterogeneous, wave, msg, concurrent, fetch_inc, mcs,
+/// sim_heterogeneous, wave, msg, concurrent, service, fetch_inc, mcs,
 /// combining_tree, diffracting_tree, optimizer, replay). Called lazily
 /// by the registry itself; safe to call repeatedly.
 void register_builtin_backends();

@@ -8,6 +8,7 @@
 //   optimizer          annealed schedule adversary (Open Problem 4)
 //   msg                message-passing actor service (Section 2.3 remark)
 //   concurrent         shared-memory network on real threads
+//   service            sharded counting service with batching workers
 //   fetch_inc / mcs / combining_tree / diffracting_tree
 //                      baseline counters on real threads
 //   replay             re-analysis of a recorded trace file
@@ -28,6 +29,7 @@
 #include "engine/backend.hpp"
 #include "fault/faulted_sim.hpp"
 #include "msg/service.hpp"
+#include "service/service.hpp"
 #include "sim/adversary.hpp"
 #include "sim/optimizer.hpp"
 #include "sim/simulator.hpp"
@@ -577,11 +579,24 @@ class ConcurrentBackend final : public TraceSource {
     ConcurrentNetwork net(*r.net);
     if (!spec.record_trace) {
       const std::uint32_t fan_in = r.net->fan_in();
-      const double ops = run_throughput(
-          spec.threads, spec.ops_per_thread,
-          [&net, fan_in](std::uint32_t th) {
-            return net.increment(th % fan_in);
-          });
+      double ops = 0.0;
+      if (spec.batch_size > 1) {
+        // Batched traversal: ops_per_thread still counts TOKENS, carried
+        // in chunks of batch_size per increment_batch call.
+        ops = run_batch_throughput(
+            spec.threads, spec.ops_per_thread, spec.batch_size,
+            [&net, fan_in](std::uint32_t th, std::uint64_t* out,
+                           std::uint32_t k) {
+              net.increment_batch(th % fan_in, k, out);
+            });
+        r.result.metrics["batch_size"] =
+            static_cast<double>(spec.batch_size);
+      } else {
+        ops = run_throughput(spec.threads, spec.ops_per_thread,
+                             [&net, fan_in](std::uint32_t th) {
+                               return net.increment(th % fan_in);
+                             });
+      }
       r.result.metrics["ops_per_sec"] = ops;
       r.result.metrics["total_ops"] =
           static_cast<double>(spec.threads) * spec.ops_per_thread;
@@ -626,10 +641,6 @@ class ConcurrentBackend final : public TraceSource {
   }
 };
 
-// ---------------------------------------------------------------------
-// Baseline counters: a generic recorded / throughput runner over any
-// `next(thread) -> value` functor, mirroring the harness conventions.
-// ---------------------------------------------------------------------
 using Clock = std::chrono::steady_clock;
 
 double to_seconds(Clock::time_point t) {
@@ -641,6 +652,127 @@ std::uint64_t to_ns(Clock::time_point t) {
       std::chrono::duration_cast<std::chrono::nanoseconds>(t.time_since_epoch())
           .count());
 }
+
+// ---------------------------------------------------------------------
+// service: the sharded counting service (src/service) driven by
+// closed-loop clients. spec.threads clients each submit ops_per_thread
+// requests (at most one outstanding apiece, so the bounded queues never
+// reject in this backend) and spin on their completion slot;
+// service_shards workers drain per-shard queues and shepherd adaptive
+// batches through their shard's network. Recording emits the service's
+// live TokenRecord stream — global values, residue-class sinks — into
+// the engine sink, so the streaming analyzers attach to the service
+// exactly as to any other backend.
+// ---------------------------------------------------------------------
+class ServiceBackend final : public TraceSource {
+ public:
+  std::string name() const override { return "service"; }
+  std::string description() const override {
+    return "sharded counting service with batching workers";
+  }
+
+  RunResult run(const RunSpec& spec) const override {
+    return run_service(spec, nullptr);
+  }
+
+  RunResult run(const RunSpec& spec, RunContext&,
+                TraceSink& sink) const override {
+    return run_service(spec, &sink);
+  }
+
+ private:
+  RunResult run_service(const RunSpec& spec, TraceSink* sink) const {
+    Resolved r(spec);
+    if (!r.ok()) return std::move(r.result);
+    if (spec.threads == 0 || spec.ops_per_thread == 0) {
+      r.result.error = spec.threads == 0 ? "spec invalid: threads == 0"
+                                         : "spec invalid: ops_per_thread == 0";
+      r.result.error_kind = ErrorKind::kSpecInvalid;
+      return std::move(r.result);
+    }
+    service::ServiceConfig cfg;
+    cfg.shards = spec.service_shards;
+    cfg.max_batch = spec.service_batch;
+    cfg.queue_capacity = spec.service_queue_capacity;
+    cfg.net = r.net;
+    cfg.fault = spec.fault;
+    cfg.seed = spec.seed;
+    cfg.record = spec.record_trace;
+    if (std::string err = service::validate(cfg); !err.empty()) {
+      r.result.error = std::move(err);
+      r.result.error_kind = ErrorKind::kSpecInvalid;
+      return std::move(r.result);
+    }
+    // Collecting mode still records through a sink; the service only
+    // knows the streaming interface.
+    CollectSink collect;
+    TraceSink* out_sink =
+        cfg.record ? (sink != nullptr ? sink : &collect) : nullptr;
+    service::CountingService svc(cfg, out_sink);
+    svc.start();
+    SpinBarrier barrier(spec.threads);
+    std::vector<std::thread> clients;
+    clients.reserve(spec.threads);
+    std::atomic<std::uint64_t> dropped_seen{0};
+    const auto t_start = Clock::now();
+    for (std::uint32_t t = 0; t < spec.threads; ++t) {
+      clients.emplace_back([&, t] {
+        std::atomic<std::uint64_t> done{0};
+        std::uint64_t my_dropped = 0;
+        barrier.arrive_and_wait();
+        for (std::uint64_t k = 0; k < spec.ops_per_thread; ++k) {
+          done.store(0, std::memory_order_relaxed);
+          while (!svc.try_submit(t, to_ns(Clock::now()), &done)) {
+            std::this_thread::yield();
+          }
+          std::uint64_t v;
+          std::uint32_t spins = 0;
+          while ((v = done.load(std::memory_order_acquire)) == 0) {
+            if (++spins % 64 == 0) std::this_thread::yield();
+          }
+          if (v == service::kDroppedSignal) ++my_dropped;
+          if (spec.local_delay_ns > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::nanoseconds(spec.local_delay_ns));
+          }
+        }
+        dropped_seen.fetch_add(my_dropped, std::memory_order_relaxed);
+      });
+    }
+    for (std::thread& c : clients) c.join();
+    svc.stop();
+    const double elapsed =
+        std::chrono::duration<double>(Clock::now() - t_start).count();
+    const service::ServiceStats& st = svc.stats();
+    if (cfg.record && sink == nullptr) r.result.trace = collect.take();
+    r.result.metrics["total_ops"] = static_cast<double>(st.completed);
+    r.result.metrics["elapsed_sec"] = elapsed;
+    r.result.metrics["ops_per_sec"] =
+        elapsed > 0 ? static_cast<double>(st.completed) / elapsed : 0.0;
+    r.result.metrics["shards"] = static_cast<double>(cfg.shards);
+    r.result.metrics["rejected"] = static_cast<double>(st.rejected);
+    r.result.metrics["batches"] = static_cast<double>(st.batches);
+    r.result.metrics["mean_batch"] = st.mean_batch;
+    r.result.metrics["max_batch"] = static_cast<double>(st.max_batch_seen);
+    r.result.metrics["p50_us"] =
+        static_cast<double>(st.latency.p50()) / 1000.0;
+    r.result.metrics["p99_us"] =
+        static_cast<double>(st.latency.p99()) / 1000.0;
+    r.result.metrics["p999_us"] =
+        static_cast<double>(st.latency.p999()) / 1000.0;
+    if (spec.fault.enabled) {
+      r.result.metrics["fault_stalls"] = static_cast<double>(st.stalls);
+      r.result.metrics["fault_tokens_abandoned"] =
+          static_cast<double>(st.dropped);
+    }
+    return std::move(r.result);
+  }
+};
+
+// ---------------------------------------------------------------------
+// Baseline counters: a generic recorded / throughput runner over any
+// `next(thread) -> value` functor, mirroring the harness conventions.
+// ---------------------------------------------------------------------
 
 /// Spins for `ns` nanoseconds (fault-injected stall in a counter op).
 void counter_stall(std::uint64_t ns) {
@@ -938,6 +1070,7 @@ void register_builtin_backends() {
   register_backend("optimizer", factory<OptimizerBackend>());
   register_backend("msg", factory<MsgBackend>());
   register_backend("concurrent", factory<ConcurrentBackend>());
+  register_backend("service", factory<ServiceBackend>());
   register_backend("fetch_inc", factory<FetchIncBackend>());
   register_backend("mcs", factory<McsBackend>());
   register_backend("combining_tree", factory<CombiningTreeBackend>());

@@ -79,6 +79,14 @@ struct RunSpec {
   /// only measure throughput (metrics: ops_per_sec) — the recording
   /// clock calls would otherwise dominate the measurement.
   bool record_trace = true;
+  /// "concurrent" backend: tokens shepherded per increment_batch call in
+  /// unrecorded throughput mode (1 = the classic one-token-per-op loop).
+  std::uint32_t batch_size = 1;
+
+  // --- "service" backend (sharded counting service) --------------------
+  std::uint32_t service_shards = 2;       ///< Residue-class shard count.
+  std::uint32_t service_batch = 32;       ///< Worker drain-up-to size.
+  std::uint32_t service_queue_capacity = 4096;  ///< Per-shard queue.
 
   // --- "optimizer" backend (annealed schedule adversary) --------------
   std::uint32_t opt_iterations = 1500;

@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "engine/backend.hpp"
+#include "util/cacheline.hpp"
 #include "util/rng.hpp"
 
 namespace cn::engine {
@@ -32,7 +33,7 @@ struct TrialSummary {
 /// One summary per trial, padded to cache-line multiples so adjacent
 /// trials written by different workers never share a line (the same
 /// false-sharing discipline as PaddedAtomic in concurrent_network.hpp).
-struct alignas(64) TrialSlot {
+struct alignas(kCacheLineSize) TrialSlot {
   TrialSummary summary;
 };
 

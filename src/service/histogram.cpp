@@ -1,0 +1,69 @@
+#include "service/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace cn::service {
+
+namespace {
+
+// Values below kSubBuckets index directly; above, the top (kSubBits + 1)
+// bits select (exponent, sub-bucket). Largest index: bit_width = 64,
+// sub = 63 -> (64 - kSubBits) * kSubBuckets + 31.
+constexpr std::uint32_t kSubBits = 5;
+constexpr std::uint32_t kSubBuckets = 1u << kSubBits;
+constexpr std::uint32_t kNumBuckets = (64 - kSubBits) * kSubBuckets;
+
+}  // namespace
+
+LatencyHistogram::LatencyHistogram() : buckets_(kNumBuckets, 0) {}
+
+std::uint32_t LatencyHistogram::bucket_index(std::uint64_t v) noexcept {
+  if (v < kSubBuckets) return static_cast<std::uint32_t>(v);
+  const auto b = static_cast<std::uint32_t>(std::bit_width(v));
+  const auto sub =
+      static_cast<std::uint32_t>(v >> (b - (kSubBits + 1)));  // [32, 64)
+  return (b - kSubBits) * kSubBuckets + (sub - kSubBuckets);
+}
+
+std::uint64_t LatencyHistogram::bucket_upper(std::uint32_t index) noexcept {
+  if (index < kSubBuckets) return index;
+  const std::uint32_t b = index / kSubBuckets + kSubBits;
+  const std::uint64_t sub = index % kSubBuckets + kSubBuckets;
+  return ((sub + 1) << (b - (kSubBits + 1))) - 1;
+}
+
+void LatencyHistogram::record(std::uint64_t value_ns) noexcept {
+  ++buckets_[bucket_index(value_ns)];
+  ++count_;
+  if (value_ns > max_) max_ = value_ns;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) noexcept {
+  for (std::uint32_t i = 0; i < kNumBuckets; ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  max_ = std::max(max_, other.max_);
+}
+
+void LatencyHistogram::reset() noexcept {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  max_ = 0;
+}
+
+std::uint64_t LatencyHistogram::percentile(double q) const noexcept {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(q * static_cast<double>(
+                          count_ - 1)) + 1;
+  std::uint64_t seen = 0;
+  for (std::uint32_t i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= target) return std::min(bucket_upper(i), max_);
+  }
+  return max_;
+}
+
+}  // namespace cn::service

@@ -1,0 +1,46 @@
+// HDR-style log-linear latency histogram: 32 linear sub-buckets per
+// power of two, giving a fixed relative error of ~3% across the full
+// uint64 nanosecond range in 1920 counters. record() is O(1) and
+// allocation-free, so each service worker keeps a private histogram on
+// its hot path and the collector merges them at the end — quantiles are
+// then exact over the merged bucket counts (to bucket resolution),
+// unlike sampled percentile estimators that degrade at p999.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cn::service {
+
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  void record(std::uint64_t value_ns) noexcept;
+  void merge(const LatencyHistogram& other) noexcept;
+  void reset() noexcept;
+
+  std::uint64_t count() const noexcept { return count_; }
+  std::uint64_t max() const noexcept { return max_; }
+
+  /// Value at quantile q in [0, 1] (upper edge of the holding bucket,
+  /// clamped to the observed max). Returns 0 for an empty histogram.
+  std::uint64_t percentile(double q) const noexcept;
+
+  std::uint64_t p50() const noexcept { return percentile(0.50); }
+  std::uint64_t p99() const noexcept { return percentile(0.99); }
+  std::uint64_t p999() const noexcept { return percentile(0.999); }
+
+ private:
+  static constexpr std::uint32_t kSubBits = 5;  ///< 32 sub-buckets.
+  static constexpr std::uint32_t kSubBuckets = 1u << kSubBits;
+
+  static std::uint32_t bucket_index(std::uint64_t v) noexcept;
+  static std::uint64_t bucket_upper(std::uint32_t index) noexcept;
+
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace cn::service

@@ -1,0 +1,236 @@
+#include "service/service.hpp"
+
+#include <chrono>
+#include <cstddef>
+
+namespace cn::service {
+
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+std::string validate(const ServiceConfig& cfg) {
+  if (cfg.net == nullptr) return "service: net must be set";
+  if (cfg.shards == 0) return "service: shards must be >= 1";
+  if (cfg.max_batch == 0) return "service: max_batch must be >= 1";
+  if (cfg.queue_capacity == 0) return "service: queue_capacity must be >= 1";
+  if (cfg.net->fan_in() == 0) return "service: net has no input wires";
+  return {};
+}
+
+CountingService::CountingService(const ServiceConfig& cfg, TraceSink* sink)
+    : cfg_(cfg), sink_(sink) {
+  shards_.reserve(cfg_.shards);
+  queues_.reserve(cfg_.shards);
+  for (std::uint32_t s = 0; s < cfg_.shards; ++s) {
+    shards_.push_back(std::make_unique<ConcurrentNetwork>(*cfg_.net));
+    queues_.push_back(std::make_unique<BoundedQueue<Request>>(
+        cfg_.queue_capacity));
+  }
+  worker_state_ = std::vector<WorkerState>(cfg_.shards);
+  if (cfg_.record && sink_ != nullptr) {
+    buffer_ = std::make_unique<IssueOrderBuffer>(*sink_, /*deferred=*/true);
+  } else {
+    cfg_.record = false;  // Recording without a sink is a no-op.
+  }
+}
+
+CountingService::~CountingService() { stop(); }
+
+void CountingService::start() {
+  if (started_) return;
+  started_ = true;
+  accepting_.store(true, std::memory_order_release);
+  workers_.reserve(cfg_.shards);
+  for (std::uint32_t s = 0; s < cfg_.shards; ++s) {
+    workers_.emplace_back([this, s] { worker_loop(s); });
+  }
+}
+
+bool CountingService::try_submit(std::uint32_t client,
+                                 std::uint64_t arrival_ns,
+                                 std::atomic<std::uint64_t>* done) {
+  if (!accepting_.load(std::memory_order_acquire)) return false;
+  // The pending-submit count lets stop() wait out in-flight submits, so
+  // no push can land after the workers observe `stopping_` (a straggler
+  // push after worker exit would strand its client on `done` forever).
+  pending_submits_.fetch_add(1, std::memory_order_acq_rel);
+  if (!accepting_.load(std::memory_order_acquire)) {
+    pending_submits_.fetch_sub(1, std::memory_order_release);
+    return false;
+  }
+  const std::uint64_t ticket =
+      tickets_.fetch_add(1, std::memory_order_relaxed);
+  const auto shard = static_cast<std::uint32_t>(ticket % shards_.size());
+  Request req;
+  req.ticket = ticket;
+  req.arrival_ns = arrival_ns;
+  req.client = client;
+  req.done = done;
+  if (cfg_.record) {
+    std::lock_guard<std::mutex> lock(emit_mu_);
+    req.first_seq = events_++;
+    buffer_->open(req.first_seq);
+  }
+  if (!queues_[shard]->try_push(req)) {
+    // The ticket is burned: its residue slot will never be served, so a
+    // rejection under load shows up as a counting-property hole — that
+    // is deliberate (overload degrades the guarantee and we measure it).
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    if (cfg_.record) {
+      std::lock_guard<std::mutex> lock(emit_mu_);
+      buffer_->drop(req.first_seq);
+    }
+    pending_submits_.fetch_sub(1, std::memory_order_release);
+    return false;
+  }
+  pending_submits_.fetch_sub(1, std::memory_order_release);
+  return true;
+}
+
+void CountingService::worker_loop(std::uint32_t shard) {
+  ConcurrentNetwork& net = *shards_[shard];
+  BoundedQueue<Request>& queue = *queues_[shard];
+  WorkerState& ws = worker_state_[shard];
+  const auto n_shards = static_cast<std::uint64_t>(shards_.size());
+  const std::uint32_t fan_in = cfg_.net->fan_in();
+  const std::uint32_t fan_out = cfg_.net->fan_out();
+  const bool inject = cfg_.fault.thread_faults();
+  fault::FaultStream faults(cfg_.fault, cfg_.seed, 200 + shard);
+
+  std::vector<Request> batch(cfg_.max_batch);
+  std::vector<Request> live;
+  live.reserve(cfg_.max_batch);
+  std::vector<std::uint64_t> abandoned_seqs;
+  std::vector<Value> values(cfg_.max_batch);
+  std::uint64_t next_source = shard;  // Stagger shards' source cursors.
+  bool draining = false;
+
+  for (;;) {
+    const std::size_t n = queue.pop_batch(batch.data(), cfg_.max_batch);
+    if (n == 0) {
+      if (draining) break;
+      if (stopping_.load(std::memory_order_acquire)) {
+        // All submits finished before stopping_ was set; one more empty
+        // pop after observing it means the queue is drained for good.
+        draining = true;
+        continue;
+      }
+      std::this_thread::yield();
+      continue;
+    }
+
+    live.clear();
+    abandoned_seqs.clear();
+    std::uint64_t stall_draws = 0;
+    if (inject) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (faults.flip(cfg_.fault.p_thread_stall)) ++stall_draws;
+        if (faults.flip(cfg_.fault.p_thread_abandon)) {
+          ++ws.dropped;
+          if (batch[i].done != nullptr) {
+            batch[i].done->store(kDroppedSignal, std::memory_order_release);
+          }
+          if (cfg_.record) abandoned_seqs.push_back(batch[i].first_seq);
+        } else {
+          live.push_back(batch[i]);
+        }
+      }
+      if (stall_draws > 0) {
+        ws.stalls += stall_draws;
+        std::this_thread::sleep_for(
+            std::chrono::nanoseconds(cfg_.fault.stall_ns * stall_draws));
+      }
+    } else {
+      live.assign(batch.begin(), batch.begin() + n);
+    }
+
+    const auto k = static_cast<std::uint32_t>(live.size());
+    const auto source = static_cast<std::uint32_t>(next_source++ % fan_in);
+    std::uint64_t completion_ns = 0;
+    if (k > 0) {
+      net.increment_batch(source, k, values.data());
+      completion_ns = now_ns();
+      for (std::uint32_t i = 0; i < k; ++i) {
+        const Value global = values[i] * n_shards + shard;
+        const std::uint64_t lat = completion_ns > live[i].arrival_ns
+                                      ? completion_ns - live[i].arrival_ns
+                                      : 0;
+        ws.latency.record(lat);
+        if (live[i].done != nullptr) {
+          live[i].done->store(global + 1, std::memory_order_release);
+        }
+      }
+      ws.completed += k;
+      ++ws.batches;
+      if (k > ws.max_batch) ws.max_batch = k;
+    }
+
+    if (cfg_.record && (k > 0 || !abandoned_seqs.empty())) {
+      std::lock_guard<std::mutex> lock(emit_mu_);
+      for (const std::uint64_t fs : abandoned_seqs) buffer_->drop(fs);
+      for (std::uint32_t i = 0; i < k; ++i) {
+        TokenRecord rec;
+        rec.token = static_cast<TokenId>(live[i].ticket);
+        rec.process = live[i].client;
+        rec.source = source;
+        rec.sink = shard * fan_out +
+                   static_cast<std::uint32_t>(values[i] % fan_out);
+        rec.value = values[i] * n_shards + shard;
+        rec.t_in = static_cast<double>(live[i].arrival_ns);
+        rec.t_out = static_cast<double>(completion_ns);
+        rec.first_seq = live[i].first_seq;
+        rec.last_seq = events_++;
+        buffer_->close(rec);
+      }
+      buffer_->drain();
+    }
+  }
+}
+
+void CountingService::stop() {
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  accepting_.store(false, std::memory_order_release);
+  while (pending_submits_.load(std::memory_order_acquire) != 0) {
+    std::this_thread::yield();
+  }
+  stopping_.store(true, std::memory_order_release);
+  for (std::thread& w : workers_) w.join();
+  workers_.clear();
+
+  stats_ = ServiceStats{};
+  const std::uint64_t tickets = tickets_.load(std::memory_order_relaxed);
+  stats_.rejected = rejected_.load(std::memory_order_relaxed);
+  stats_.submitted = tickets - stats_.rejected;
+  stats_.shard_completed.resize(shards_.size());
+  for (std::size_t s = 0; s < worker_state_.size(); ++s) {
+    const WorkerState& ws = worker_state_[s];
+    stats_.completed += ws.completed;
+    stats_.dropped += ws.dropped;
+    stats_.batches += ws.batches;
+    stats_.stalls += ws.stalls;
+    if (ws.max_batch > stats_.max_batch_seen) {
+      stats_.max_batch_seen = ws.max_batch;
+    }
+    stats_.shard_completed[s] = ws.completed;
+    stats_.latency.merge(ws.latency);
+  }
+  stats_.mean_batch =
+      stats_.batches > 0 ? static_cast<double>(stats_.completed) /
+                               static_cast<double>(stats_.batches)
+                         : 0.0;
+  if (cfg_.record) {
+    std::lock_guard<std::mutex> lock(emit_mu_);
+    buffer_->flush();
+  }
+}
+
+}  // namespace cn::service

@@ -1,0 +1,171 @@
+// Counting-as-a-service: N independent ConcurrentNetwork shards behind a
+// residue-class router, each drained by a dedicated worker thread doing
+// adaptive batch formation.
+//
+// Routing is the modular-counting decomposition (paper Lemma 3.1): a
+// ticket dispenser assigns each request a globally unique ticket t, the
+// request is queued at shard t mod N, and a shard-local value v becomes
+// the global value v * N + shard. Shard i therefore serves exactly the
+// residue class { x : x ≡ i (mod N) }, and as long as every ticket
+// completes, the union of the shards' outputs is a gap-free prefix
+// 0..M-1 — counting is preserved with ZERO cross-shard coordination.
+// Rejected (queue-full) or fault-abandoned tickets leave residue holes;
+// the service counts them and the benchmarks report the resulting
+// degradation instead of hiding it.
+//
+// Each worker drains its shard's bounded MPSC queue up to max_batch
+// requests and shepherds them through the shard network with ONE
+// increment_batch call — the batched traversal costs ~1 atomic RMW per
+// balancer per batch instead of per token, which is where the service
+// throughput comes from.
+//
+// Tracing: when constructed with a TraceSink the service emits one
+// TokenRecord per completed request, honoring the sink contract
+// (nondecreasing issue order) exactly: every first_seq (at submit) and
+// last_seq (at completion) is drawn under one mutex that also guards an
+// IssueOrderBuffer, so the streaming consistency and degradation
+// analyzers attach live. The lock exists ONLY on the recording path;
+// un-recorded runs (the saturation benchmarks) touch no shared mutable
+// state beyond the queues and the shard networks.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "concurrent/concurrent_network.hpp"
+#include "core/topology.hpp"
+#include "fault/fault.hpp"
+#include "service/histogram.hpp"
+#include "service/queue.hpp"
+#include "trace/sink.hpp"
+
+namespace cn::service {
+
+/// One queued counter request.
+struct Request {
+  std::uint64_t ticket = 0;      ///< Global ticket (token id, route key).
+  std::uint64_t first_seq = 0;   ///< Drawn at submit when recording.
+  std::uint64_t arrival_ns = 0;  ///< Client-side arrival timestamp.
+  std::uint32_t client = 0;      ///< Submitting client (trace process).
+  /// Completion slot: the worker stores value + 1 (0 = still pending),
+  /// or kDroppedSignal when the request was fault-abandoned. May be
+  /// null for fire-and-forget submission.
+  std::atomic<std::uint64_t>* done = nullptr;
+};
+
+/// Stored to Request::done when a fault abandoned the request.
+inline constexpr std::uint64_t kDroppedSignal =
+    static_cast<std::uint64_t>(-1);
+
+struct ServiceConfig {
+  std::uint32_t shards = 2;
+  std::uint32_t max_batch = 32;        ///< Worker drain-up-to batch size.
+  std::uint32_t queue_capacity = 4096;  ///< Per-shard; full => reject.
+  const Network* net = nullptr;        ///< Topology each shard instantiates.
+  bool record = false;                 ///< Emit TokenRecords into the sink.
+  fault::FaultPlan fault;              ///< Worker stall/abandon plan.
+  std::uint64_t seed = 1;
+};
+
+/// Empty when the config is runnable, else a human-readable reason.
+std::string validate(const ServiceConfig& cfg);
+
+/// Aggregate counters, valid after stop().
+struct ServiceStats {
+  std::uint64_t submitted = 0;   ///< Accepted submits (queued tickets).
+  std::uint64_t rejected = 0;    ///< Queue-full refusals; each burns its
+                                 ///< ticket, leaving a residue hole.
+  std::uint64_t completed = 0;   ///< Requests that received a value.
+  std::uint64_t dropped = 0;     ///< Fault-abandoned requests.
+  std::uint64_t batches = 0;     ///< increment_batch calls issued.
+  std::uint64_t max_batch_seen = 0;
+  double mean_batch = 0.0;       ///< completed / batches.
+  std::uint64_t stalls = 0;      ///< Injected worker stalls taken.
+  std::vector<std::uint64_t> shard_completed;
+  LatencyHistogram latency;      ///< Submit-to-completion, merged.
+};
+
+class CountingService {
+ public:
+  /// `sink` may be null unless cfg.record is set. The caller keeps both
+  /// cfg.net and the sink alive for the service's lifetime and calls
+  /// sink->finish() itself after stop() (the service flushes but does
+  /// not finish, so callers can tee several runs into one sink).
+  explicit CountingService(const ServiceConfig& cfg,
+                           TraceSink* sink = nullptr);
+  ~CountingService();
+
+  CountingService(const CountingService&) = delete;
+  CountingService& operator=(const CountingService&) = delete;
+
+  /// Launches the shard workers. Call exactly once.
+  void start();
+
+  /// Submits one request. Returns false (and consumes no ticket) when
+  /// the target queue is full or the service is not accepting; the
+  /// caller decides whether to retry, back off, or count the rejection.
+  /// `done`, if non-null, must stay valid until it is stored non-zero.
+  bool try_submit(std::uint32_t client, std::uint64_t arrival_ns,
+                  std::atomic<std::uint64_t>* done = nullptr);
+
+  /// Stops accepting, drains every queue, joins the workers, and merges
+  /// per-worker stats. Idempotent.
+  void stop();
+
+  /// Valid after stop().
+  const ServiceStats& stats() const noexcept { return stats_; }
+
+  std::uint32_t shards() const noexcept {
+    return static_cast<std::uint32_t>(shards_.size());
+  }
+
+  /// Quiescent per-shard totals (only meaningful after stop()).
+  std::uint64_t shard_total(std::uint32_t shard) const {
+    return shards_[shard]->total();
+  }
+
+ private:
+  struct alignas(kCacheLineSize) WorkerState {
+    std::uint64_t completed = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t batches = 0;
+    std::uint64_t max_batch = 0;
+    std::uint64_t stalls = 0;
+    LatencyHistogram latency;
+  };
+
+  void worker_loop(std::uint32_t shard);
+
+  ServiceConfig cfg_;
+  TraceSink* sink_ = nullptr;
+  std::vector<std::unique_ptr<ConcurrentNetwork>> shards_;
+  std::vector<std::unique_ptr<BoundedQueue<Request>>> queues_;
+  std::vector<WorkerState> worker_state_;
+  std::vector<std::thread> workers_;
+
+  /// Next ticket; its low bits route. fetch_add is the ONLY cross-shard
+  /// synchronization on the un-recorded fast path.
+  alignas(kCacheLineSize) std::atomic<std::uint64_t> tickets_{0};
+  alignas(kCacheLineSize) std::atomic<std::uint64_t> rejected_{0};
+  alignas(kCacheLineSize) std::atomic<std::uint64_t> pending_submits_{0};
+  std::atomic<bool> accepting_{false};
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+  bool stopped_ = false;
+
+  // Recording path only: one mutex serializes every event-seq draw AND
+  // the issue-order buffer transitions, which is what makes the emitted
+  // stream exact w.r.t. the sink contract.
+  std::mutex emit_mu_;
+  std::uint64_t events_ = 0;
+  std::unique_ptr<IssueOrderBuffer> buffer_;
+
+  ServiceStats stats_;
+};
+
+}  // namespace cn::service

@@ -1,0 +1,28 @@
+// Destructive-interference (false-sharing) alignment constant.
+//
+// C++17's std::hardware_destructive_interference_size is the portable
+// spelling of "one cache line", but (a) older standard libraries do not
+// ship it and (b) GCC warns on every use (-Winterference-size) because
+// the value is ABI-relevant. Funneling every alignas through this one
+// constant keeps the guard and the fallback in a single place; the
+// padded structures that must not share lines (PaddedAtomic balancers,
+// the sweeper's per-trial TrialSlot, the service's queue cells) all
+// align to kCacheLineSize.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace cn {
+
+#if defined(__cpp_lib_hardware_interference_size)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Winterference-size"
+inline constexpr std::size_t kCacheLineSize =
+    std::hardware_destructive_interference_size;
+#pragma GCC diagnostic pop
+#else
+inline constexpr std::size_t kCacheLineSize = 64;
+#endif
+
+}  // namespace cn

@@ -11,6 +11,7 @@
 #include "concurrent/concurrent_network.hpp"
 #include "concurrent/harness.hpp"
 #include "core/constructions.hpp"
+#include "core/sequential.hpp"
 #include "core/verify.hpp"
 #include "sim/consistency.hpp"
 #include "sim/timing.hpp"
@@ -217,6 +218,149 @@ TEST(Harness, ThroughputRunnerCountsAllOps) {
   });
   EXPECT_GT(ops, 0.0);
   EXPECT_EQ(counter.load(), 4000u);
+}
+
+TEST(Harness, BatchThroughputRunnerCountsAllTokens) {
+  // 1000 tokens per thread in chunks of 32 leaves a short final chunk
+  // (1000 = 31*32 + 8); every token must still be delivered exactly once.
+  const Network topo = make_bitonic(8);
+  ConcurrentNetwork net(topo);
+  const double rate = run_batch_throughput(
+      4, 1000, 32, [&](std::uint32_t t, std::uint64_t* out, std::uint32_t k) {
+        net.increment_batch(t % 8, k, out);
+      });
+  EXPECT_GT(rate, 0.0);
+  EXPECT_EQ(net.total(), 4000u);
+  EXPECT_TRUE(has_step_property(net.sink_counts()));
+}
+
+// --- increment_batch: differential equivalence with the sequential spec ---
+
+// Runs the same token sequence through a ConcurrentNetwork (via
+// increment_batch) and through the sequential NetworkState oracle (via
+// one shepherd call per token), then compares every observable: the
+// multiset of issued values per batch, per-balancer traversal counts,
+// per-sink counter totals, and the grand total. Equality of the balancer
+// counts is the "byte-compatible counting" claim: one fetch_add(k) must
+// advance each balancer exactly as far as k sequential tokens would.
+void expect_batch_matches_sequential(const Network& topo,
+                                     const std::vector<std::uint32_t>& batches) {
+  ConcurrentNetwork net(topo);
+  NetworkState spec(topo);
+  TokenId token = 0;
+  std::uint32_t next_source = 0;
+  for (const std::uint32_t k : batches) {
+    const std::uint32_t s = next_source++ % topo.fan_in();
+    std::vector<std::uint64_t> got(k);
+    net.increment_batch(s, k, got.data());
+    std::vector<std::uint64_t> expect;
+    expect.reserve(k);
+    for (std::uint32_t i = 0; i < k; ++i) {
+      expect.push_back(spec.shepherd(token++, 0, s));
+    }
+    // The batch hands out exactly the values the k sequential tokens
+    // receive; the depth-first split may permute them within the batch.
+    std::sort(got.begin(), got.end());
+    std::sort(expect.begin(), expect.end());
+    ASSERT_EQ(got, expect) << topo.name() << " batch k=" << k;
+  }
+  for (NodeIndex b = 0; b < topo.num_balancers(); ++b) {
+    std::uint64_t through = 0;
+    for (PortIndex j = 0; j < topo.balancer(b).fan_out(); ++j) {
+      through += spec.balancer_out_count(b, j);
+    }
+    EXPECT_EQ(net.balancer_through(b), through)
+        << topo.name() << " balancer " << b;
+  }
+  const std::vector<std::uint64_t> sinks = net.sink_counts();
+  for (std::uint32_t j = 0; j < topo.fan_out(); ++j) {
+    EXPECT_EQ(sinks[j], spec.sink_count(j)) << topo.name() << " sink " << j;
+  }
+  EXPECT_EQ(net.total(), spec.total_exited());
+}
+
+TEST(ConcurrentBatch, PureBatchSizesMatchSequentialSpec) {
+  // Issue-sized (1), sub-width (3), multi-round (64), and non-power-of-two
+  // (37) batches, each against a fresh network so the per-size effect is
+  // isolated.
+  for (const std::uint32_t k : {1u, 3u, 64u, 37u}) {
+    const std::vector<std::uint32_t> batches(5, k);
+    expect_batch_matches_sequential(make_bitonic(8), batches);
+    expect_batch_matches_sequential(make_periodic(8), batches);
+    expect_batch_matches_sequential(make_counting_tree(8), batches);
+  }
+}
+
+TEST(ConcurrentBatch, MixedBatchSizesMatchSequentialSpec) {
+  // Interleaved sizes exercise the mod-f dispenser restarting from an
+  // arbitrary residue (pos % f != 0) at every balancer.
+  const std::vector<std::uint32_t> batches = {1, 3, 64, 37, 2, 8, 5, 1, 13};
+  expect_batch_matches_sequential(make_bitonic(8), batches);
+  expect_batch_matches_sequential(make_periodic(8), batches);
+  expect_batch_matches_sequential(make_counting_tree(8), batches);
+  expect_batch_matches_sequential(make_bitonic(4), batches);
+}
+
+TEST(ConcurrentBatch, BatchEqualsRepeatedSingleIncrements) {
+  // From identical start states, one increment_batch(s, k) and k calls to
+  // increment(s) leave bitwise-identical balancer and counter state.
+  const Network topo = make_bitonic(8);
+  ConcurrentNetwork batched(topo);
+  ConcurrentNetwork single(topo);
+  std::vector<std::uint64_t> got(96);
+  batched.increment_batch(2, 96, got.data());
+  std::vector<std::uint64_t> expect;
+  for (int i = 0; i < 96; ++i) expect.push_back(single.increment(2));
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, expect);
+  for (NodeIndex b = 0; b < topo.num_balancers(); ++b) {
+    EXPECT_EQ(batched.balancer_through(b), single.balancer_through(b));
+  }
+  EXPECT_EQ(batched.sink_counts(), single.sink_counts());
+}
+
+TEST(ConcurrentBatch, ZeroSizedBatchIsANoOp) {
+  const Network topo = make_bitonic(4);
+  ConcurrentNetwork net(topo);
+  net.increment_batch(0, 0, nullptr);
+  EXPECT_EQ(net.total(), 0u);
+}
+
+TEST(ConcurrentBatch, MixedBatchAndSingleThreadsStayGapFree) {
+  // Half the threads issue single tokens, half issue odd-sized batches;
+  // the union must still be a gap-free 0..n-1 and the network quiescently
+  // smooth. This is the TSan-exercised interleaving test: batched and
+  // single traversals share every balancer word.
+  const Network topo = make_bitonic(8);
+  ConcurrentNetwork net(topo);
+  constexpr std::uint32_t kThreads = 4;
+  constexpr std::uint64_t kSingles = 350;
+  constexpr std::uint32_t kBatch = 7;
+  constexpr std::uint32_t kBatches = 50;
+  std::vector<std::vector<std::uint64_t>> got(kThreads);
+  std::vector<std::thread> workers;
+  for (std::uint32_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      if (t % 2 == 0) {
+        for (std::uint64_t k = 0; k < kSingles; ++k) {
+          got[t].push_back(net.increment(t % 8));
+        }
+      } else {
+        std::uint64_t vals[kBatch];
+        for (std::uint32_t k = 0; k < kBatches; ++k) {
+          net.increment_batch((t + k) % 8, kBatch, vals);
+          got[t].insert(got[t].end(), vals, vals + kBatch);
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  std::vector<std::uint64_t> all;
+  for (const auto& v : got) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  ASSERT_EQ(all.size(), 2 * kSingles + 2 * kBatch * kBatches);
+  for (std::uint64_t i = 0; i < all.size(); ++i) ASSERT_EQ(all[i], i);
+  EXPECT_TRUE(has_step_property(net.sink_counts()));
 }
 
 }  // namespace

@@ -23,7 +23,8 @@ TEST(EngineRegistry, BuiltinsRegistered) {
   const std::set<std::string> expected = {
       "simulator", "sim_burst",      "sim_heterogeneous", "wave",
       "optimizer", "msg",            "concurrent",        "fetch_inc",
-      "mcs",       "combining_tree", "diffracting_tree",  "replay"};
+      "mcs",       "combining_tree", "diffracting_tree",  "replay",
+      "service"};
   const std::vector<std::string> names = engine::backend_names();
   const std::set<std::string> have(names.begin(), names.end());
   for (const std::string& key : expected) {
@@ -427,6 +428,61 @@ TEST(EngineReplay, RecordThenReplayReproducesTheReport) {
   EXPECT_EQ(replayed.report.non_sequentially_consistent,
             recorded.report.non_sequentially_consistent);
   std::remove(path.c_str());
+}
+
+TEST(EngineBackends, ServiceBackendCountsAndReportsLatency) {
+  engine::RunSpec spec;
+  spec.backend = "service";
+  spec.network = "bitonic";
+  spec.width = 8;
+  spec.threads = 4;
+  spec.ops_per_thread = 100;
+  spec.service_shards = 2;
+  spec.service_batch = 8;
+  const engine::RunResult res = engine::run_backend(spec);
+  ASSERT_TRUE(res.ok()) << res.error;
+  // Closed-loop clients retry rejections, so every op completes and the
+  // recorded trace carries a gap-free value set.
+  EXPECT_EQ(res.report.total, 400u);
+  ASSERT_EQ(res.trace.size(), 400u);
+  std::set<std::uint64_t> values;
+  for (const TokenRecord& rec : res.trace) values.insert(rec.value);
+  EXPECT_EQ(values.size(), 400u);
+  EXPECT_EQ(*values.rbegin(), 399u);
+  EXPECT_EQ(res.metric("total_ops", -1.0), 400.0);
+  EXPECT_EQ(res.metric("shards", -1.0), 2.0);
+  EXPECT_GT(res.metric("ops_per_sec", 0.0), 0.0);
+  EXPECT_TRUE(res.metrics.count("p50_us"));
+  EXPECT_GE(res.metric("p999_us"), res.metric("p50_us"));
+}
+
+TEST(EngineBackends, ServiceBackendStreamsWithZeroViolationsAtQuiescence) {
+  engine::RunSpec spec;
+  spec.backend = "service";
+  spec.network = "bitonic";
+  spec.width = 8;
+  spec.threads = 4;
+  spec.ops_per_thread = 80;
+  spec.service_shards = 2;
+  spec.keep_trace = false;
+  const engine::RunResult res = engine::run_backend(spec);
+  ASSERT_TRUE(res.ok()) << res.error;
+  EXPECT_TRUE(res.trace.empty());
+  EXPECT_EQ(res.report.total, 320u);
+}
+
+TEST(EngineBackends, ServiceBackendRejectsInvalidSpecs) {
+  engine::RunSpec spec;
+  spec.backend = "service";
+  spec.network = "bitonic";
+  spec.width = 8;
+  spec.threads = 4;
+  spec.ops_per_thread = 10;
+  spec.service_shards = 0;
+  EXPECT_FALSE(engine::run_backend(spec).ok());
+  spec.service_shards = 2;
+  spec.threads = 0;
+  EXPECT_FALSE(engine::run_backend(spec).ok());
 }
 
 TEST(EngineReplay, MissingReplayPathIsSpecInvalid) {

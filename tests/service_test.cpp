@@ -1,0 +1,331 @@
+// Tests for the sharded counting service (src/service): the bounded MPSC
+// queue, the HDR-style latency histogram, residue-class routing (Lemma
+// 3.1 modular counting), quiescent gap-freedom, fault-drop signaling,
+// and the recorded path's conformance to the TraceSink issue-order
+// contract (StreamingConsistency attaches live and must see zero
+// violations at quiescence).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "core/constructions.hpp"
+#include "service/histogram.hpp"
+#include "service/queue.hpp"
+#include "service/service.hpp"
+#include "trace/sink.hpp"
+#include "trace/streaming.hpp"
+
+namespace cn {
+namespace {
+
+using service::BoundedQueue;
+using service::CountingService;
+using service::LatencyHistogram;
+using service::ServiceConfig;
+using service::ServiceStats;
+
+// --- BoundedQueue ---
+
+TEST(BoundedQueue, FifoSingleThread) {
+  BoundedQueue<int> q(8);
+  EXPECT_EQ(q.capacity(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(q.try_push(i));
+  EXPECT_FALSE(q.try_push(99)) << "full queue must reject";
+  int v = -1;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(q.try_pop(v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_FALSE(q.try_pop(v)) << "empty queue must report empty";
+}
+
+TEST(BoundedQueue, CapacityRoundsUpToPowerOfTwo) {
+  BoundedQueue<int> q(5);
+  EXPECT_EQ(q.capacity(), 8u);
+  BoundedQueue<int> q1(1);
+  EXPECT_GE(q1.capacity(), 2u);
+}
+
+TEST(BoundedQueue, PopBatchDrainsUpToMax) {
+  BoundedQueue<int> q(16);
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(q.try_push(i));
+  int out[16];
+  EXPECT_EQ(q.pop_batch(out, 4), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(out[i], i);
+  EXPECT_EQ(q.pop_batch(out, 16), 6u);
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(out[i], i + 4);
+  EXPECT_EQ(q.pop_batch(out, 16), 0u);
+}
+
+TEST(BoundedQueue, ManyProducersOneConsumerDeliverEverything) {
+  BoundedQueue<std::uint64_t> q(1024);
+  constexpr std::uint32_t kProducers = 4;
+  constexpr std::uint64_t kEach = 2000;
+  std::vector<std::thread> producers;
+  for (std::uint32_t t = 0; t < kProducers; ++t) {
+    producers.emplace_back([&, t] {
+      for (std::uint64_t i = 0; i < kEach; ++i) {
+        while (!q.try_push(t * kEach + i)) std::this_thread::yield();
+      }
+    });
+  }
+  std::vector<std::uint64_t> got;
+  got.reserve(kProducers * kEach);
+  std::uint64_t v = 0;
+  while (got.size() < kProducers * kEach) {
+    if (q.try_pop(v)) {
+      got.push_back(v);
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  for (auto& p : producers) p.join();
+  std::sort(got.begin(), got.end());
+  for (std::uint64_t i = 0; i < got.size(); ++i) ASSERT_EQ(got[i], i);
+}
+
+// --- LatencyHistogram ---
+
+TEST(LatencyHistogram, ExactBelowLinearRange) {
+  // Values below 32 land in exact unit buckets: percentiles are precise.
+  LatencyHistogram h;
+  for (std::uint64_t v = 0; v < 20; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 20u);
+  EXPECT_EQ(h.max(), 19u);
+  EXPECT_EQ(h.percentile(0.0), 0u);
+  EXPECT_EQ(h.p50(), 9u);
+  EXPECT_EQ(h.percentile(1.0), 19u);
+}
+
+TEST(LatencyHistogram, LogBucketsBoundRelativeError) {
+  // With 32 sub-buckets per octave the bucket upper bound overestimates
+  // by at most 1/32 ≈ 3.2%.
+  LatencyHistogram h;
+  for (int i = 0; i < 1000; ++i) h.record(1'000'000);
+  const std::uint64_t p99 = h.p99();
+  EXPECT_GE(p99, 1'000'000u);
+  EXPECT_LE(p99, 1'000'000u + 1'000'000u / 16);
+}
+
+TEST(LatencyHistogram, PercentilesAreMonotoneAndCappedAtMax) {
+  LatencyHistogram h;
+  for (std::uint64_t v = 1; v <= 10'000; ++v) h.record(v * 100);
+  std::uint64_t prev = 0;
+  for (double q : {0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    const std::uint64_t p = h.percentile(q);
+    EXPECT_GE(p, prev);
+    EXPECT_LE(p, h.max());
+    prev = p;
+  }
+}
+
+TEST(LatencyHistogram, MergeMatchesCombinedRecording) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  LatencyHistogram both;
+  for (std::uint64_t v = 0; v < 500; ++v) {
+    a.record(v * 7);
+    both.record(v * 7);
+  }
+  for (std::uint64_t v = 0; v < 300; ++v) {
+    b.record(v * 1'000);
+    both.record(v * 1'000);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), both.count());
+  EXPECT_EQ(a.max(), both.max());
+  for (double q : {0.5, 0.9, 0.99, 0.999}) {
+    EXPECT_EQ(a.percentile(q), both.percentile(q)) << "q=" << q;
+  }
+}
+
+// --- CountingService ---
+
+ServiceConfig small_config(const Network& net, std::uint32_t shards) {
+  ServiceConfig cfg;
+  cfg.net = &net;
+  cfg.shards = shards;
+  cfg.max_batch = 8;
+  cfg.queue_capacity = 256;
+  return cfg;
+}
+
+TEST(CountingService, ValidateRejectsBadConfigs) {
+  const Network net = make_bitonic(4);
+  ServiceConfig ok = small_config(net, 2);
+  EXPECT_TRUE(service::validate(ok).empty());
+  ServiceConfig no_net = ok;
+  no_net.net = nullptr;
+  EXPECT_FALSE(service::validate(no_net).empty());
+  ServiceConfig zero_shards = ok;
+  zero_shards.shards = 0;
+  EXPECT_FALSE(service::validate(zero_shards).empty());
+  ServiceConfig zero_batch = ok;
+  zero_batch.max_batch = 0;
+  EXPECT_FALSE(service::validate(zero_batch).empty());
+}
+
+// Submits `n` requests from `threads` closed-loop clients, each waiting
+// for its completion slot, and returns every observed global value.
+std::vector<std::uint64_t> drive(CountingService& svc, std::uint32_t threads,
+                                 std::uint64_t n_per_thread) {
+  std::vector<std::vector<std::uint64_t>> got(threads);
+  std::vector<std::thread> clients;
+  for (std::uint32_t t = 0; t < threads; ++t) {
+    clients.emplace_back([&, t] {
+      std::atomic<std::uint64_t> done{0};
+      for (std::uint64_t i = 0; i < n_per_thread; ++i) {
+        done.store(0, std::memory_order_relaxed);
+        while (!svc.try_submit(t, /*arrival_ns=*/i, &done)) {
+          std::this_thread::yield();
+        }
+        std::uint64_t v = 0;
+        while ((v = done.load(std::memory_order_acquire)) == 0) {
+          std::this_thread::yield();
+        }
+        if (v != service::kDroppedSignal) got[t].push_back(v - 1);
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  std::vector<std::uint64_t> all;
+  for (const auto& g : got) all.insert(all.end(), g.begin(), g.end());
+  return all;
+}
+
+TEST(CountingService, GapFreeAcrossShardsAtQuiescence) {
+  const Network net = make_bitonic(8);
+  for (const std::uint32_t shards : {1u, 2u, 3u}) {
+    ServiceConfig cfg = small_config(net, shards);
+    CountingService svc(cfg);
+    svc.start();
+    std::vector<std::uint64_t> values = drive(svc, 4, 300);
+    svc.stop();
+    // Modular counting (Lemma 3.1): with every ticket completed the
+    // shard outputs interleave into a gap-free 0..M-1.
+    std::sort(values.begin(), values.end());
+    ASSERT_EQ(values.size(), 1200u) << "shards=" << shards;
+    for (std::uint64_t i = 0; i < values.size(); ++i) {
+      ASSERT_EQ(values[i], i) << "shards=" << shards;
+    }
+    const ServiceStats& st = svc.stats();
+    EXPECT_EQ(st.submitted, 1200u);
+    EXPECT_EQ(st.completed, 1200u);
+    EXPECT_EQ(st.dropped, 0u);
+    EXPECT_EQ(st.latency.count(), 1200u);
+    EXPECT_GE(st.batches, 1u);
+    EXPECT_LE(st.max_batch_seen, cfg.max_batch);
+    // Shard totals partition the completions.
+    std::uint64_t total = 0;
+    for (std::uint32_t s = 0; s < shards; ++s) total += svc.shard_total(s);
+    EXPECT_EQ(total, 1200u);
+  }
+}
+
+TEST(CountingService, ShardsServeTheirResidueClass) {
+  const Network net = make_bitonic(4);
+  constexpr std::uint32_t kShards = 3;
+  ServiceConfig cfg = small_config(net, kShards);
+  cfg.record = true;
+  CollectSink collect;
+  CountingService svc(cfg, &collect);
+  svc.start();
+  drive(svc, 2, 200);
+  svc.stop();
+  collect.finish();
+  ASSERT_EQ(collect.trace().size(), 400u);
+  for (const TokenRecord& rec : collect.trace()) {
+    // Global value v came from shard v mod N; the record's sink index
+    // encodes the shard as sink / fan_out.
+    EXPECT_EQ(rec.value % kShards, rec.sink / net.fan_out());
+    EXPECT_EQ(rec.token % kShards, rec.value % kShards)
+        << "ticket routes by residue";
+  }
+}
+
+TEST(CountingService, RecordedStreamHonorsIssueOrderContract) {
+  // StreamingConsistency enforces the sink contract (nondecreasing
+  // (first_seq, last_seq, token)) and computes the consistency report
+  // incrementally; attaching it live must work and report zero
+  // violations once the service quiesces.
+  const Network net = make_bitonic(8);
+  ServiceConfig cfg = small_config(net, 2);
+  cfg.record = true;
+  StreamingConsistency checker;
+  CountingService svc(cfg, &checker);
+  svc.start();
+  drive(svc, 4, 250);
+  svc.stop();
+  checker.finish();
+  // Reaching finish() at all is the contract check: StreamingConsistency
+  // throws on any out-of-order emission. The fractions themselves may be
+  // nonzero (batched sharded counting is not linearizable — that is the
+  // paper's point), but every record must have arrived.
+  const ConsistencyReport& report = checker.report();
+  EXPECT_EQ(report.total, 1000u);
+  EXPECT_GE(report.f_nl, 0.0);
+  EXPECT_LE(report.f_nl, 1.0);
+}
+
+TEST(CountingService, SubmitAccountingIsExact) {
+  // Fire-and-forget clients with a tiny queue: some submits are rejected,
+  // but submitted + rejected must equal the attempts and every accepted
+  // ticket must complete (no loss, no duplication).
+  const Network net = make_bitonic(4);
+  ServiceConfig cfg = small_config(net, 2);
+  cfg.queue_capacity = 4;
+  CountingService svc(cfg);
+  svc.start();
+  constexpr std::uint64_t kAttempts = 5000;
+  std::uint64_t accepted = 0;
+  for (std::uint64_t i = 0; i < kAttempts; ++i) {
+    if (svc.try_submit(0, i)) ++accepted;
+  }
+  svc.stop();
+  const ServiceStats& st = svc.stats();
+  EXPECT_EQ(st.submitted, accepted);
+  EXPECT_EQ(st.submitted + st.rejected, kAttempts);
+  EXPECT_EQ(st.completed, accepted);
+  std::uint64_t total = 0;
+  for (std::uint32_t s = 0; s < svc.shards(); ++s) total += svc.shard_total(s);
+  EXPECT_EQ(total, accepted);
+}
+
+TEST(CountingService, AbandonFaultSignalsDroppedToTheClient) {
+  // p_thread_abandon = 1: every request is dropped before traversal; the
+  // client must see kDroppedSignal (never hang) and stats must account
+  // for every ticket as dropped, not completed.
+  const Network net = make_bitonic(4);
+  ServiceConfig cfg = small_config(net, 2);
+  cfg.fault.enabled = true;
+  cfg.fault.p_thread_abandon = 1.0;
+  CountingService svc(cfg);
+  svc.start();
+  const std::vector<std::uint64_t> values = drive(svc, 2, 100);
+  svc.stop();
+  EXPECT_TRUE(values.empty());
+  const ServiceStats& st = svc.stats();
+  EXPECT_EQ(st.submitted, 200u);
+  EXPECT_EQ(st.dropped, 200u);
+  EXPECT_EQ(st.completed, 0u);
+  EXPECT_EQ(svc.shard_total(0) + svc.shard_total(1), 0u);
+}
+
+TEST(CountingService, StopIsIdempotentAndRejectsLateSubmits) {
+  const Network net = make_bitonic(4);
+  ServiceConfig cfg = small_config(net, 1);
+  CountingService svc(cfg);
+  svc.start();
+  EXPECT_TRUE(svc.try_submit(0, 0));
+  svc.stop();
+  svc.stop();
+  EXPECT_FALSE(svc.try_submit(0, 1)) << "stopped service must not accept";
+  EXPECT_EQ(svc.stats().completed, 1u);
+}
+
+}  // namespace
+}  // namespace cn

@@ -25,20 +25,37 @@
 //                abandons (src/fault plans): drop counts, latency
 //                inflation, and the counting damage the drops cause.
 //
+//   --soak       long-running self-healing mode (E13): an open-loop
+//                generator cycles phases — steady Poisson, diurnal
+//                sine-modulated Poisson, saturation bursts — against a
+//                supervised service with admission watermarks while a
+//                seed-driven ChaosPlan crashes and stalls workers
+//                mid-run. The streaming consistency + degradation
+//                analyzers are attached live, the supervisor respawns
+//                crashed workers, health is polled periodically, and at
+//                quiescence the Lemma 3.1 residue audit must account
+//                every hole exactly. --soak-ms bounds the run (CI runs
+//                ~8 s); --json emits the gated report.
+//
 // --smoke shrinks every section for CI; --json emits one machine-checked
 // object with all sections.
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "fault/chaos.hpp"
+#include "service/client.hpp"
 #include "service/histogram.hpp"
 #include "service/service.hpp"
+#include "trace/streaming.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -146,6 +163,250 @@ OpenLoopResult run_open_loop(const Network& net, std::uint32_t shards,
   return out;
 }
 
+// --- soak mode (E13): phased arrivals + chaos + live analyzers ---------
+
+struct HealthSample {
+  std::uint64_t t_ms = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t max_depth = 0;
+  std::uint64_t max_heartbeat_age_us = 0;
+  std::uint64_t respawns = 0;
+  std::uint64_t shed = 0;
+  bool invariant_ok = true;
+};
+
+struct SoakResult {
+  service::ServiceStats stats;
+  service::ResidueAudit audit;
+  ConsistencyReport report;
+  fault::Degradation degradation;
+  std::vector<HealthSample> samples;
+  std::string chaos_desc;
+  double base_rate = 0.0;
+  double achieved_per_sec = 0.0;
+  std::uint64_t soak_ms = 0;
+  std::uint64_t deadline_completed = 0;  ///< Policy-client outcomes.
+  std::uint64_t deadline_timed_out = 0;
+  std::uint64_t deadline_retries = 0;
+  bool fault_free_clean = true;  ///< No holes => counting must be clean.
+};
+
+/// Offered rate at soak-time `t`: three phases over the run. The middle
+/// phase is the ROADMAP's diurnal arrival process — a sine-modulated
+/// Poisson rate with two full periods compressed into the phase.
+double phase_rate(double base, std::uint64_t t_ms, std::uint64_t total_ms) {
+  const double t = static_cast<double>(t_ms);
+  const double total = static_cast<double>(total_ms);
+  if (t < total * 0.25) return base;  // steady
+  if (t < total * 0.75) {             // diurnal
+    const double span = total * 0.5;
+    const double x = (t - total * 0.25) / span;  // 0..1 across the phase
+    return base * (1.0 + 0.7 * std::sin(2.0 * 3.14159265358979 * 2.0 * x));
+  }
+  return base;  // burst phase: base, with chaos arrival bursts overlaid
+}
+
+SoakResult run_soak(const Network& net, std::uint32_t shards,
+                    std::uint32_t batch, double base_rate,
+                    std::uint64_t soak_ms, std::uint64_t seed) {
+  SoakResult out;
+  out.base_rate = base_rate;
+  out.soak_ms = soak_ms;
+
+  // Expected per-shard processed count sets the chaos horizon so the
+  // schedule lands inside the run.
+  const std::uint64_t expected_total = static_cast<std::uint64_t>(
+      base_rate * static_cast<double>(soak_ms) / 1000.0);
+  const std::uint64_t per_shard =
+      std::max<std::uint64_t>(expected_total / std::max(shards, 1u), 64);
+
+  service::ServiceConfig cfg;
+  cfg.shards = shards;
+  cfg.max_batch = batch;
+  cfg.net = &net;
+  cfg.seed = seed;
+  cfg.record = true;
+  cfg.supervise = true;
+  cfg.shed_high_watermark = 0.90;  // Shed before the queue saturates...
+  cfg.shed_low_watermark = 0.50;   // ...resume once half-drained.
+  // One guaranteed early crash (the FaultPlan sugar event) plus a
+  // seed-driven schedule of further crashes and stall windows.
+  cfg.fault.enabled = true;
+  cfg.fault.worker_crash_at = std::max<std::uint64_t>(per_shard / 8, 16);
+  cfg.fault.worker_crash_shard = 0;
+  cfg.fault.worker_crash_lose = 0;  // Crash-only: recovery must keep
+                                    // counting clean (no holes).
+  fault::ChaosMix mix;
+  mix.crashes = shards > 1 ? 1 : 0;  // A second crash on a random shard.
+  mix.stall_windows = 1;
+  mix.bursts = 1;
+  mix.stall_ns = 2'000'000;  // 2 ms per stalled batch: visible wedge.
+  mix.window_ops = std::max<std::uint64_t>(per_shard / 16, 32);
+  mix.burst_ops = std::max<std::uint64_t>(expected_total / 16, 64);
+  mix.burst_factor = 6.0;
+  cfg.chaos = fault::ChaosPlan::random(seed, shards, per_shard, mix);
+  out.chaos_desc = cfg.chaos.describe();
+
+  StreamingConsistency checker;
+  fault::DegradationAccumulator degradation;
+  TeeSink tee(checker, degradation);
+  service::CountingService svc(cfg, &tee);
+  svc.start();
+
+  // A couple of closed-loop deadline clients ride along to exercise the
+  // resilient-client path (bounded retries, seeded backoff, timeouts
+  // against crashed shards). Allocated outside their threads: timed-out
+  // slots stay leased to the service until after stop().
+  service::SubmitPolicy policy;
+  policy.max_retries = 8;
+  policy.deadline_ns = 20'000'000;  // 20 ms
+  constexpr std::uint32_t kPolicyClients = 2;
+  std::vector<std::unique_ptr<service::PolicyClient>> policy_clients;
+  for (std::uint32_t c = 0; c < kPolicyClients; ++c) {
+    policy_clients.push_back(std::make_unique<service::PolicyClient>(
+        svc, policy, 1000 + c, seed + c));
+  }
+  std::atomic<bool> clients_stop{false};
+  std::vector<std::thread> client_threads;
+  for (std::uint32_t c = 0; c < kPolicyClients; ++c) {
+    client_threads.emplace_back([&, c] {
+      while (!clients_stop.load(std::memory_order_acquire)) {
+        policy_clients[c]->submit(now_ns());
+        std::this_thread::sleep_for(std::chrono::microseconds(500));
+      }
+    });
+  }
+
+  // Health poller: periodic mid-run snapshots + invariant checks (the
+  // "is the service still sane" half of the residue audit; the exact
+  // gap audit needs quiescence and runs after stop()).
+  std::atomic<bool> poller_stop{false};
+  std::thread poller([&] {
+    const std::uint64_t poll_ms = std::max<std::uint64_t>(soak_ms / 40, 50);
+    const std::uint64_t t0 = now_ns();
+    while (!poller_stop.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(poll_ms));
+      const service::ServiceHealth h = svc.health();
+      HealthSample s;
+      s.t_ms = (now_ns() - t0) / 1'000'000;
+      s.respawns = h.respawns;
+      s.shed = h.shed;
+      std::uint64_t completed = 0;
+      for (const service::ShardHealth& sh : h.shards) {
+        completed += sh.completed;
+        s.max_depth = std::max(s.max_depth, sh.queue_depth);
+        s.max_heartbeat_age_us =
+            std::max(s.max_heartbeat_age_us, sh.heartbeat_age_ns / 1000);
+      }
+      s.completed = completed;
+      // Mid-run invariant: completions never exceed accepted submits.
+      s.invariant_ok = completed <= h.submitted;
+      out.samples.push_back(s);
+    }
+  });
+
+  // Open-loop generator with phased arrivals; chaos arrival bursts
+  // multiply the offered rate while the submission index is in-window.
+  const std::vector<fault::ChaosEvent> bursts = cfg.chaos.arrival_events();
+  Xoshiro256 rng(seed ^ 0x50a7a5ULL);
+  const std::uint64_t t0 = now_ns();
+  const std::uint64_t t_end = t0 + soak_ms * 1'000'000;
+  double next_ns = 0.0;
+  std::uint64_t submissions = 0;
+  while (true) {
+    const std::uint64_t now = now_ns();
+    if (now >= t_end) break;
+    double rate = phase_rate(base_rate, (now - t0) / 1'000'000, soak_ms);
+    for (const fault::ChaosEvent& b : bursts) {
+      if (submissions >= b.at_ops && submissions < b.at_ops + b.duration_ops) {
+        rate *= b.rate_factor;
+      }
+    }
+    next_ns += -std::log(1.0 - rng.unit()) * (1e9 / std::max(rate, 1.0));
+    const std::uint64_t scheduled = t0 + static_cast<std::uint64_t>(next_ns);
+    if (scheduled > t_end) break;
+    if (scheduled > now + 200'000) {
+      std::this_thread::sleep_for(
+          std::chrono::nanoseconds(scheduled - now - 100'000));
+    }
+    wait_until_ns(scheduled);
+    svc.try_submit(0, scheduled);  // Open loop: refusals are the
+                                   // service's to count (shed/rejected).
+    ++submissions;
+  }
+  const std::uint64_t gen_elapsed = now_ns() - t0;
+
+  clients_stop.store(true, std::memory_order_release);
+  for (std::thread& t : client_threads) t.join();
+  poller_stop.store(true, std::memory_order_release);
+  poller.join();
+  svc.stop();
+  tee.finish();
+
+  out.stats = svc.stats();
+  out.audit = svc.audit();
+  out.report = checker.report();
+  out.degradation = degradation.result(shards * net.fan_out());
+  out.achieved_per_sec =
+      gen_elapsed > 0
+          ? static_cast<double>(out.stats.completed) * 1e9 / gen_elapsed
+          : 0.0;
+  for (const auto& c : policy_clients) {
+    out.deadline_completed += c->stats().completed;
+    out.deadline_timed_out += c->stats().timed_out;
+    out.deadline_retries += c->stats().retries;
+  }
+  policy_clients.clear();  // Safe: post-stop, every slot has resolved.
+  // The self-healing claim: when nothing burned a ticket (no holes),
+  // counting must be PERFECT despite crashes, respawns, stalls, sheds.
+  if (out.audit.holes == 0) {
+    out.fault_free_clean = out.degradation.counting_violation == 0.0;
+  }
+  return out;
+}
+
+std::string json_soak(const SoakResult& r) {
+  std::ostringstream os;
+  std::uint64_t max_depth = 0, max_age_us = 0;
+  bool invariants_ok = true;
+  for (const HealthSample& s : r.samples) {
+    max_depth = std::max(max_depth, s.max_depth);
+    max_age_us = std::max(max_age_us, s.max_heartbeat_age_us);
+    invariants_ok = invariants_ok && s.invariant_ok;
+  }
+  os << "{\"soak_ms\":" << r.soak_ms << ",\"base_rate\":"
+     << fmt_double(r.base_rate, 1) << ",\"achieved_per_sec\":"
+     << fmt_double(r.achieved_per_sec, 1) << ",\"submitted\":"
+     << r.stats.submitted << ",\"rejected\":" << r.stats.rejected
+     << ",\"shed\":" << r.stats.shed << ",\"completed\":"
+     << r.stats.completed << ",\"dropped\":" << r.stats.dropped
+     << ",\"crash_lost\":" << r.stats.crash_lost << ",\"abandoned\":"
+     << r.stats.abandoned << ",\"timed_out\":" << r.stats.timed_out
+     << ",\"crashes\":" << r.stats.crashes << ",\"respawns\":"
+     << r.stats.respawns << ",\"wedge_detections\":"
+     << r.stats.wedge_detections << ",\"holes\":" << r.audit.holes
+     << ",\"audit_exact\":" << (r.audit.exact ? 1 : 0)
+     << ",\"audit_gap_free\":" << (r.audit.gap_free ? 1 : 0)
+     << ",\"fault_free_clean\":" << (r.fault_free_clean ? 1 : 0)
+     << ",\"counting_violation\":"
+     << fmt_double(r.degradation.counting_violation, 0)
+     << ",\"smoothness_gap\":" << fmt_double(r.degradation.smoothness_gap, 1)
+     << ",\"tokens\":" << r.report.total << ",\"f_nl\":"
+     << fmt_double(r.report.f_nl, 4) << ",\"f_nsc\":"
+     << fmt_double(r.report.f_nsc, 4) << ",\"p50_us\":"
+     << fmt_double(us(r.stats.latency.p50()), 3) << ",\"p99_us\":"
+     << fmt_double(us(r.stats.latency.p99()), 3)
+     << ",\"deadline_completed\":" << r.deadline_completed
+     << ",\"deadline_timed_out\":" << r.deadline_timed_out
+     << ",\"deadline_retries\":" << r.deadline_retries
+     << ",\"health_samples\":" << r.samples.size()
+     << ",\"invariants_ok\":" << (invariants_ok ? 1 : 0)
+     << ",\"max_queue_depth\":" << max_depth
+     << ",\"max_heartbeat_age_us\":" << max_age_us
+     << ",\"chaos\":\"" << r.chaos_desc << "\"}";
+  return os.str();
+}
+
 std::string json_latency(const LatencyRow& row) {
   std::ostringstream os;
   os << "\"ops_per_sec\":" << fmt_double(row.ops_per_sec, 1)
@@ -182,6 +443,70 @@ int main(int argc, char** argv) {
   }
 
   const Network net = make_bitonic(width);
+
+  // --- soak mode (exclusive: runs instead of the E12 sections) ---------
+  if (args.get_bool("soak", false)) {
+    const auto soak_ms = static_cast<std::uint64_t>(
+        args.get_int("soak-ms", smoke ? 4000 : 20000));
+    const auto soak_shards = static_cast<std::uint32_t>(
+        args.get_int("soak-shards", shard_counts.back()));
+    double base_rate = args.get_double("soak-rate", 0.0);
+    if (base_rate <= 0.0) {
+      // Quick closed-loop saturation probe; soak offers ~30% of it so
+      // the steady phase leaves headroom for the diurnal peak (1.7x)
+      // and the chaos bursts to push the service into shedding.
+      engine::RunSpec probe;
+      probe.backend = "service";
+      probe.net = &net;
+      probe.threads = clients;
+      probe.ops_per_thread = 500;
+      probe.service_shards = soak_shards;
+      probe.service_batch = batch;
+      probe.record_trace = false;
+      probe.seed = seed;
+      const engine::RunResult res = engine::run_backend(probe);
+      if (!res.ok()) {
+        std::cerr << "soak saturation probe: " << res.error << "\n";
+        return 1;
+      }
+      base_rate = std::max(res.metric("ops_per_sec") * 0.30, 5000.0);
+    }
+    if (!json) {
+      std::cout << "E13: self-healing soak — " << soak_ms << " ms, "
+                << soak_shards << " shards, base rate "
+                << fmt_double(base_rate / 1e3, 1) << "k/s\n";
+    }
+    const SoakResult r =
+        run_soak(net, soak_shards, batch, base_rate, soak_ms, seed);
+    if (json) {
+      std::cout << json_soak(r) << "\n";
+    } else {
+      std::cout << "\n  submitted " << r.stats.submitted << "  completed "
+                << r.stats.completed << "  shed " << r.stats.shed
+                << "  rejected " << r.stats.rejected << "\n  crashes "
+                << r.stats.crashes << "  respawns " << r.stats.respawns
+                << "  wedge_detections " << r.stats.wedge_detections
+                << "  crash_lost " << r.stats.crash_lost << "  abandoned "
+                << r.stats.abandoned << "\n  holes " << r.audit.holes
+                << "  audit_exact " << (r.audit.exact ? "yes" : "NO")
+                << "  gap_free " << (r.audit.gap_free ? "yes" : "NO")
+                << "  counting_violation "
+                << fmt_double(r.degradation.counting_violation, 0)
+                << "\n  f_nl " << fmt_double(r.report.f_nl, 4) << "  f_nsc "
+                << fmt_double(r.report.f_nsc, 4) << "  p50 "
+                << fmt_double(us(r.stats.latency.p50()), 1) << " us  p99 "
+                << fmt_double(us(r.stats.latency.p99()), 1)
+                << " us\n  deadline clients: completed "
+                << r.deadline_completed << "  timed_out "
+                << r.deadline_timed_out << "  retries " << r.deadline_retries
+                << "\n  chaos: " << r.chaos_desc << "\n";
+    }
+    // Gates (also applied by CI on the JSON): the audit must account
+    // every hole exactly, and a hole-free run must count perfectly.
+    if (!r.audit.exact || !r.fault_free_clean) return 1;
+    return 0;
+  }
+
   if (!json) {
     std::cout << "E12: counting-as-a-service — saturation, tail latency, "
                  "consistency\n\nwidth " << width << ", clients " << clients

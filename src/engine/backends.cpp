@@ -29,6 +29,7 @@
 #include "engine/backend.hpp"
 #include "fault/faulted_sim.hpp"
 #include "msg/service.hpp"
+#include "service/client.hpp"
 #include "service/service.hpp"
 #include "sim/adversary.hpp"
 #include "sim/optimizer.hpp"
@@ -698,6 +699,9 @@ class ServiceBackend final : public TraceSource {
     cfg.fault = spec.fault;
     cfg.seed = spec.seed;
     cfg.record = spec.record_trace;
+    cfg.supervise = spec.service_supervise;
+    cfg.shed_high_watermark = spec.service_shed_high;
+    cfg.shed_low_watermark = spec.service_shed_low;
     if (std::string err = service::validate(cfg); !err.empty()) {
       r.result.error = std::move(err);
       r.result.error_kind = ErrorKind::kSpecInvalid;
@@ -710,33 +714,38 @@ class ServiceBackend final : public TraceSource {
         cfg.record ? (sink != nullptr ? sink : &collect) : nullptr;
     service::CountingService svc(cfg, out_sink);
     svc.start();
+    // Resilient closed-loop clients: policy-bounded retries with seeded
+    // backoff and (optionally) per-request deadlines replace the old
+    // bare retry-forever/spin-forever loop, so a crashed or saturated
+    // shard can slow clients down but never hang them.
+    service::SubmitPolicy policy;
+    policy.max_retries = spec.service_max_retries;
+    policy.deadline_ns = spec.service_deadline_ns;
     SpinBarrier barrier(spec.threads);
+    // Clients are allocated OUTSIDE their threads and destroyed only
+    // after svc.stop(): a timed-out request's completion slot stays
+    // leased to the service until its store arrives (possibly during
+    // the shutdown scavenge), so the slots must outlive the workers.
+    std::vector<std::unique_ptr<service::PolicyClient>> client_objs;
+    client_objs.reserve(spec.threads);
+    for (std::uint32_t t = 0; t < spec.threads; ++t) {
+      client_objs.push_back(std::make_unique<service::PolicyClient>(
+          svc, policy, t, spec.seed));
+    }
     std::vector<std::thread> clients;
     clients.reserve(spec.threads);
-    std::atomic<std::uint64_t> dropped_seen{0};
     const auto t_start = Clock::now();
     for (std::uint32_t t = 0; t < spec.threads; ++t) {
       clients.emplace_back([&, t] {
-        std::atomic<std::uint64_t> done{0};
-        std::uint64_t my_dropped = 0;
+        service::PolicyClient& client = *client_objs[t];
         barrier.arrive_and_wait();
         for (std::uint64_t k = 0; k < spec.ops_per_thread; ++k) {
-          done.store(0, std::memory_order_relaxed);
-          while (!svc.try_submit(t, to_ns(Clock::now()), &done)) {
-            std::this_thread::yield();
-          }
-          std::uint64_t v;
-          std::uint32_t spins = 0;
-          while ((v = done.load(std::memory_order_acquire)) == 0) {
-            if (++spins % 64 == 0) std::this_thread::yield();
-          }
-          if (v == service::kDroppedSignal) ++my_dropped;
+          client.submit(to_ns(Clock::now()));
           if (spec.local_delay_ns > 0) {
             std::this_thread::sleep_for(
                 std::chrono::nanoseconds(spec.local_delay_ns));
           }
         }
-        dropped_seen.fetch_add(my_dropped, std::memory_order_relaxed);
       });
     }
     for (std::thread& c : clients) c.join();
@@ -745,6 +754,26 @@ class ServiceBackend final : public TraceSource {
         std::chrono::duration<double>(Clock::now() - t_start).count();
     const service::ServiceStats& st = svc.stats();
     if (cfg.record && sink == nullptr) r.result.trace = collect.take();
+    service::ClientStats agg;
+    for (const auto& c : client_objs) {
+      const service::ClientStats& cs = c->stats();
+      agg.completed += cs.completed;
+      agg.rejected += cs.rejected;
+      agg.dropped += cs.dropped;
+      agg.timed_out += cs.timed_out;
+      agg.retries += cs.retries;
+    }
+    client_objs.clear();  // Every slot has resolved by now (post-stop).
+    // A run where EVERY request blew its deadline is a failure with its
+    // own taxonomy entry: sweeps classify client timeouts as
+    // deadline_exceeded instead of lumping them into backend_error.
+    if (spec.service_deadline_ns > 0 && agg.completed == 0 &&
+        agg.timed_out > 0) {
+      r.result.error = "every client request exceeded its deadline";
+      r.result.error_kind = ErrorKind::kDeadlineExceeded;
+      return std::move(r.result);
+    }
+    const service::ResidueAudit audit = svc.audit();
     r.result.metrics["total_ops"] = static_cast<double>(st.completed);
     r.result.metrics["elapsed_sec"] = elapsed;
     r.result.metrics["ops_per_sec"] =
@@ -760,6 +789,22 @@ class ServiceBackend final : public TraceSource {
         static_cast<double>(st.latency.p99()) / 1000.0;
     r.result.metrics["p999_us"] =
         static_cast<double>(st.latency.p999()) / 1000.0;
+    // Self-healing telemetry: client outcomes, recovery counters, and
+    // the quiescent residue audit ride into RunResult so sweeps can
+    // gate on them like any other metric.
+    r.result.metrics["timed_out"] = static_cast<double>(st.timed_out);
+    r.result.metrics["client_rejected"] = static_cast<double>(agg.rejected);
+    r.result.metrics["retries"] = static_cast<double>(agg.retries);
+    r.result.metrics["shed"] = static_cast<double>(st.shed);
+    r.result.metrics["crashes"] = static_cast<double>(st.crashes);
+    r.result.metrics["respawns"] = static_cast<double>(st.respawns);
+    r.result.metrics["crash_lost"] = static_cast<double>(st.crash_lost);
+    r.result.metrics["abandoned"] = static_cast<double>(st.abandoned);
+    r.result.metrics["wedge_detections"] =
+        static_cast<double>(st.wedge_detections);
+    r.result.metrics["residue_holes"] = static_cast<double>(audit.holes);
+    r.result.metrics["audit_exact"] = audit.exact ? 1.0 : 0.0;
+    r.result.metrics["audit_gap_free"] = audit.gap_free ? 1.0 : 0.0;
     if (spec.fault.enabled) {
       r.result.metrics["fault_stalls"] = static_cast<double>(st.stalls);
       r.result.metrics["fault_tokens_abandoned"] =

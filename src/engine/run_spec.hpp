@@ -87,6 +87,19 @@ struct RunSpec {
   std::uint32_t service_shards = 2;       ///< Residue-class shard count.
   std::uint32_t service_batch = 32;       ///< Worker drain-up-to size.
   std::uint32_t service_queue_capacity = 4096;  ///< Per-shard queue.
+  /// Client submit policy (service/client.hpp): retry budget against
+  /// shed/queue-full refusals (0 = unbounded, the pre-policy behavior)
+  /// and per-request deadline (0 = wait forever). Backoff jitter draws
+  /// from the client's seeded rng, so retry schedules replay.
+  std::uint32_t service_max_retries = 0;
+  std::uint64_t service_deadline_ns = 0;
+  /// Supervision: heartbeat-watching respawner for crashed workers
+  /// (fault.worker_crash_* arms the deterministic chaos crash).
+  bool service_supervise = true;
+  /// Admission watermarks as fractions of the per-shard queue capacity
+  /// (shed at >= high until < low); high <= 0 disables shedding.
+  double service_shed_high = 0.0;
+  double service_shed_low = 0.0;
 
   // --- "optimizer" backend (annealed schedule adversary) --------------
   std::uint32_t opt_iterations = 1500;

@@ -84,13 +84,26 @@ struct FaultPlan {
   /// a lost update: the value is fetched but never observed.
   double p_thread_abandon = 0.0;
 
+  // --- counting-service chaos (deterministic, not probabilistic) -------
+  /// When > 0, the service worker for shard `worker_crash_shard` crashes
+  /// after processing exactly this many requests: it consumes-and-
+  /// abandons `worker_crash_lose` further tickets (accounted residue
+  /// holes) and dies; the supervisor respawns it on the same shard
+  /// network. Being count-triggered rather than time-triggered, the
+  /// crash replays at the identical logical point for a given workload.
+  /// Richer schedules (multiple crashes, stall windows, arrival bursts)
+  /// use fault::ChaosPlan (chaos.hpp) directly.
+  std::uint64_t worker_crash_at = 0;
+  std::uint32_t worker_crash_shard = 0;
+  std::uint64_t worker_crash_lose = 0;
+
   /// True when the plan can actually inject something.
   bool active() const noexcept {
     return enabled &&
            (p_token_loss > 0.0 || p_stuck_balancer > 0.0 ||
             p_process_crash > 0.0 || p_msg_duplicate > 0.0 ||
             p_msg_delay > 0.0 || p_thread_stall > 0.0 ||
-            p_thread_abandon > 0.0);
+            p_thread_abandon > 0.0 || worker_crash_at > 0);
   }
 
   /// True when any simulated-network fault is requested.
@@ -102,6 +115,11 @@ struct FaultPlan {
   /// True when any real-thread fault is requested.
   bool thread_faults() const noexcept {
     return enabled && (p_thread_stall > 0.0 || p_thread_abandon > 0.0);
+  }
+
+  /// True when the deterministic service worker-crash event is armed.
+  bool service_chaos() const noexcept {
+    return enabled && worker_crash_at > 0;
   }
 };
 

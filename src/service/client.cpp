@@ -1,0 +1,137 @@
+#include "service/client.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace cn::service {
+
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+std::uint64_t backoff_ns(const SubmitPolicy& policy, std::uint32_t attempt,
+                         Xoshiro256& rng) {
+  // min(base << attempt, max), shift-capped so attempt 64+ cannot wrap.
+  std::uint64_t b = policy.backoff_base_ns;
+  if (b == 0) return 0;
+  if (attempt >= 63 || (b << attempt) >> attempt != b) {
+    b = policy.backoff_max_ns;
+  } else {
+    b = std::min(b << attempt, policy.backoff_max_ns);
+  }
+  if (policy.jitter <= 0.0) return b;  // No draw: schedules without
+                                       // jitter consume no randomness.
+  const double lo = 1.0 - std::min(policy.jitter, 1.0);
+  const double u = rng.unit();
+  return static_cast<std::uint64_t>(static_cast<double>(b) *
+                                    (lo + (1.0 - lo) * u));
+}
+
+std::uint64_t wait_done(const std::atomic<std::uint64_t>& done,
+                        std::uint64_t deadline_at_ns,
+                        std::uint32_t spin_limit) {
+  // Three gears: pure spin (cheap for the common fast completion), then
+  // yield with periodic deadline checks, then short sleeps — a client
+  // stuck behind a crashed shard burns microwatts, not a core.
+  std::uint64_t v = 0;
+  for (std::uint32_t s = 0; s < spin_limit; ++s) {
+    if ((v = done.load(std::memory_order_acquire)) != 0) return v;
+  }
+  std::uint32_t rounds = 0;
+  for (;;) {
+    if ((v = done.load(std::memory_order_acquire)) != 0) return v;
+    if (deadline_at_ns > 0 && now_ns() >= deadline_at_ns) return 0;
+    if (++rounds < 64) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+}
+
+PolicyClient::PolicyClient(CountingService& svc, const SubmitPolicy& policy,
+                           std::uint32_t id, std::uint64_t seed)
+    : svc_(svc),
+      policy_(policy),
+      id_(id),
+      rng_(seed ^ (0x9e3779b97f4a7c15ULL * (id + 1))),
+      slot_(std::make_unique<Slot>(0)) {}
+
+PolicyClient::Slot* PolicyClient::acquire_slot() {
+  // Reclaim orphans whose stores arrived since the timeout; the front of
+  // the deque is the oldest lease, so one check per submit keeps the
+  // list bounded by the number of still-outstanding timeouts.
+  while (!orphans_.empty() &&
+         orphans_.front()->load(std::memory_order_acquire) != 0) {
+    orphans_.pop_front();
+  }
+  slot_->store(0, std::memory_order_relaxed);
+  return slot_.get();
+}
+
+SubmitReport PolicyClient::submit(std::uint64_t arrival_ns) {
+  SubmitReport rep;
+  const std::uint64_t t0 = now_ns();
+  const std::uint64_t deadline =
+      policy_.deadline_ns > 0 ? t0 + policy_.deadline_ns : 0;
+  Slot* slot = acquire_slot();
+
+  std::uint32_t attempt = 0;
+  while (!svc_.try_submit(id_, arrival_ns, slot)) {
+    if (deadline > 0 && now_ns() >= deadline) {
+      rep.status = SubmitStatus::kTimedOut;
+      rep.retries = attempt;
+      ++stats_.timed_out;
+      stats_.retries += attempt;
+      svc_.count_timeout();
+      return rep;  // Never accepted: the slot stays clean for reuse.
+    }
+    if (policy_.max_retries > 0 && attempt >= policy_.max_retries) {
+      rep.status = SubmitStatus::kRejected;
+      rep.retries = attempt;
+      ++stats_.rejected;
+      stats_.retries += attempt;
+      return rep;
+    }
+    const std::uint64_t b = backoff_ns(policy_, attempt, rng_);
+    if (b > 0) {
+      stats_.backoff_ns_total += b;
+      std::this_thread::sleep_for(std::chrono::nanoseconds(b));
+    } else {
+      std::this_thread::yield();
+    }
+    ++attempt;
+  }
+  rep.retries = attempt;
+  stats_.retries += attempt;
+
+  const std::uint64_t v = wait_done(*slot, deadline, policy_.spin_limit);
+  if (v == 0) {
+    // Deadline expired while the request is still in flight: the service
+    // may store into the slot later, so lease it out and move on.
+    orphans_.push_back(std::move(slot_));
+    slot_ = std::make_unique<Slot>(0);
+    rep.status = SubmitStatus::kTimedOut;
+    ++stats_.timed_out;
+    svc_.count_timeout();
+    return rep;
+  }
+  if (v == kDroppedSignal) {
+    rep.status = SubmitStatus::kDropped;
+    ++stats_.dropped;
+    return rep;
+  }
+  rep.status = SubmitStatus::kCompleted;
+  rep.value = v - 1;
+  ++stats_.completed;
+  return rep;
+}
+
+}  // namespace cn::service

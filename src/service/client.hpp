@@ -1,0 +1,133 @@
+// Resilient service clients: bounded retries with seeded exponential
+// backoff, per-request deadlines, and a spin-then-yield completion wait
+// that can never hang — the client-side half of the self-healing
+// service.
+//
+// The bare protocol (`try_submit` + spin on the completion slot) has two
+// failure modes this layer closes:
+//
+//   * unbounded retry: a saturated or shedding service turns the naive
+//     `while (!try_submit()) yield()` loop into a spin storm. The
+//     SubmitPolicy bounds the attempts and spaces them with exponential
+//     backoff whose jitter is drawn from the CLIENT's seeded rng — two
+//     runs with the same seed produce the identical retry schedule
+//     (backoff_ns is a pure function of (policy, attempt, rng state)),
+//     so resilience experiments replay like everything else.
+//   * unbounded wait: a request queued to a crashed shard completes only
+//     after recovery (or never, unsupervised). wait_done spins briefly,
+//     then yields, then sleeps, checking the deadline throughout; a
+//     timed-out client walks away with kTimedOut instead of hanging.
+//
+// Deadline waits create a lifetime hazard the PolicyClient solves: a
+// worker may store into the completion slot AFTER the client gave up, so
+// a timed-out slot cannot live on the client's stack. PolicyClient owns
+// its slots on the heap and parks timed-out ones in an orphan list,
+// reclaiming each once its store arrives (the service guarantees every
+// accepted request's slot is eventually stored — completion, drop
+// signal, or the shutdown scavenge). Destroy the client only after
+// CountingService::stop() returns; then every orphan has resolved.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+
+#include "service/service.hpp"
+#include "util/rng.hpp"
+
+namespace cn::service {
+
+struct SubmitPolicy {
+  /// Re-submission attempts after a shed/reject before giving up
+  /// (kRejected). 0 = retry until the deadline (or forever without one).
+  std::uint32_t max_retries = 16;
+  std::uint64_t backoff_base_ns = 2'000;    ///< First backoff.
+  std::uint64_t backoff_max_ns = 1'000'000;  ///< Exponential cap.
+  /// Fraction of each backoff that is randomized: the sleep is drawn
+  /// uniformly from [(1 - jitter) * b, b]. 0 = fully deterministic
+  /// spacing (and no rng draw, mirroring FaultStream::flip's p<=0 rule).
+  double jitter = 0.5;
+  /// Per-request deadline measured from the submit call; 0 = none.
+  std::uint64_t deadline_ns = 0;
+  /// Completion-wait shape: pure spins before the first yield, yields
+  /// per deadline check. Bounded in all cases — the wait NEVER spins
+  /// forever on a dead shard when a deadline is set.
+  std::uint32_t spin_limit = 512;
+};
+
+/// The backoff before retry `attempt` (0-based): min(base << attempt,
+/// max), jittered from `rng`. Pure in (policy, attempt, rng state) —
+/// the determinism the backoff-schedule tests pin down.
+std::uint64_t backoff_ns(const SubmitPolicy& policy, std::uint32_t attempt,
+                         Xoshiro256& rng);
+
+enum class SubmitStatus : std::uint8_t {
+  kCompleted = 0,  ///< Value received.
+  kDropped,        ///< Worker abandoned the request (kDroppedSignal).
+  kRejected,       ///< Retries exhausted against shed/queue-full.
+  kTimedOut,       ///< Deadline expired (submitting or waiting).
+};
+
+inline const char* submit_status_name(SubmitStatus s) noexcept {
+  switch (s) {
+    case SubmitStatus::kCompleted: return "completed";
+    case SubmitStatus::kDropped: return "dropped";
+    case SubmitStatus::kRejected: return "rejected";
+    case SubmitStatus::kTimedOut: return "timed_out";
+  }
+  return "unknown";
+}
+
+struct SubmitReport {
+  SubmitStatus status = SubmitStatus::kCompleted;
+  std::uint64_t value = 0;   ///< Valid when status == kCompleted.
+  std::uint32_t retries = 0; ///< Re-submission attempts consumed.
+};
+
+/// Aggregate outcomes of one client, for the benches and the engine.
+struct ClientStats {
+  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t timed_out = 0;
+  std::uint64_t retries = 0;       ///< Total re-submissions.
+  std::uint64_t backoff_ns_total = 0;
+};
+
+/// Spin-then-yield wait on a completion slot with an absolute deadline
+/// (steady-clock ns; 0 = wait forever). Returns the raw slot value
+/// (value + 1 or kDroppedSignal), or 0 on timeout.
+std::uint64_t wait_done(const std::atomic<std::uint64_t>& done,
+                        std::uint64_t deadline_at_ns,
+                        std::uint32_t spin_limit);
+
+class PolicyClient {
+ public:
+  /// `svc` must outlive the client's last submit(); the client itself
+  /// must outlive svc.stop() (see the orphan-slot discussion above).
+  PolicyClient(CountingService& svc, const SubmitPolicy& policy,
+               std::uint32_t id, std::uint64_t seed);
+
+  /// Submits one request and waits for its outcome under the policy.
+  SubmitReport submit(std::uint64_t arrival_ns);
+
+  const ClientStats& stats() const noexcept { return stats_; }
+  std::uint32_t id() const noexcept { return id_; }
+
+ private:
+  using Slot = std::atomic<std::uint64_t>;
+
+  Slot* acquire_slot();
+
+  CountingService& svc_;
+  SubmitPolicy policy_;
+  std::uint32_t id_;
+  Xoshiro256 rng_;
+  ClientStats stats_;
+  std::unique_ptr<Slot> slot_;              ///< Current (reusable) slot.
+  std::deque<std::unique_ptr<Slot>> orphans_;  ///< Timed-out, still leased
+                                               ///< to the service.
+};
+
+}  // namespace cn::service

@@ -38,6 +38,16 @@ class BoundedQueue {
 
   std::size_t capacity() const noexcept { return cells_.size(); }
 
+  /// Racy occupancy estimate (tail - head as last observed): exact at
+  /// quiescence, off by at most the in-flight operation count under
+  /// contention. This is the admission-control and health signal — a
+  /// watermark check needs a cheap depth, not a linearizable one.
+  std::size_t approx_size() const noexcept {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    return tail > head ? tail - head : 0;
+  }
+
   /// Enqueues a copy of `item`; returns false when the queue is full.
   bool try_push(const T& item) {
     std::size_t pos = tail_.load(std::memory_order_relaxed);

@@ -1,7 +1,9 @@
 #include "service/service.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstddef>
+#include <sstream>
 
 namespace cn::service {
 
@@ -22,19 +24,71 @@ std::string validate(const ServiceConfig& cfg) {
   if (cfg.max_batch == 0) return "service: max_batch must be >= 1";
   if (cfg.queue_capacity == 0) return "service: queue_capacity must be >= 1";
   if (cfg.net->fan_in() == 0) return "service: net has no input wires";
+  if (cfg.shed_high_watermark > 0.0) {
+    if (cfg.shed_high_watermark > 1.0) {
+      return "service: shed_high_watermark must be in (0, 1]";
+    }
+    if (cfg.shed_low_watermark < 0.0 ||
+        cfg.shed_low_watermark > cfg.shed_high_watermark) {
+      return "service: shed_low_watermark must be in [0, high]";
+    }
+  }
+  for (const fault::ChaosEvent& e : cfg.chaos.events) {
+    if (e.kind != fault::ChaosKind::kArrivalBurst && e.shard >= cfg.shards) {
+      return "service: chaos event targets a shard out of range";
+    }
+  }
+  if (cfg.fault.service_chaos() &&
+      cfg.fault.worker_crash_shard >= cfg.shards) {
+    return "service: worker_crash_shard out of range";
+  }
   return {};
+}
+
+std::string deterministic_fingerprint(const ServiceStats& stats) {
+  // ONLY fields whose values are pure functions of (submission schedule,
+  // seed, chaos plan). Latency, batch formation, stall counts, wedge
+  // detections, and timed_out are wall-clock artifacts and excluded.
+  std::ostringstream os;
+  os << "submitted=" << stats.submitted << ";rejected=" << stats.rejected
+     << ";shed=" << stats.shed << ";completed=" << stats.completed
+     << ";dropped=" << stats.dropped << ";crash_lost=" << stats.crash_lost
+     << ";abandoned=" << stats.abandoned << ";crashes=" << stats.crashes
+     << ";respawns=" << stats.respawns << ";shard_completed=[";
+  for (std::size_t s = 0; s < stats.shard_completed.size(); ++s) {
+    if (s > 0) os << ",";
+    os << stats.shard_completed[s];
+  }
+  os << "]";
+  return os.str();
 }
 
 CountingService::CountingService(const ServiceConfig& cfg, TraceSink* sink)
     : cfg_(cfg), sink_(sink) {
   shards_.reserve(cfg_.shards);
   queues_.reserve(cfg_.shards);
+  runtime_.reserve(cfg_.shards);
+  // The single worker_crash_* event on the fault plan is sugar for a
+  // one-event chaos schedule; fold it in so the worker loop has one
+  // chaos representation.
+  fault::ChaosPlan chaos = cfg_.chaos;
+  if (cfg_.fault.service_chaos()) {
+    fault::ChaosEvent e;
+    e.kind = fault::ChaosKind::kWorkerCrash;
+    e.shard = cfg_.fault.worker_crash_shard;
+    e.at_ops = cfg_.fault.worker_crash_at;
+    e.lose = cfg_.fault.worker_crash_lose;
+    chaos.events.push_back(e);
+  }
   for (std::uint32_t s = 0; s < cfg_.shards; ++s) {
     shards_.push_back(std::make_unique<ConcurrentNetwork>(*cfg_.net));
     queues_.push_back(std::make_unique<BoundedQueue<Request>>(
         cfg_.queue_capacity));
+    auto rt = std::make_unique<ShardRuntime>();
+    rt->chaos = chaos.for_shard(s);
+    rt->next_source = s;  // Stagger shards' source cursors.
+    runtime_.push_back(std::move(rt));
   }
-  worker_state_ = std::vector<WorkerState>(cfg_.shards);
   if (cfg_.record && sink_ != nullptr) {
     buffer_ = std::make_unique<IssueOrderBuffer>(*sink_, /*deferred=*/true);
   } else {
@@ -48,9 +102,16 @@ void CountingService::start() {
   if (started_) return;
   started_ = true;
   accepting_.store(true, std::memory_order_release);
+  const std::uint64_t t0 = now_ns();
+  for (std::uint32_t s = 0; s < cfg_.shards; ++s) {
+    runtime_[s]->last_beat_ns.store(t0, std::memory_order_relaxed);
+  }
   workers_.reserve(cfg_.shards);
   for (std::uint32_t s = 0; s < cfg_.shards; ++s) {
     workers_.emplace_back([this, s] { worker_loop(s); });
+  }
+  if (cfg_.supervise) {
+    supervisor_ = std::thread([this] { supervisor_loop(); });
   }
 }
 
@@ -65,6 +126,33 @@ bool CountingService::try_submit(std::uint32_t client,
   if (!accepting_.load(std::memory_order_acquire)) {
     pending_submits_.fetch_sub(1, std::memory_order_release);
     return false;
+  }
+  // Admission control: predict the target shard from the next ticket and
+  // check its watermark BEFORE drawing a ticket. A shed therefore burns
+  // nothing — no ticket, no residue hole — unlike the queue-full
+  // rejection below, which is the watermark race's accounted backstop.
+  if (cfg_.shed_high_watermark > 0.0) {
+    const auto predicted = static_cast<std::uint32_t>(
+        tickets_.load(std::memory_order_relaxed) % shards_.size());
+    ShardRuntime& rt = *runtime_[predicted];
+    const double cap =
+        static_cast<double>(queues_[predicted]->capacity());
+    const std::size_t depth = queues_[predicted]->approx_size();
+    const auto high = static_cast<std::size_t>(cap * cfg_.shed_high_watermark);
+    const auto low = static_cast<std::size_t>(cap * cfg_.shed_low_watermark);
+    bool shed;
+    if (rt.shedding.load(std::memory_order_relaxed)) {
+      shed = depth > low;  // Hysteresis: stay closed until below low.
+      if (!shed) rt.shedding.store(false, std::memory_order_relaxed);
+    } else {
+      shed = depth >= std::max<std::size_t>(high, 1);
+      if (shed) rt.shedding.store(true, std::memory_order_relaxed);
+    }
+    if (shed) {
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      pending_submits_.fetch_sub(1, std::memory_order_release);
+      return false;
+    }
   }
   const std::uint64_t ticket =
       tickets_.fetch_add(1, std::memory_order_relaxed);
@@ -98,23 +186,90 @@ bool CountingService::try_submit(std::uint32_t client,
 void CountingService::worker_loop(std::uint32_t shard) {
   ConcurrentNetwork& net = *shards_[shard];
   BoundedQueue<Request>& queue = *queues_[shard];
-  WorkerState& ws = worker_state_[shard];
+  ShardRuntime& rt = *runtime_[shard];
   const auto n_shards = static_cast<std::uint64_t>(shards_.size());
   const std::uint32_t fan_in = cfg_.net->fan_in();
   const std::uint32_t fan_out = cfg_.net->fan_out();
   const bool inject = cfg_.fault.thread_faults();
-  fault::FaultStream faults(cfg_.fault, cfg_.seed, 200 + shard);
+  // The fault stream lives in the shard runtime and survives respawns:
+  // the successor worker continues the dead worker's draw sequence, so a
+  // recovered execution is the exact logical continuation (deterministic
+  // replay across crashes).
+  if (inject && rt.faults == nullptr) {
+    rt.faults = std::make_unique<fault::FaultStream>(cfg_.fault, cfg_.seed,
+                                                     200 + shard);
+  }
 
   std::vector<Request> batch(cfg_.max_batch);
   std::vector<Request> live;
   live.reserve(cfg_.max_batch);
   std::vector<std::uint64_t> abandoned_seqs;
   std::vector<Value> values(cfg_.max_batch);
-  std::uint64_t next_source = shard;  // Stagger shards' source cursors.
   bool draining = false;
 
   for (;;) {
-    const std::size_t n = queue.pop_batch(batch.data(), cfg_.max_batch);
+    rt.heartbeat.fetch_add(1, std::memory_order_relaxed);
+    rt.last_beat_ns.store(now_ns(), std::memory_order_relaxed);
+
+    // --- chaos triggers, keyed on the processed-request count ---------
+    const std::uint64_t processed =
+        rt.processed.load(std::memory_order_relaxed);
+    std::uint64_t cap = cfg_.max_batch;
+    if (rt.stall_window_end > 0) {
+      if (processed < rt.stall_window_end) {
+        std::this_thread::sleep_for(
+            std::chrono::nanoseconds(rt.stall_window_ns));
+        rt.stalls.fetch_add(1, std::memory_order_relaxed);
+        cap = std::min(cap, rt.stall_window_end - processed);
+      } else {
+        rt.stall_window_end = 0;
+      }
+    }
+    if (rt.chaos_next < rt.chaos.size()) {
+      const fault::ChaosEvent& e = rt.chaos[rt.chaos_next];
+      if (processed >= e.at_ops) {
+        ++rt.chaos_next;
+        if (e.kind == fault::ChaosKind::kWorkerCrash) {
+          // The crash takes exactly `lose` in-flight tickets with it:
+          // consume-and-abandon them (accounted residue holes), then
+          // die. The supervisor will join this thread and respawn the
+          // shard; on shutdown the wait is cut short so a thirsty crash
+          // can never wedge stop().
+          std::uint64_t lost = 0;
+          Request r;
+          while (lost < e.lose) {
+            if (queue.try_pop(r)) {
+              if (r.done != nullptr) {
+                r.done->store(kDroppedSignal, std::memory_order_release);
+              }
+              if (cfg_.record) {
+                std::lock_guard<std::mutex> lock(emit_mu_);
+                buffer_->drop(r.first_seq);
+                buffer_->drain();
+              }
+              ++lost;
+            } else if (stopping_.load(std::memory_order_acquire)) {
+              break;
+            } else {
+              std::this_thread::yield();
+            }
+          }
+          rt.crash_lost.fetch_add(lost, std::memory_order_relaxed);
+          rt.crashes.fetch_add(1, std::memory_order_relaxed);
+          rt.crashed.store(true, std::memory_order_release);
+          return;
+        }
+        // Stall window begins at this exact point.
+        rt.stall_window_end = e.at_ops + e.duration_ops;
+        rt.stall_window_ns = e.stall_ns;
+        continue;
+      }
+      // Batch formation never straddles a trigger: the crash point is
+      // exact, which is what makes recoveries replayable.
+      cap = std::min(cap, e.at_ops - processed);
+    }
+
+    const std::size_t n = queue.pop_batch(batch.data(), cap);
     if (n == 0) {
       if (draining) break;
       if (stopping_.load(std::memory_order_acquire)) {
@@ -126,15 +281,16 @@ void CountingService::worker_loop(std::uint32_t shard) {
       std::this_thread::yield();
       continue;
     }
+    rt.processed.fetch_add(n, std::memory_order_relaxed);
 
     live.clear();
     abandoned_seqs.clear();
     std::uint64_t stall_draws = 0;
     if (inject) {
       for (std::size_t i = 0; i < n; ++i) {
-        if (faults.flip(cfg_.fault.p_thread_stall)) ++stall_draws;
-        if (faults.flip(cfg_.fault.p_thread_abandon)) {
-          ++ws.dropped;
+        if (rt.faults->flip(cfg_.fault.p_thread_stall)) ++stall_draws;
+        if (rt.faults->flip(cfg_.fault.p_thread_abandon)) {
+          rt.dropped.fetch_add(1, std::memory_order_relaxed);
           if (batch[i].done != nullptr) {
             batch[i].done->store(kDroppedSignal, std::memory_order_release);
           }
@@ -144,7 +300,7 @@ void CountingService::worker_loop(std::uint32_t shard) {
         }
       }
       if (stall_draws > 0) {
-        ws.stalls += stall_draws;
+        rt.stalls.fetch_add(stall_draws, std::memory_order_relaxed);
         std::this_thread::sleep_for(
             std::chrono::nanoseconds(cfg_.fault.stall_ns * stall_draws));
       }
@@ -153,7 +309,7 @@ void CountingService::worker_loop(std::uint32_t shard) {
     }
 
     const auto k = static_cast<std::uint32_t>(live.size());
-    const auto source = static_cast<std::uint32_t>(next_source++ % fan_in);
+    const auto source = static_cast<std::uint32_t>(rt.next_source++ % fan_in);
     std::uint64_t completion_ns = 0;
     if (k > 0) {
       net.increment_batch(source, k, values.data());
@@ -163,14 +319,16 @@ void CountingService::worker_loop(std::uint32_t shard) {
         const std::uint64_t lat = completion_ns > live[i].arrival_ns
                                       ? completion_ns - live[i].arrival_ns
                                       : 0;
-        ws.latency.record(lat);
+        rt.latency.record(lat);
         if (live[i].done != nullptr) {
           live[i].done->store(global + 1, std::memory_order_release);
         }
       }
-      ws.completed += k;
-      ++ws.batches;
-      if (k > ws.max_batch) ws.max_batch = k;
+      rt.completed.fetch_add(k, std::memory_order_relaxed);
+      rt.batches.fetch_add(1, std::memory_order_relaxed);
+      if (k > rt.max_batch.load(std::memory_order_relaxed)) {
+        rt.max_batch.store(k, std::memory_order_relaxed);
+      }
     }
 
     if (cfg_.record && (k > 0 || !abandoned_seqs.empty())) {
@@ -195,6 +353,117 @@ void CountingService::worker_loop(std::uint32_t shard) {
   }
 }
 
+void CountingService::supervisor_loop() {
+  for (;;) {
+    // One FINAL sweep after observing stopping_: a crash that raced the
+    // shutdown still gets its respawn, so the successor drains the queue
+    // and no accepted ticket is silently stranded.
+    const bool final_pass = stopping_.load(std::memory_order_acquire);
+    const std::uint64_t now = now_ns();
+    for (std::uint32_t s = 0; s < cfg_.shards; ++s) {
+      ShardRuntime& rt = *runtime_[s];
+      if (rt.crashed.load(std::memory_order_acquire)) {
+        // The dead worker set `crashed` as its last act; joining it
+        // first makes the respawn a clean handoff of the shard's
+        // persistent state (fault stream, chaos cursor).
+        workers_[s].join();
+        rt.crashed.store(false, std::memory_order_release);
+        respawns_.fetch_add(1, std::memory_order_relaxed);
+        workers_[s] = std::thread([this, s] { worker_loop(s); });
+      } else if (cfg_.wedge_timeout_ns > 0 &&
+                 queues_[s]->approx_size() > 0) {
+        const std::uint64_t beat =
+            rt.last_beat_ns.load(std::memory_order_relaxed);
+        if (now > beat && now - beat > cfg_.wedge_timeout_ns) {
+          // Wedged-but-alive (e.g. a chaos stall window): a thread
+          // cannot be safely killed, so this is detection — the count
+          // and the heartbeat age surface in health()/stats.
+          if (!rt.wedged.exchange(true, std::memory_order_relaxed)) {
+            wedge_detections_.fetch_add(1, std::memory_order_relaxed);
+          }
+        } else {
+          rt.wedged.store(false, std::memory_order_relaxed);
+        }
+      } else {
+        rt.wedged.store(false, std::memory_order_relaxed);
+      }
+    }
+    if (final_pass) return;
+    std::this_thread::sleep_for(
+        std::chrono::nanoseconds(cfg_.supervisor_poll_ns));
+  }
+}
+
+void CountingService::scavenge_queues() {
+  // Requests stranded in the queue of a dead, never-respawned shard
+  // (supervision off, or a crash after the supervisor's final sweep):
+  // signal their clients — a completion slot must NEVER hang — and
+  // account each as an `abandoned` residue hole.
+  for (std::uint32_t s = 0; s < cfg_.shards; ++s) {
+    Request r;
+    while (queues_[s]->try_pop(r)) {
+      if (r.done != nullptr) {
+        r.done->store(kDroppedSignal, std::memory_order_release);
+      }
+      if (cfg_.record) {
+        std::lock_guard<std::mutex> lock(emit_mu_);
+        buffer_->drop(r.first_seq);
+      }
+      abandoned_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+ServiceHealth CountingService::health() const {
+  ServiceHealth h;
+  const std::uint64_t now = now_ns();
+  h.shards.resize(runtime_.size());
+  for (std::size_t s = 0; s < runtime_.size(); ++s) {
+    const ShardRuntime& rt = *runtime_[s];
+    ShardHealth& sh = h.shards[s];
+    sh.queue_depth = queues_[s]->approx_size();
+    sh.heartbeat = rt.heartbeat.load(std::memory_order_relaxed);
+    const std::uint64_t beat = rt.last_beat_ns.load(std::memory_order_relaxed);
+    sh.heartbeat_age_ns = (beat > 0 && now > beat) ? now - beat : 0;
+    sh.processed = rt.processed.load(std::memory_order_relaxed);
+    sh.completed = rt.completed.load(std::memory_order_relaxed);
+    sh.shedding = rt.shedding.load(std::memory_order_relaxed);
+    sh.crashed = rt.crashed.load(std::memory_order_relaxed);
+    h.crashes += rt.crashes.load(std::memory_order_relaxed);
+  }
+  const std::uint64_t tickets = tickets_.load(std::memory_order_relaxed);
+  h.rejected = rejected_.load(std::memory_order_relaxed);
+  h.submitted = tickets > h.rejected ? tickets - h.rejected : 0;
+  h.shed = shed_.load(std::memory_order_relaxed);
+  h.respawns = respawns_.load(std::memory_order_relaxed);
+  return h;
+}
+
+ResidueAudit CountingService::audit() const {
+  ResidueAudit a;
+  a.tickets = stats_.submitted + stats_.rejected;
+  a.completed = stats_.completed;
+  a.holes = a.tickets > a.completed ? a.tickets - a.completed : 0;
+  a.accounted = stats_.rejected + stats_.dropped + stats_.crash_lost +
+                stats_.abandoned;
+  a.exact = a.holes == a.accounted;
+  // Gap-freedom per residue class: a shard network's quiescent total is
+  // exactly how many local values 0..total-1 it handed out, so total ==
+  // completed(shard) means the class's completed global values are
+  // contiguous multiples-plus-residue with precisely the accounted
+  // tickets missing.
+  a.gap_free = true;
+  std::uint64_t sum = 0;
+  for (std::uint32_t s = 0; s < shards(); ++s) {
+    const std::uint64_t done_here =
+        s < stats_.shard_completed.size() ? stats_.shard_completed[s] : 0;
+    if (shards_[s]->total() != done_here) a.gap_free = false;
+    sum += done_here;
+  }
+  if (sum != stats_.completed) a.gap_free = false;
+  return a;
+}
+
 void CountingService::stop() {
   if (!started_ || stopped_) return;
   stopped_ = true;
@@ -203,25 +472,41 @@ void CountingService::stop() {
     std::this_thread::yield();
   }
   stopping_.store(true, std::memory_order_release);
-  for (std::thread& w : workers_) w.join();
+  // The supervisor exits after one final respawn sweep; joining it
+  // before the workers means no new worker threads appear underneath the
+  // joins below.
+  if (supervisor_.joinable()) supervisor_.join();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
   workers_.clear();
+  scavenge_queues();
 
   stats_ = ServiceStats{};
   const std::uint64_t tickets = tickets_.load(std::memory_order_relaxed);
   stats_.rejected = rejected_.load(std::memory_order_relaxed);
   stats_.submitted = tickets - stats_.rejected;
-  stats_.shard_completed.resize(shards_.size());
-  for (std::size_t s = 0; s < worker_state_.size(); ++s) {
-    const WorkerState& ws = worker_state_[s];
-    stats_.completed += ws.completed;
-    stats_.dropped += ws.dropped;
-    stats_.batches += ws.batches;
-    stats_.stalls += ws.stalls;
-    if (ws.max_batch > stats_.max_batch_seen) {
-      stats_.max_batch_seen = ws.max_batch;
-    }
-    stats_.shard_completed[s] = ws.completed;
-    stats_.latency.merge(ws.latency);
+  stats_.shed = shed_.load(std::memory_order_relaxed);
+  stats_.timed_out = timed_out_.load(std::memory_order_relaxed);
+  stats_.respawns = respawns_.load(std::memory_order_relaxed);
+  stats_.wedge_detections =
+      wedge_detections_.load(std::memory_order_relaxed);
+  stats_.abandoned = abandoned_.load(std::memory_order_relaxed);
+  stats_.shard_completed.resize(runtime_.size());
+  for (std::size_t s = 0; s < runtime_.size(); ++s) {
+    const ShardRuntime& rt = *runtime_[s];
+    const std::uint64_t done_here =
+        rt.completed.load(std::memory_order_relaxed);
+    stats_.completed += done_here;
+    stats_.dropped += rt.dropped.load(std::memory_order_relaxed);
+    stats_.crash_lost += rt.crash_lost.load(std::memory_order_relaxed);
+    stats_.crashes += rt.crashes.load(std::memory_order_relaxed);
+    stats_.batches += rt.batches.load(std::memory_order_relaxed);
+    stats_.stalls += rt.stalls.load(std::memory_order_relaxed);
+    const std::uint64_t mb = rt.max_batch.load(std::memory_order_relaxed);
+    if (mb > stats_.max_batch_seen) stats_.max_batch_seen = mb;
+    stats_.shard_completed[s] = done_here;
+    stats_.latency.merge(rt.latency);
   }
   stats_.mean_batch =
       stats_.batches > 0 ? static_cast<double>(stats_.completed) /

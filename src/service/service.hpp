@@ -1,6 +1,9 @@
 // Counting-as-a-service: N independent ConcurrentNetwork shards behind a
 // residue-class router, each drained by a dedicated worker thread doing
-// adaptive batch formation.
+// adaptive batch formation — now SELF-HEALING: a supervisor thread
+// watches per-shard heartbeats, detects crashed or wedged workers,
+// respawns them on the same shard network, and the service audits its
+// own residue accounting at quiescence.
 //
 // Routing is the modular-counting decomposition (paper Lemma 3.1): a
 // ticket dispenser assigns each request a globally unique ticket t, the
@@ -9,9 +12,47 @@
 // residue class { x : x ≡ i (mod N) }, and as long as every ticket
 // completes, the union of the shards' outputs is a gap-free prefix
 // 0..M-1 — counting is preserved with ZERO cross-shard coordination.
-// Rejected (queue-full) or fault-abandoned tickets leave residue holes;
-// the service counts them and the benchmarks report the resulting
-// degradation instead of hiding it.
+// Tickets that never complete (queue-full rejections, watermark sheds
+// that never drew a ticket do NOT count here, fault-abandoned requests,
+// crash-lost tickets, requests scavenged at shutdown) leave residue
+// holes; audit() checks at quiescence that the holes the shards actually
+// left equal the holes the stats accounted — hole-exactness is the
+// service's self-test of Lemma 3.1 under failure.
+//
+// Self-healing layers, outermost first:
+//
+//   admission   try_submit sheds load when the target queue's depth
+//               crosses the high watermark (hysteresis: sheds until it
+//               falls below the low watermark). A shed consumes NO
+//               ticket — it refuses before the dispenser — so shedding
+//               degrades throughput, never the counting property.
+//               Queue-full rejection (the watermark race's backstop)
+//               still burns its ticket and is accounted as a hole.
+//   supervisor  each worker bumps a heartbeat every loop iteration; the
+//               supervisor polls, joins-and-respawns workers that died
+//               (deterministic chaos crashes) and counts workers whose
+//               heartbeat is stale while their queue is non-empty as
+//               wedge detections (visible in health(); a stalled worker
+//               cannot be safely killed, but its window ends and the
+//               heartbeat age quantifies it). Respawn reuses the shard's
+//               persistent state — fault stream, chaos cursor, source
+//               cursor — so a recovered execution replays the dead
+//               worker's exact logical continuation.
+//   chaos       a fault::ChaosPlan (or the single worker_crash_* event
+//               on fault::FaultPlan) triggers crashes and stall windows
+//               at exact processed-request counts. Batch formation never
+//               straddles a trigger, so the crash point is replayable.
+//   shutdown    stop() drains normally; queued requests stranded by an
+//               unsupervised crash are scavenged, their completion slots
+//               signalled kDroppedSignal (a client can never hang on a
+//               dead shard), and counted as `abandoned` holes.
+//
+// Determinism: with a deterministic submission schedule (e.g. one
+// closed-loop submitter) and a chaos plan, every accounting field of
+// ServiceStats is replayable — deterministic_fingerprint() serializes
+// exactly those fields, and two same-seed runs compare byte-identical.
+// Wall-clock-derived fields (latency, batches formed) are excluded; they
+// depend on real scheduling by nature.
 //
 // Each worker drains its shard's bounded MPSC queue up to max_batch
 // requests and shepherds them through the shard network with ONE
@@ -39,6 +80,7 @@
 
 #include "concurrent/concurrent_network.hpp"
 #include "core/topology.hpp"
+#include "fault/chaos.hpp"
 #include "fault/fault.hpp"
 #include "service/histogram.hpp"
 #include "service/queue.hpp"
@@ -68,8 +110,26 @@ struct ServiceConfig {
   std::uint32_t queue_capacity = 4096;  ///< Per-shard; full => reject.
   const Network* net = nullptr;        ///< Topology each shard instantiates.
   bool record = false;                 ///< Emit TokenRecords into the sink.
-  fault::FaultPlan fault;              ///< Worker stall/abandon plan.
+  fault::FaultPlan fault;              ///< Worker stall/abandon/crash plan.
+  fault::ChaosPlan chaos;              ///< Timed chaos schedule (worker
+                                       ///< events; arrival events are for
+                                       ///< load generators).
   std::uint64_t seed = 1;
+
+  // --- self-healing knobs ---------------------------------------------
+  /// Run the supervisor (heartbeats, crash respawn). Off = a crashed
+  /// worker stays dead and stop() scavenges its queue — the control for
+  /// every recovery experiment.
+  bool supervise = true;
+  /// Supervisor poll period.
+  std::uint64_t supervisor_poll_ns = 50'000;
+  /// A worker whose heartbeat has not advanced for this long while its
+  /// queue is non-empty counts as wedged (health + wedge_detections).
+  std::uint64_t wedge_timeout_ns = 5'000'000;
+  /// Admission watermarks as fractions of queue_capacity: shed new
+  /// arrivals at >= high, resume below low. high <= 0 disables shedding.
+  double shed_high_watermark = 0.0;
+  double shed_low_watermark = 0.0;
 };
 
 /// Empty when the config is runnable, else a human-readable reason.
@@ -80,14 +140,73 @@ struct ServiceStats {
   std::uint64_t submitted = 0;   ///< Accepted submits (queued tickets).
   std::uint64_t rejected = 0;    ///< Queue-full refusals; each burns its
                                  ///< ticket, leaving a residue hole.
+  std::uint64_t shed = 0;        ///< Watermark refusals; no ticket burnt,
+                                 ///< no hole — shedding is the service
+                                 ///< protecting its own queues.
   std::uint64_t completed = 0;   ///< Requests that received a value.
   std::uint64_t dropped = 0;     ///< Fault-abandoned requests.
+  std::uint64_t crash_lost = 0;  ///< Tickets taken down by worker crashes.
+  std::uint64_t abandoned = 0;   ///< Queued requests scavenged at stop()
+                                 ///< (dead shard, supervision off).
+  std::uint64_t timed_out = 0;   ///< Client-reported deadline expiries
+                                 ///< (count_timeout); informational — a
+                                 ///< timed-out request still completes.
+  std::uint64_t crashes = 0;     ///< Chaos worker crashes taken.
+  std::uint64_t respawns = 0;    ///< Supervisor worker relaunches.
+  std::uint64_t wedge_detections = 0;  ///< Stale-heartbeat observations.
   std::uint64_t batches = 0;     ///< increment_batch calls issued.
   std::uint64_t max_batch_seen = 0;
   double mean_batch = 0.0;       ///< completed / batches.
   std::uint64_t stalls = 0;      ///< Injected worker stalls taken.
   std::vector<std::uint64_t> shard_completed;
   LatencyHistogram latency;      ///< Submit-to-completion, merged.
+};
+
+/// Canonical serialization of the replayable subset of ServiceStats:
+/// every accounting field whose value is a pure function of (workload
+/// schedule, seed, chaos plan) — i.e. everything except wall-clock
+/// artifacts (latency percentiles, batch formation, wedge detections).
+/// Two same-seed runs under a deterministic submission schedule must
+/// produce byte-identical fingerprints; the chaos tests enforce it.
+std::string deterministic_fingerprint(const ServiceStats& stats);
+
+/// Mid-run health snapshot (pollable from any thread while the service
+/// runs — every field is read from relaxed atomics).
+struct ShardHealth {
+  std::uint64_t queue_depth = 0;
+  std::uint64_t heartbeat = 0;      ///< Monotone worker liveness counter.
+  std::uint64_t heartbeat_age_ns = 0;  ///< Now minus last beat.
+  std::uint64_t processed = 0;      ///< Requests dequeued so far.
+  std::uint64_t completed = 0;
+  bool shedding = false;            ///< Admission gate currently closed.
+  bool crashed = false;             ///< Dead and not (yet) respawned.
+};
+
+struct ServiceHealth {
+  std::vector<ShardHealth> shards;
+  std::uint64_t submitted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t respawns = 0;
+};
+
+/// Quiescent residue accounting (the Lemma 3.1 audit), valid after
+/// stop(). `holes` counts tickets that never produced a value; `exact`
+/// says the stats accounted every one of them; `gap_free` says each
+/// shard's network total matches its completion count (local values are
+/// contiguous 0..total-1 by the counting property, so together these
+/// imply the completed global values are exactly the residue classes
+/// minus the accounted holes).
+struct ResidueAudit {
+  std::uint64_t tickets = 0;     ///< Dispensed (submitted + rejected).
+  std::uint64_t completed = 0;
+  std::uint64_t holes = 0;       ///< tickets - completed.
+  std::uint64_t accounted = 0;   ///< rejected + dropped + crash_lost +
+                                 ///< abandoned.
+  bool gap_free = false;
+  bool exact = false;            ///< holes == accounted.
+  bool ok() const noexcept { return gap_free && exact; }
 };
 
 class CountingService {
@@ -103,22 +222,37 @@ class CountingService {
   CountingService(const CountingService&) = delete;
   CountingService& operator=(const CountingService&) = delete;
 
-  /// Launches the shard workers. Call exactly once.
+  /// Launches the shard workers (and the supervisor). Call exactly once.
   void start();
 
   /// Submits one request. Returns false (and consumes no ticket) when
-  /// the target queue is full or the service is not accepting; the
-  /// caller decides whether to retry, back off, or count the rejection.
-  /// `done`, if non-null, must stay valid until it is stored non-zero.
+  /// the target queue is over its shed watermark, full, or the service
+  /// is not accepting; the caller decides whether to retry, back off, or
+  /// count the refusal. `done`, if non-null, must stay valid until it is
+  /// stored non-zero — the service guarantees every accepted request's
+  /// slot is eventually stored (value, kDroppedSignal, or the shutdown
+  /// scavenge), even across worker crashes.
   bool try_submit(std::uint32_t client, std::uint64_t arrival_ns,
                   std::atomic<std::uint64_t>* done = nullptr);
 
-  /// Stops accepting, drains every queue, joins the workers, and merges
+  /// Client-side deadline expiry report (folded into stats().timed_out).
+  void count_timeout() noexcept {
+    timed_out_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Stops accepting, drains every queue, joins the supervisor and the
+  /// workers, scavenges requests stranded on dead shards, and merges
   /// per-worker stats. Idempotent.
   void stop();
 
   /// Valid after stop().
   const ServiceStats& stats() const noexcept { return stats_; }
+
+  /// Mid-run snapshot; also valid (and quiescent) after stop().
+  ServiceHealth health() const;
+
+  /// The Lemma 3.1 residue audit. Valid after stop().
+  ResidueAudit audit() const;
 
   std::uint32_t shards() const noexcept {
     return static_cast<std::uint32_t>(shards_.size());
@@ -130,29 +264,60 @@ class CountingService {
   }
 
  private:
-  struct alignas(kCacheLineSize) WorkerState {
-    std::uint64_t completed = 0;
-    std::uint64_t dropped = 0;
-    std::uint64_t batches = 0;
-    std::uint64_t max_batch = 0;
-    std::uint64_t stalls = 0;
-    LatencyHistogram latency;
+  /// Per-shard state that survives worker respawns. The persistent
+  /// deterministic state (fault stream, chaos cursor, source cursor) is
+  /// only ever touched by the shard's current worker — the supervisor
+  /// joins the dead thread before spawning its successor, so handoff
+  /// needs no lock.
+  struct alignas(kCacheLineSize) ShardRuntime {
+    std::atomic<std::uint64_t> heartbeat{0};
+    std::atomic<std::uint64_t> last_beat_ns{0};
+    std::atomic<std::uint64_t> processed{0};
+    std::atomic<std::uint64_t> completed{0};
+    std::atomic<std::uint64_t> dropped{0};
+    std::atomic<std::uint64_t> crash_lost{0};
+    std::atomic<std::uint64_t> batches{0};
+    std::atomic<std::uint64_t> max_batch{0};
+    std::atomic<std::uint64_t> stalls{0};
+    std::atomic<std::uint64_t> crashes{0};
+    std::atomic<bool> crashed{false};
+    std::atomic<bool> shedding{false};
+    std::atomic<bool> wedged{false};  ///< Debounce wedge detection.
+
+    // Worker-only persistent state (see struct comment).
+    std::unique_ptr<fault::FaultStream> faults;
+    std::vector<fault::ChaosEvent> chaos;  ///< Sorted by at_ops.
+    std::size_t chaos_next = 0;
+    std::uint64_t next_source = 0;
+    std::uint64_t stall_window_end = 0;   ///< processed bound, 0 = none.
+    std::uint64_t stall_window_ns = 0;
+    LatencyHistogram latency;  ///< Single-writer (the current worker);
+                               ///< merged by stop() after the joins.
   };
 
   void worker_loop(std::uint32_t shard);
+  void supervisor_loop();
+  void scavenge_queues();
 
   ServiceConfig cfg_;
   TraceSink* sink_ = nullptr;
   std::vector<std::unique_ptr<ConcurrentNetwork>> shards_;
   std::vector<std::unique_ptr<BoundedQueue<Request>>> queues_;
-  std::vector<WorkerState> worker_state_;
-  std::vector<std::thread> workers_;
+  std::vector<std::unique_ptr<ShardRuntime>> runtime_;
+  std::vector<std::thread> workers_;  ///< Slot per shard; the supervisor
+                                      ///< is the only respawner.
+  std::thread supervisor_;
 
   /// Next ticket; its low bits route. fetch_add is the ONLY cross-shard
   /// synchronization on the un-recorded fast path.
   alignas(kCacheLineSize) std::atomic<std::uint64_t> tickets_{0};
   alignas(kCacheLineSize) std::atomic<std::uint64_t> rejected_{0};
+  alignas(kCacheLineSize) std::atomic<std::uint64_t> shed_{0};
+  alignas(kCacheLineSize) std::atomic<std::uint64_t> timed_out_{0};
   alignas(kCacheLineSize) std::atomic<std::uint64_t> pending_submits_{0};
+  std::atomic<std::uint64_t> respawns_{0};
+  std::atomic<std::uint64_t> wedge_detections_{0};
+  std::atomic<std::uint64_t> abandoned_{0};
   std::atomic<bool> accepting_{false};
   std::atomic<bool> stopping_{false};
   bool started_ = false;

@@ -8,16 +8,21 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "core/constructions.hpp"
+#include "fault/chaos.hpp"
+#include "service/client.hpp"
 #include "service/histogram.hpp"
 #include "service/queue.hpp"
 #include "service/service.hpp"
 #include "trace/sink.hpp"
 #include "trace/streaming.hpp"
+#include "util/rng.hpp"
 
 namespace cn {
 namespace {
@@ -325,6 +330,330 @@ TEST(CountingService, StopIsIdempotentAndRejectsLateSubmits) {
   svc.stop();
   EXPECT_FALSE(svc.try_submit(0, 1)) << "stopped service must not accept";
   EXPECT_EQ(svc.stats().completed, 1u);
+}
+
+// --- self-healing: crash, respawn, audit ---
+
+TEST(CountingService, RespawnPreservesGapFreedomAcrossShards) {
+  // Chaos crash after exactly 50 processed requests on shard 0; the
+  // supervisor must respawn the worker and the run must still count
+  // 0..M-1 gap-free — recovery is invisible to Lemma 3.1.
+  const Network net = make_bitonic(8);
+  for (const std::uint32_t shards : {1u, 2u, 3u}) {
+    ServiceConfig cfg = small_config(net, shards);
+    cfg.fault.enabled = true;
+    cfg.fault.worker_crash_at = 50;
+    cfg.fault.worker_crash_shard = 0;
+    cfg.fault.worker_crash_lose = 0;
+    CountingService svc(cfg);
+    svc.start();
+    std::vector<std::uint64_t> values = drive(svc, 4, 300);
+    svc.stop();
+    std::sort(values.begin(), values.end());
+    ASSERT_EQ(values.size(), 1200u) << "shards=" << shards;
+    for (std::uint64_t i = 0; i < values.size(); ++i) {
+      ASSERT_EQ(values[i], i) << "shards=" << shards;
+    }
+    const ServiceStats& st = svc.stats();
+    EXPECT_EQ(st.crashes, 1u) << "shards=" << shards;
+    EXPECT_GE(st.respawns, 1u) << "shards=" << shards;
+    EXPECT_EQ(st.completed, 1200u);
+    EXPECT_EQ(st.crash_lost, 0u);
+    const service::ResidueAudit audit = svc.audit();
+    EXPECT_TRUE(audit.ok()) << "shards=" << shards;
+    EXPECT_EQ(audit.holes, 0u);
+  }
+}
+
+TEST(CountingService, CrashLostTicketsAreAccountedAsHolesExactly) {
+  // A crash that destroys 5 in-flight tickets leaves 5 value holes; the
+  // audit must attribute every one of them (holes == accounted) and each
+  // surviving shard stream must stay internally gap-free.
+  const Network net = make_bitonic(8);
+  ServiceConfig cfg = small_config(net, 2);
+  cfg.fault.enabled = true;
+  cfg.fault.worker_crash_at = 20;
+  cfg.fault.worker_crash_shard = 0;
+  cfg.fault.worker_crash_lose = 5;
+  CountingService svc(cfg);
+  svc.start();
+  std::vector<std::uint64_t> values = drive(svc, 4, 200);
+  svc.stop();
+  EXPECT_EQ(values.size(), 800u - 5u);
+  const ServiceStats& st = svc.stats();
+  EXPECT_EQ(st.crashes, 1u);
+  EXPECT_GE(st.respawns, 1u);
+  EXPECT_EQ(st.crash_lost, 5u);
+  EXPECT_EQ(st.completed, 795u);
+  const service::ResidueAudit audit = svc.audit();
+  EXPECT_EQ(audit.tickets, 800u);
+  EXPECT_EQ(audit.holes, 5u);
+  EXPECT_EQ(audit.accounted, 5u);
+  EXPECT_TRUE(audit.exact);
+  EXPECT_TRUE(audit.gap_free);
+  // The survivors are distinct and drawn from 0..799.
+  std::sort(values.begin(), values.end());
+  EXPECT_TRUE(std::adjacent_find(values.begin(), values.end()) ==
+              values.end());
+  EXPECT_LT(values.back(), 800u);
+}
+
+TEST(CountingService, StopRacesActiveChaosCrash) {
+  // The crash fires after 5 requests and then wants to consume 100 more
+  // tickets than will ever arrive: stop() must interrupt the consuming
+  // crash (the stopping_ escape), scavenge whatever is stranded, and
+  // keep the accounting exact. Covers both the supervised path (a final
+  // respawn sweep may race stop) and the unsupervised one (scavenge
+  // alone must clean up).
+  const Network net = make_bitonic(4);
+  for (const bool supervise : {true, false}) {
+    ServiceConfig cfg = small_config(net, 1);
+    cfg.supervise = supervise;
+    cfg.fault.enabled = true;
+    cfg.fault.worker_crash_at = 5;
+    cfg.fault.worker_crash_shard = 0;
+    cfg.fault.worker_crash_lose = 100;
+    CountingService svc(cfg);
+    svc.start();
+    std::uint64_t accepted = 0;
+    for (std::uint64_t i = 0; i < 10; ++i) {
+      if (svc.try_submit(0, i)) ++accepted;
+    }
+    svc.stop();  // must return: the crash's consume loop observes stop
+    const ServiceStats& st = svc.stats();
+    EXPECT_EQ(st.submitted, accepted) << "supervise=" << supervise;
+    EXPECT_EQ(st.completed + st.crash_lost + st.abandoned, accepted)
+        << "supervise=" << supervise;
+    const service::ResidueAudit audit = svc.audit();
+    EXPECT_TRUE(audit.exact) << "supervise=" << supervise;
+    EXPECT_TRUE(audit.gap_free) << "supervise=" << supervise;
+  }
+}
+
+TEST(CountingService, DeterministicFingerprintIsReproducible) {
+  // Two runs with the same seed, submission schedule, and chaos plan
+  // must produce byte-identical replayable stats — crashes, respawns,
+  // lost tickets, per-shard completion counts and all. (The queue is
+  // big enough that no submit is rejected; rejection counts depend on
+  // real-time backpressure and would not replay.)
+  const Network net = make_bitonic(8);
+  const auto one_run = [&net]() {
+    ServiceConfig cfg = small_config(net, 3);
+    cfg.queue_capacity = 4096;
+    cfg.seed = 42;
+    cfg.fault.enabled = true;
+    cfg.fault.worker_crash_at = 100;
+    cfg.fault.worker_crash_shard = 0;
+    cfg.fault.worker_crash_lose = 3;
+    CountingService svc(cfg);
+    svc.start();
+    for (std::uint64_t i = 0; i < 1500; ++i) {
+      while (!svc.try_submit(0, i)) std::this_thread::yield();
+    }
+    // Let the supervisor observe the crash before shutdown: a crash
+    // landing after the final sweep is scavenged as `abandoned` (still
+    // exact, but a different — schedule-dependent — fingerprint).
+    while (svc.health().respawns < 1) std::this_thread::yield();
+    svc.stop();
+    EXPECT_TRUE(svc.audit().ok());
+    return service::deterministic_fingerprint(svc.stats());
+  };
+  const std::string a = one_run();
+  const std::string b = one_run();
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("crashes=1"), std::string::npos) << a;
+  EXPECT_NE(a.find("crash_lost=3"), std::string::npos) << a;
+}
+
+TEST(ChaosPlan, RandomScheduleIsSeedDeterministic) {
+  fault::ChaosMix mix;
+  mix.crashes = 2;
+  mix.stall_windows = 2;
+  mix.bursts = 1;
+  mix.crash_lose_max = 4;
+  const fault::ChaosPlan a = fault::ChaosPlan::random(7, 4, 10'000, mix);
+  const fault::ChaosPlan b = fault::ChaosPlan::random(7, 4, 10'000, mix);
+  EXPECT_EQ(a.describe(), b.describe());
+  EXPECT_TRUE(a.enabled());
+  const fault::ChaosPlan c = fault::ChaosPlan::random(8, 4, 10'000, mix);
+  EXPECT_NE(a.describe(), c.describe());
+  // Worker-side events are partitioned by shard; arrival events are not
+  // bound to any shard.
+  std::size_t worker_events = 0;
+  for (std::uint32_t s = 0; s < 4; ++s) {
+    for (const fault::ChaosEvent& e : a.for_shard(s)) {
+      EXPECT_EQ(e.shard, s);
+      ++worker_events;
+    }
+  }
+  EXPECT_EQ(worker_events, 4u);  // 2 crashes + 2 stall windows
+  EXPECT_EQ(a.arrival_events().size(), 1u);
+}
+
+// --- admission control ---
+
+TEST(CountingService, WatermarksShedBeforeQueueSaturates) {
+  // A deliberately slow worker (100 us injected stall per request)
+  // against back-to-back submits: the admission gate must start
+  // shedding at the high watermark, so sheds appear while outright
+  // queue-full rejections stay rare or zero — and a shed burns no
+  // ticket, so the audit stays exact.
+  const Network net = make_bitonic(4);
+  ServiceConfig cfg = small_config(net, 1);
+  cfg.queue_capacity = 64;
+  cfg.shed_high_watermark = 0.5;
+  cfg.shed_low_watermark = 0.25;
+  cfg.fault.enabled = true;
+  cfg.fault.p_thread_stall = 1.0;
+  cfg.fault.stall_ns = 100'000;
+  CountingService svc(cfg);
+  svc.start();
+  constexpr std::uint64_t kAttempts = 2000;
+  std::uint64_t refused = 0;
+  for (std::uint64_t i = 0; i < kAttempts; ++i) {
+    if (!svc.try_submit(0, i)) ++refused;
+  }
+  svc.stop();
+  const ServiceStats& st = svc.stats();
+  EXPECT_GT(st.shed, 0u) << "watermark gate never engaged";
+  EXPECT_EQ(st.submitted + st.rejected + st.shed, kAttempts);
+  EXPECT_EQ(st.rejected + st.shed, refused);
+  EXPECT_EQ(st.completed, st.submitted) << "accepted tickets all complete";
+  EXPECT_TRUE(svc.audit().ok());
+  // The health snapshot stays coherent at quiescence.
+  const service::ServiceHealth h = svc.health();
+  EXPECT_EQ(h.shed, st.shed);
+  ASSERT_EQ(h.shards.size(), 1u);
+  EXPECT_EQ(h.shards[0].queue_depth, 0u);
+}
+
+TEST(CountingService, ValidateRejectsBadWatermarksAndChaos) {
+  const Network net = make_bitonic(4);
+  ServiceConfig bad_marks = small_config(net, 2);
+  bad_marks.shed_high_watermark = 0.4;
+  bad_marks.shed_low_watermark = 0.6;  // low > high
+  EXPECT_FALSE(service::validate(bad_marks).empty());
+  ServiceConfig bad_shard = small_config(net, 2);
+  bad_shard.fault.enabled = true;
+  bad_shard.fault.worker_crash_at = 10;
+  bad_shard.fault.worker_crash_shard = 5;  // out of range
+  EXPECT_FALSE(service::validate(bad_shard).empty());
+  ServiceConfig bad_chaos = small_config(net, 2);
+  fault::ChaosEvent e;
+  e.kind = fault::ChaosKind::kWorkerCrash;
+  e.shard = 9;  // out of range
+  e.at_ops = 10;
+  bad_chaos.chaos.events.push_back(e);
+  EXPECT_FALSE(service::validate(bad_chaos).empty());
+}
+
+// --- resilient clients ---
+
+TEST(SubmitPolicy, BackoffScheduleIsSeedDeterministic) {
+  service::SubmitPolicy policy;
+  policy.backoff_base_ns = 1'000;
+  policy.backoff_max_ns = 64'000;
+  policy.jitter = 0.5;
+  Xoshiro256 a(99), b(99), c(100);
+  bool any_diff = false;
+  for (std::uint32_t attempt = 0; attempt < 12; ++attempt) {
+    const std::uint64_t va = service::backoff_ns(policy, attempt, a);
+    const std::uint64_t vb = service::backoff_ns(policy, attempt, b);
+    const std::uint64_t vc = service::backoff_ns(policy, attempt, c);
+    EXPECT_EQ(va, vb) << "attempt=" << attempt;
+    EXPECT_LE(va, policy.backoff_max_ns);
+    EXPECT_GE(va, (std::min<std::uint64_t>(policy.backoff_base_ns << attempt,
+                                           policy.backoff_max_ns) +
+                   1) /
+                      2);
+    any_diff = any_diff || (va != vc);
+  }
+  EXPECT_TRUE(any_diff) << "different seeds should jitter differently";
+  // jitter = 0: exact exponential doubling, capped, no rng influence.
+  policy.jitter = 0.0;
+  Xoshiro256 d(1);
+  EXPECT_EQ(service::backoff_ns(policy, 0, d), 1'000u);
+  EXPECT_EQ(service::backoff_ns(policy, 1, d), 2'000u);
+  EXPECT_EQ(service::backoff_ns(policy, 3, d), 8'000u);
+  EXPECT_EQ(service::backoff_ns(policy, 10, d), 64'000u);
+}
+
+TEST(SubmitPolicy, WaitDoneHonorsDeadline) {
+  std::atomic<std::uint64_t> never{0};
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::uint64_t deadline =
+      static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              t0.time_since_epoch())
+              .count()) +
+      2'000'000;  // 2 ms
+  EXPECT_EQ(service::wait_done(never, deadline, 64), 0u);
+  const auto waited = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(waited)
+                .count(),
+            500)
+      << "timeout wait must be bounded";
+  std::atomic<std::uint64_t> ready{7};
+  EXPECT_EQ(service::wait_done(ready, deadline, 64), 7u);
+}
+
+TEST(PolicyClient, DeadlineExpiresAgainstDeadShardWithoutHanging) {
+  // Single unsupervised shard that crashes after 3 requests: later
+  // requests sit on a dead queue forever. The deadline client must come
+  // back with kTimedOut, and stop()'s scavenge must resolve the orphan
+  // slots so the accounting closes (abandoned picks up the stragglers).
+  const Network net = make_bitonic(4);
+  ServiceConfig cfg = small_config(net, 1);
+  cfg.supervise = false;
+  cfg.fault.enabled = true;
+  cfg.fault.worker_crash_at = 3;
+  cfg.fault.worker_crash_shard = 0;
+  cfg.fault.worker_crash_lose = 0;
+  CountingService svc(cfg);
+  svc.start();
+  service::SubmitPolicy policy;
+  policy.max_retries = 2;
+  policy.deadline_ns = 5'000'000;  // 5 ms
+  service::PolicyClient client(svc, policy, /*id=*/1, /*seed=*/11);
+  std::uint64_t completed = 0, timed_out = 0;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    const service::SubmitReport r = client.submit(i);
+    if (r.status == service::SubmitStatus::kCompleted) ++completed;
+    if (r.status == service::SubmitStatus::kTimedOut) ++timed_out;
+  }
+  svc.stop();
+  EXPECT_EQ(completed, 3u);
+  EXPECT_GE(timed_out, 1u);
+  EXPECT_EQ(client.stats().completed, completed);
+  EXPECT_EQ(client.stats().timed_out, timed_out);
+  const ServiceStats& st = svc.stats();
+  EXPECT_EQ(st.timed_out, timed_out);
+  EXPECT_EQ(st.crashes, 1u);
+  EXPECT_EQ(st.respawns, 0u) << "unsupervised: no respawn";
+  EXPECT_EQ(st.completed + st.abandoned, st.submitted);
+  EXPECT_TRUE(svc.audit().exact);
+}
+
+TEST(PolicyClient, RetriesExhaustAgainstFullQueueAsRejected) {
+  // A stopped-up service (no start(): nothing drains) with a tiny queue:
+  // after it fills, a bounded-retry client must return kRejected after
+  // exactly max_retries re-submissions, not loop forever.
+  const Network net = make_bitonic(4);
+  ServiceConfig cfg = small_config(net, 1);
+  cfg.queue_capacity = 2;
+  CountingService svc(cfg);
+  svc.start();
+  svc.stop();  // a stopped service refuses every submit — the same
+               // bounded-retry exit path as a permanently full queue
+  service::SubmitPolicy policy;
+  policy.max_retries = 3;
+  policy.backoff_base_ns = 1'000;
+  service::PolicyClient client(svc, policy, 1, 5);
+  const service::SubmitReport r = client.submit(0);
+  EXPECT_EQ(r.status, service::SubmitStatus::kRejected);
+  EXPECT_EQ(r.retries, 3u);
+  EXPECT_EQ(client.stats().rejected, 1u);
+  EXPECT_EQ(client.stats().retries, 3u);
 }
 
 }  // namespace

@@ -25,6 +25,20 @@
 //                abandons (src/fault plans): drop counts, latency
 //                inflation, and the counting damage the drops cause.
 //
+//   --elastic    elastic-width mode (E14): a diurnal open-loop generator
+//                ramps the offered rate through two full low/high cycles
+//                against an elastic service (Props 5.6-5.10 live
+//                resharding). The adaptive controller splits under queue
+//                pressure and merges when drained; a forced resize at
+//                each phase boundary is the fallback that guarantees the
+//                run walks through >= 2 splits and >= 2 merges either
+//                way. Every epoch boundary takes the Lemma 3.1 residue
+//                audit at its quiescence fence and reports measured
+//                F_nl / F_nsc against the Cor 5.12/5.13 bounds for its
+//                split level; the gate is audit_exact && gap_free across
+//                EVERY epoch plus the transition counts. --elastic-ms
+//                bounds the run; --json emits the gated report.
+//
 //   --soak       long-running self-healing mode (E13): an open-loop
 //                generator cycles phases — steady Poisson, diurnal
 //                sine-modulated Poisson, saturation bursts — against a
@@ -56,6 +70,7 @@
 #include "service/histogram.hpp"
 #include "service/service.hpp"
 #include "trace/streaming.hpp"
+#include "util/bits.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -407,6 +422,157 @@ std::string json_soak(const SoakResult& r) {
   return os.str();
 }
 
+// --- elastic mode (E14): diurnal ramp through live splits/merges -------
+
+struct ElasticResult {
+  service::ServiceStats stats;
+  service::ResidueAudit audit;
+  std::vector<service::EpochStats> epochs;
+  double base_rate = 0.0;
+  double achieved_per_sec = 0.0;
+  std::uint64_t elastic_ms = 0;
+  std::uint64_t submissions = 0;
+  std::uint32_t forced_resizes = 0;
+  bool epochs_ok = true;
+  bool gate_ok = false;  ///< audit && >=2 splits && >=2 merges.
+};
+
+/// Offered-rate shape: two full low/high cycles (five segments
+/// low-high-low-high-low), the "diurnal" ramp compressed into the run.
+/// Segment k also carries the forced-resize target for its boundary:
+/// peaks want the deepest level, valleys want level 0.
+double elastic_rate(double base, double x /* 0..1 */) {
+  // Smooth sine ramp between 0.4x and 1.6x of base, two periods.
+  return base * (1.0 + 0.6 * std::sin(2.0 * 3.14159265358979 * 2.0 * x -
+                                      3.14159265358979 / 2.0));
+}
+
+ElasticResult run_elastic(const Network& net, std::uint32_t max_level,
+                          std::uint32_t batch, double base_rate,
+                          std::uint64_t elastic_ms, std::uint64_t seed,
+                          bool controller) {
+  ElasticResult out;
+  out.base_rate = base_rate;
+  out.elastic_ms = elastic_ms;
+
+  service::ServiceConfig cfg;
+  cfg.max_batch = batch;
+  cfg.net = &net;
+  cfg.seed = seed;
+  cfg.record = true;  // Per-epoch F_nl/F_nsc needs the recording tee.
+  cfg.shed_high_watermark = 0.90;
+  cfg.shed_low_watermark = 0.50;
+  cfg.elastic.enabled = true;
+  cfg.elastic.initial_level = 0;
+  cfg.elastic.min_level = 0;
+  cfg.elastic.max_level = max_level;
+  cfg.elastic.controller = controller;
+  cfg.elastic.split_queue_frac = 0.35;
+  cfg.elastic.merge_queue_frac = 0.03;
+  cfg.elastic.breach_polls = 3;
+  cfg.elastic.cooldown_ns = elastic_ms * 1'000'000 / 25;
+  if (std::string err = service::validate(cfg); !err.empty()) {
+    std::cerr << "elastic config: " << err << "\n";
+    return out;
+  }
+
+  StreamingConsistency checker;  // Whole-run downstream analyzer; the
+                                 // per-epoch tee lives in the service.
+  service::CountingService svc(cfg, &checker);
+  svc.start();
+
+  // Phase boundaries at the sine's quarter points; the target level
+  // follows the ramp (peak => max_level, valley => 0). The controller
+  // may get there first — the forced resize is the fallback that makes
+  // the >= 2 splits / >= 2 merges gate schedule-independent.
+  const std::uint32_t targets[] = {max_level, 0, max_level, 0};
+  const double boundaries[] = {0.20, 0.45, 0.70, 0.95};
+  std::size_t next_boundary = 0;
+
+  Xoshiro256 rng(seed ^ 0xe1a5ULL);
+  const std::uint64_t t0 = now_ns();
+  const std::uint64_t t_end = t0 + elastic_ms * 1'000'000;
+  double next_ns = 0.0;
+  while (true) {
+    const std::uint64_t now = now_ns();
+    if (now >= t_end) break;
+    const double x = static_cast<double>(now - t0) /
+                     static_cast<double>(t_end - t0);
+    if (next_boundary < std::size(boundaries) &&
+        x >= boundaries[next_boundary]) {
+      const std::uint32_t target = targets[next_boundary];
+      ++next_boundary;
+      if (svc.current_level() != target && svc.resize(target).empty()) {
+        ++out.forced_resizes;
+      }
+      continue;
+    }
+    const double rate = std::max(elastic_rate(base_rate, x), 1.0);
+    next_ns += -std::log(1.0 - rng.unit()) * (1e9 / rate);
+    const std::uint64_t scheduled = t0 + static_cast<std::uint64_t>(next_ns);
+    if (scheduled > t_end) break;
+    if (scheduled > now + 200'000) {
+      std::this_thread::sleep_for(
+          std::chrono::nanoseconds(scheduled - now - 100'000));
+    }
+    wait_until_ns(scheduled);
+    svc.try_submit(0, scheduled);  // Open loop: refusals are counted by
+                                   // the service (shed/rejected).
+    ++out.submissions;
+  }
+  const std::uint64_t gen_elapsed = now_ns() - t0;
+  svc.stop();
+  checker.finish();
+
+  out.stats = svc.stats();
+  out.audit = svc.audit();
+  out.epochs = svc.epoch_history();
+  out.achieved_per_sec =
+      gen_elapsed > 0
+          ? static_cast<double>(out.stats.completed) * 1e9 / gen_elapsed
+          : 0.0;
+  for (const service::EpochStats& es : out.epochs) {
+    if (!es.ok()) out.epochs_ok = false;
+  }
+  out.gate_ok = out.audit.ok() && out.epochs_ok && out.stats.splits >= 2 &&
+                out.stats.merges >= 2;
+  return out;
+}
+
+std::string json_elastic(const ElasticResult& r) {
+  std::ostringstream os;
+  os << "{\"elastic_ms\":" << r.elastic_ms << ",\"base_rate\":"
+     << fmt_double(r.base_rate, 1) << ",\"achieved_per_sec\":"
+     << fmt_double(r.achieved_per_sec, 1) << ",\"submissions\":"
+     << r.submissions << ",\"submitted\":" << r.stats.submitted
+     << ",\"completed\":" << r.stats.completed << ",\"shed\":"
+     << r.stats.shed << ",\"rejected\":" << r.stats.rejected
+     << ",\"epochs\":" << r.stats.epochs << ",\"splits\":" << r.stats.splits
+     << ",\"merges\":" << r.stats.merges << ",\"forced_resizes\":"
+     << r.forced_resizes << ",\"final_level\":" << r.stats.final_level
+     << ",\"audit_exact\":" << (r.audit.exact ? 1 : 0)
+     << ",\"audit_gap_free\":" << (r.audit.gap_free ? 1 : 0)
+     << ",\"epochs_ok\":" << (r.epochs_ok ? 1 : 0)
+     << ",\"gate_ok\":" << (r.gate_ok ? 1 : 0) << ",\"epoch_log\":[";
+  for (std::size_t i = 0; i < r.epochs.size(); ++i) {
+    const service::EpochStats& es = r.epochs[i];
+    if (i > 0) os << ",";
+    os << "{\"epoch\":" << es.index << ",\"level\":" << es.level
+       << ",\"shards\":" << es.shards << ",\"tickets\":" << es.tickets
+       << ",\"completed\":" << es.completed << ",\"shed\":" << es.shed
+       << ",\"audit_exact\":" << (es.audit_exact ? 1 : 0)
+       << ",\"gap_free\":" << (es.gap_free ? 1 : 0) << ",\"f_nl\":"
+       << fmt_double(es.f_nl, 4) << ",\"f_nl_bound\":"
+       << fmt_double(es.f_nl_bound, 4) << ",\"f_nsc\":"
+       << fmt_double(es.f_nsc, 4) << ",\"f_nsc_bound\":"
+       << fmt_double(es.f_nsc_bound, 4) << ",\"p50_us\":"
+       << fmt_double(us(es.p50_ns), 3) << ",\"p99_us\":"
+       << fmt_double(us(es.p99_ns), 3) << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
 std::string json_latency(const LatencyRow& row) {
   std::ostringstream os;
   os << "\"ops_per_sec\":" << fmt_double(row.ops_per_sec, 1)
@@ -443,6 +609,79 @@ int main(int argc, char** argv) {
   }
 
   const Network net = make_bitonic(width);
+
+  // --- elastic mode (E14; exclusive like --soak) -----------------------
+  if (args.get_bool("elastic", false)) {
+    const auto elastic_ms = static_cast<std::uint64_t>(
+        args.get_int("elastic-ms", smoke ? 3000 : 15000));
+    const std::uint32_t lg_w = log2_floor(width);
+    auto max_level = static_cast<std::uint32_t>(
+        args.get_int("elastic-max-level", std::min<std::uint32_t>(lg_w, 2)));
+    max_level = std::min(max_level, lg_w);
+    const bool controller = !args.get_bool("no-controller", false);
+    double base_rate = args.get_double("elastic-rate", 0.0);
+    if (base_rate <= 0.0) {
+      // Saturation probe at level 0 (one shard, recorded — the elastic
+      // run records too); the diurnal peak reaches 1.6x base, so base
+      // at ~45% of the single-shard rate makes the peak oversubscribe
+      // one shard while the deepest level still has headroom.
+      engine::RunSpec probe;
+      probe.backend = "service";
+      probe.net = &net;
+      probe.threads = clients;
+      probe.ops_per_thread = 500;
+      probe.service_shards = 1;
+      probe.service_batch = batch;
+      probe.seed = seed;
+      const engine::RunResult res = engine::run_backend(probe);
+      if (!res.ok()) {
+        std::cerr << "elastic saturation probe: " << res.error << "\n";
+        return 1;
+      }
+      base_rate = std::max(res.metric("ops_per_sec") * 0.45, 5000.0);
+    }
+    if (!json) {
+      std::cout << "E14: elastic width — " << elastic_ms << " ms diurnal "
+                << "ramp, levels 0.." << max_level << " (1.."
+                << (1u << max_level) << " shards), base rate "
+                << fmt_double(base_rate / 1e3, 1) << "k/s"
+                << (controller ? ", adaptive controller on" : "") << "\n";
+    }
+    const ElasticResult r = run_elastic(net, max_level, batch, base_rate,
+                                        elastic_ms, seed, controller);
+    if (json) {
+      std::cout << json_elastic(r) << "\n";
+    } else {
+      std::cout << "\n  submissions " << r.submissions << "  completed "
+                << r.stats.completed << "  shed " << r.stats.shed
+                << "  rejected " << r.stats.rejected << "\n  epochs "
+                << r.stats.epochs << "  splits " << r.stats.splits
+                << "  merges " << r.stats.merges << "  forced "
+                << r.forced_resizes << "  final_level " << r.stats.final_level
+                << "\n  audit_exact " << (r.audit.exact ? "yes" : "NO")
+                << "  gap_free " << (r.audit.gap_free ? "yes" : "NO")
+                << "  epochs_ok " << (r.epochs_ok ? "yes" : "NO") << "\n\n";
+      TablePrinter et({"epoch", "level", "shards", "tickets", "completed",
+                       "ok", "F_nl", "bound_nl", "F_nsc", "bound_nsc",
+                       "p99 us"});
+      for (const service::EpochStats& es : r.epochs) {
+        et.add_row({std::to_string(es.index), std::to_string(es.level),
+                    std::to_string(es.shards), std::to_string(es.tickets),
+                    std::to_string(es.completed), es.ok() ? "yes" : "NO",
+                    fmt_double(es.f_nl, 4), fmt_double(es.f_nl_bound, 4),
+                    fmt_double(es.f_nsc, 4), fmt_double(es.f_nsc_bound, 4),
+                    fmt_double(us(es.p99_ns), 1)});
+      }
+      et.print(std::cout);
+      std::cout << "\nNote: the Cor 5.12/5.13 columns are ADVERSARIAL lower "
+                   "bounds at each epoch's split level — an adversary can "
+                   "force at least that fraction; a benign schedule may "
+                   "measure anywhere in [0, 1].\n";
+    }
+    // The E14 acceptance gate: >= 2 splits, >= 2 merges, and the residue
+    // audit exact + gap-free across every epoch boundary.
+    return r.gate_ok ? 0 : 1;
+  }
 
   // --- soak mode (exclusive: runs instead of the E12 sections) ---------
   if (args.get_bool("soak", false)) {

@@ -73,8 +73,11 @@ int main(int argc, char** argv) {
   }
 
   if (engine::find_backend(spec.backend) == nullptr) {
-    std::cerr << "unknown backend '" << spec.backend
-              << "' (use --list to see the registry)\n";
+    std::cerr << "unknown backend '" << spec.backend << "' — registered:";
+    for (const std::string& name : engine::backend_names()) {
+      std::cerr << " " << name;
+    }
+    std::cerr << "\n(use --list for descriptions)\n";
     return 2;
   }
 

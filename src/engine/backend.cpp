@@ -91,7 +91,13 @@ RunResult run_backend(const RunSpec& spec, RunContext& ctx) {
   if (src == nullptr) {
     RunResult out;
     out.backend = spec.backend;
-    out.error = "unknown backend '" + spec.backend + "'";
+    // Name the registry in the error: a sweep config typo surfaces the
+    // full menu instead of a dead-end string.
+    out.error = "unknown backend '" + spec.backend + "' (registered:";
+    for (const std::string& name : backend_names()) {
+      out.error += " " + name;
+    }
+    out.error += ")";
     out.error_kind = ErrorKind::kSpecInvalid;
     return out;
   }

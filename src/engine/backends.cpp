@@ -665,6 +665,36 @@ std::uint64_t to_ns(Clock::time_point t) {
 // the engine sink, so the streaming analyzers attach to the service
 // exactly as to any other backend.
 // ---------------------------------------------------------------------
+/// Parses "1,2,1,0" into levels, checking each against the elastic
+/// range. Returns a reason on malformed input.
+std::string parse_resize_plan(const std::string& text,
+                              const service::ElasticConfig& elastic,
+                              std::vector<std::uint32_t>& out) {
+  if (!elastic.enabled) {
+    return "spec invalid: service_resize_plan requires service_elastic";
+  }
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t end = text.find(',', pos);
+    if (end == std::string::npos) end = text.size();
+    const std::string tok = text.substr(pos, end - pos);
+    try {
+      const unsigned long v = std::stoul(tok);
+      if (v < elastic.min_level || v > elastic.max_level) {
+        return "spec invalid: resize plan level " + tok + " outside [" +
+               std::to_string(elastic.min_level) + ", " +
+               std::to_string(elastic.max_level) + "]";
+      }
+      out.push_back(static_cast<std::uint32_t>(v));
+    } catch (const std::exception&) {
+      return "spec invalid: bad resize plan entry '" + tok + "'";
+    }
+    pos = end + 1;
+  }
+  if (out.empty()) return "spec invalid: empty resize plan";
+  return {};
+}
+
 class ServiceBackend final : public TraceSource {
  public:
   std::string name() const override { return "service"; }
@@ -702,6 +732,26 @@ class ServiceBackend final : public TraceSource {
     cfg.supervise = spec.service_supervise;
     cfg.shed_high_watermark = spec.service_shed_high;
     cfg.shed_low_watermark = spec.service_shed_low;
+    cfg.elastic.enabled = spec.service_elastic;
+    cfg.elastic.initial_level = spec.service_initial_level;
+    cfg.elastic.min_level = spec.service_min_level;
+    cfg.elastic.max_level = spec.service_max_level;
+    cfg.elastic.controller = spec.service_controller;
+    cfg.elastic.split_queue_frac = spec.service_split_frac;
+    cfg.elastic.merge_queue_frac = spec.service_merge_frac;
+    cfg.elastic.breach_polls = spec.service_breach_polls;
+    cfg.elastic.cooldown_ns = spec.service_cooldown_ns;
+    std::vector<std::uint32_t> resize_plan;
+    if (!spec.service_resize_plan.empty()) {
+      if (std::string err =
+              parse_resize_plan(spec.service_resize_plan, cfg.elastic,
+                                resize_plan);
+          !err.empty()) {
+        r.result.error = std::move(err);
+        r.result.error_kind = ErrorKind::kSpecInvalid;
+        return std::move(r.result);
+      }
+    }
     if (std::string err = service::validate(cfg); !err.empty()) {
       r.result.error = std::move(err);
       r.result.error_kind = ErrorKind::kSpecInvalid;
@@ -734,6 +784,33 @@ class ServiceBackend final : public TraceSource {
     }
     std::vector<std::thread> clients;
     clients.reserve(spec.threads);
+    // Forced resize schedule: entry k fires once (k+1)/(n+1) of the
+    // run's submissions have been accepted; entries the load never
+    // reaches are applied at the end, so the planned epoch transitions
+    // always happen.
+    std::atomic<bool> clients_done{false};
+    std::thread resizer;
+    if (!resize_plan.empty()) {
+      const std::uint64_t total =
+          static_cast<std::uint64_t>(spec.threads) * spec.ops_per_thread;
+      resizer = std::thread([&svc, &clients_done, &resize_plan, total] {
+        std::size_t next = 0;
+        while (next < resize_plan.size()) {
+          if (clients_done.load(std::memory_order_acquire)) break;
+          const std::uint64_t threshold =
+              total * (next + 1) / (resize_plan.size() + 1);
+          if (svc.health().submitted >= threshold) {
+            svc.resize(resize_plan[next]);
+            ++next;
+          } else {
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+          }
+        }
+        for (; next < resize_plan.size(); ++next) {
+          svc.resize(resize_plan[next]);
+        }
+      });
+    }
     const auto t_start = Clock::now();
     for (std::uint32_t t = 0; t < spec.threads; ++t) {
       clients.emplace_back([&, t] {
@@ -749,6 +826,8 @@ class ServiceBackend final : public TraceSource {
       });
     }
     for (std::thread& c : clients) c.join();
+    clients_done.store(true, std::memory_order_release);
+    if (resizer.joinable()) resizer.join();
     svc.stop();
     const double elapsed =
         std::chrono::duration<double>(Clock::now() - t_start).count();
@@ -805,6 +884,30 @@ class ServiceBackend final : public TraceSource {
     r.result.metrics["residue_holes"] = static_cast<double>(audit.holes);
     r.result.metrics["audit_exact"] = audit.exact ? 1.0 : 0.0;
     r.result.metrics["audit_gap_free"] = audit.gap_free ? 1.0 : 0.0;
+    if (cfg.elastic.enabled) {
+      // Epoch-transition telemetry: every retired epoch carries its own
+      // Lemma 3.1 audit; epochs_ok == 1 means audit_exact && gap_free
+      // held across EVERY boundary, the elastic acceptance gate.
+      r.result.metrics["epochs"] = static_cast<double>(st.epochs);
+      r.result.metrics["splits"] = static_cast<double>(st.splits);
+      r.result.metrics["merges"] = static_cast<double>(st.merges);
+      r.result.metrics["final_level"] = static_cast<double>(st.final_level);
+      bool epochs_ok = true;
+      double worst_f_nl = 0.0;
+      double worst_excess = 0.0;
+      for (const service::EpochStats& es : svc.epoch_history()) {
+        if (!es.ok()) epochs_ok = false;
+        if (es.f_nl > worst_f_nl) worst_f_nl = es.f_nl;
+        if (es.f_nl >= 0.0 && es.f_nl - es.f_nl_bound > worst_excess) {
+          worst_excess = es.f_nl - es.f_nl_bound;
+        }
+      }
+      r.result.metrics["epochs_ok"] = epochs_ok ? 1.0 : 0.0;
+      if (cfg.record) {
+        r.result.metrics["max_epoch_f_nl"] = worst_f_nl;
+        r.result.metrics["max_f_nl_over_bound"] = worst_excess;
+      }
+    }
     if (spec.fault.enabled) {
       r.result.metrics["fault_stalls"] = static_cast<double>(st.stalls);
       r.result.metrics["fault_tokens_abandoned"] =

@@ -100,6 +100,27 @@ struct RunSpec {
   /// (shed at >= high until < low); high <= 0 disables shedding.
   double service_shed_high = 0.0;
   double service_shed_low = 0.0;
+  /// Elastic width (live split/merge resharding, Props 5.6-5.10). When
+  /// enabled, service_shards is ignored: the service runs 2^level
+  /// extracted subnetworks per topology epoch and moves between levels
+  /// service_min_level..service_max_level. The topology must certify
+  /// uniform splittability up to max_level (validate() runs the
+  /// SplitPlan + verify_extraction gate).
+  bool service_elastic = false;
+  std::uint32_t service_initial_level = 0;
+  std::uint32_t service_min_level = 0;
+  std::uint32_t service_max_level = 0;
+  /// Adaptive split/merge controller (ElasticConfig knobs).
+  bool service_controller = false;
+  double service_split_frac = 0.5;
+  double service_merge_frac = 0.05;
+  std::uint32_t service_breach_polls = 3;
+  std::uint64_t service_cooldown_ns = 2'000'000;
+  /// Forced resize schedule: comma-separated split levels ("1,2,1,0").
+  /// The backend applies the k-th entry once roughly (k+1)/(n+1) of the
+  /// run's submissions have been accepted, guaranteeing the epoch
+  /// transitions happen regardless of controller pressure.
+  std::string service_resize_plan;
 
   // --- "optimizer" backend (annealed schedule adversary) --------------
   std::uint32_t opt_iterations = 1500;

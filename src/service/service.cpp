@@ -33,14 +33,61 @@ std::string validate(const ServiceConfig& cfg) {
       return "service: shed_low_watermark must be in [0, high]";
     }
   }
-  for (const fault::ChaosEvent& e : cfg.chaos.events) {
-    if (e.kind != fault::ChaosKind::kArrivalBurst && e.shard >= cfg.shards) {
-      return "service: chaos event targets a shard out of range";
+  if (cfg.elastic.enabled) {
+    const ElasticConfig& e = cfg.elastic;
+    if (e.min_level > e.initial_level || e.initial_level > e.max_level) {
+      return "service: elastic levels must satisfy min <= initial <= max";
     }
-  }
-  if (cfg.fault.service_chaos() &&
-      cfg.fault.worker_crash_shard >= cfg.shards) {
-    return "service: worker_crash_shard out of range";
+    if (e.max_level > 0) {
+      const SplitPlan plan(*cfg.net);
+      if (!plan.applicable()) {
+        return "service: topology is not uniformly splittable: " +
+               plan.reason();
+      }
+      if (e.max_level > plan.max_level()) {
+        return "service: elastic max_level exceeds the topology's split "
+               "number " +
+               std::to_string(plan.max_level());
+      }
+      const std::string err = verify_extraction(plan, e.max_level);
+      if (!err.empty()) {
+        return "service: extraction is not operational: " + err;
+      }
+    }
+    // Shard-targeted chaos triggers count per-shard processed requests;
+    // those counters (and the shards themselves) do not survive epoch
+    // boundaries, so the triggers would be meaningless mid-run.
+    if (cfg.fault.service_chaos()) {
+      return "service: worker_crash_* is not supported in elastic mode";
+    }
+    for (const fault::ChaosEvent& ev : cfg.chaos.events) {
+      if (ev.kind != fault::ChaosKind::kArrivalBurst) {
+        return "service: shard-targeted chaos is not supported in elastic "
+               "mode";
+      }
+    }
+    if (e.controller) {
+      if (e.split_queue_frac <= 0.0 || e.split_queue_frac > 1.0 ||
+          e.merge_queue_frac < 0.0 ||
+          e.merge_queue_frac >= e.split_queue_frac) {
+        return "service: controller watermarks must satisfy 0 <= merge < "
+               "split <= 1";
+      }
+      if (e.breach_polls == 0) {
+        return "service: controller breach_polls must be >= 1";
+      }
+    }
+  } else {
+    for (const fault::ChaosEvent& ev : cfg.chaos.events) {
+      if (ev.kind != fault::ChaosKind::kArrivalBurst &&
+          ev.shard >= cfg.shards) {
+        return "service: chaos event targets a shard out of range";
+      }
+    }
+    if (cfg.fault.service_chaos() &&
+        cfg.fault.worker_crash_shard >= cfg.shards) {
+      return "service: worker_crash_shard out of range";
+    }
   }
   return {};
 }
@@ -65,12 +112,35 @@ std::string deterministic_fingerprint(const ServiceStats& stats) {
 
 CountingService::CountingService(const ServiceConfig& cfg, TraceSink* sink)
     : cfg_(cfg), sink_(sink) {
-  shards_.reserve(cfg_.shards);
-  queues_.reserve(cfg_.shards);
-  runtime_.reserve(cfg_.shards);
+  if (cfg_.record && sink_ != nullptr) {
+    epoch_sc_ = std::make_unique<StreamingConsistency>();
+    fanout_.sc = epoch_sc_.get();
+    fanout_.down = sink_;
+    buffer_ = std::make_unique<IssueOrderBuffer>(fanout_, /*deferred=*/true);
+  } else {
+    cfg_.record = false;  // Recording without a sink is a no-op.
+  }
+  if (cfg_.elastic.enabled && cfg_.net != nullptr) {
+    plan_ = std::make_unique<SplitPlan>(*cfg_.net);
+  }
+}
+
+CountingService::~CountingService() { stop(); }
+
+void CountingService::install_epoch(std::uint32_t level) {
+  auto ep = std::make_shared<TopologyEpoch>();
+  ep->index = next_epoch_index_++;
+  ep->level = level;
+  const bool elastic = cfg_.elastic.enabled;
+  const std::uint32_t n =
+      elastic ? residue::shards_at_level(level) : cfg_.shards;
+  ep->map = residue::EpochMap{tickets_.load(std::memory_order_relaxed), n};
+  if (elastic && plan_ != nullptr) ep->parts = plan_->extract(level);
+
   // The single worker_crash_* event on the fault plan is sugar for a
   // one-event chaos schedule; fold it in so the worker loop has one
-  // chaos representation.
+  // chaos representation. (Classic mode only; validate() rejects
+  // shard-targeted chaos for elastic configs.)
   fault::ChaosPlan chaos = cfg_.chaos;
   if (cfg_.fault.service_chaos()) {
     fault::ChaosEvent e;
@@ -80,35 +150,41 @@ CountingService::CountingService(const ServiceConfig& cfg, TraceSink* sink)
     e.lose = cfg_.fault.worker_crash_lose;
     chaos.events.push_back(e);
   }
-  for (std::uint32_t s = 0; s < cfg_.shards; ++s) {
-    shards_.push_back(std::make_unique<ConcurrentNetwork>(*cfg_.net));
-    queues_.push_back(std::make_unique<BoundedQueue<Request>>(
-        cfg_.queue_capacity));
+
+  const std::uint64_t t0 = now_ns();
+  ep->nets.reserve(n);
+  ep->queues.reserve(n);
+  ep->runtimes.reserve(n);
+  for (std::uint32_t s = 0; s < n; ++s) {
+    const Network& net = elastic ? *ep->parts[s].net : *cfg_.net;
+    ep->nets.push_back(std::make_unique<ConcurrentNetwork>(net));
+    ep->queues.push_back(
+        std::make_unique<BoundedQueue<Request>>(cfg_.queue_capacity));
     auto rt = std::make_unique<ShardRuntime>();
     rt->chaos = chaos.for_shard(s);
     rt->next_source = s;  // Stagger shards' source cursors.
-    runtime_.push_back(std::move(rt));
+    rt->last_beat_ns.store(t0, std::memory_order_relaxed);
+    ep->runtimes.push_back(std::move(rt));
   }
-  if (cfg_.record && sink_ != nullptr) {
-    buffer_ = std::make_unique<IssueOrderBuffer>(*sink_, /*deferred=*/true);
-  } else {
-    cfg_.record = false;  // Recording without a sink is a no-op.
-  }
-}
 
-CountingService::~CountingService() { stop(); }
+  TopologyEpoch* raw = ep.get();
+  epoch_ = std::move(ep);
+  epoch_ptr_.store(raw, std::memory_order_release);
+  level_.store(level, std::memory_order_relaxed);
+  nshards_.store(n, std::memory_order_relaxed);
+  raw->workers.reserve(n);
+  for (std::uint32_t s = 0; s < n; ++s) {
+    raw->workers.emplace_back([this, raw, s] { worker_loop(raw, s); });
+  }
+  accepting_.store(true, std::memory_order_release);
+}
 
 void CountingService::start() {
   if (started_) return;
   started_ = true;
-  accepting_.store(true, std::memory_order_release);
-  const std::uint64_t t0 = now_ns();
-  for (std::uint32_t s = 0; s < cfg_.shards; ++s) {
-    runtime_[s]->last_beat_ns.store(t0, std::memory_order_relaxed);
-  }
-  workers_.reserve(cfg_.shards);
-  for (std::uint32_t s = 0; s < cfg_.shards; ++s) {
-    workers_.emplace_back([this, s] { worker_loop(s); });
+  {
+    std::lock_guard<std::mutex> lock(fence_mu_);
+    install_epoch(cfg_.elastic.enabled ? cfg_.elastic.initial_level : 0);
   }
   if (cfg_.supervise) {
     supervisor_ = std::thread([this] { supervisor_loop(); });
@@ -119,25 +195,29 @@ bool CountingService::try_submit(std::uint32_t client,
                                  std::uint64_t arrival_ns,
                                  std::atomic<std::uint64_t>* done) {
   if (!accepting_.load(std::memory_order_acquire)) return false;
-  // The pending-submit count lets stop() wait out in-flight submits, so
-  // no push can land after the workers observe `stopping_` (a straggler
-  // push after worker exit would strand its client on `done` forever).
-  pending_submits_.fetch_add(1, std::memory_order_acq_rel);
-  if (!accepting_.load(std::memory_order_acquire)) {
+  // The pending-submit count doubles as the epoch lease: the fence (and
+  // stop()) closes admission and waits this count out before touching
+  // the epoch's queues, so no push can land after the workers observe
+  // retirement and no submitter can hold the epoch pointer across a
+  // swap. The increment and the recheck form one half of a Dekker
+  // handshake with the fence's close-then-wait; both sides must be
+  // seq_cst or a submit could slip past a fence that read pending == 0.
+  pending_submits_.fetch_add(1, std::memory_order_seq_cst);
+  if (!accepting_.load(std::memory_order_seq_cst)) {
     pending_submits_.fetch_sub(1, std::memory_order_release);
     return false;
   }
+  TopologyEpoch& ep = *epoch_ptr_.load(std::memory_order_acquire);
   // Admission control: predict the target shard from the next ticket and
   // check its watermark BEFORE drawing a ticket. A shed therefore burns
   // nothing — no ticket, no residue hole — unlike the queue-full
   // rejection below, which is the watermark race's accounted backstop.
   if (cfg_.shed_high_watermark > 0.0) {
-    const auto predicted = static_cast<std::uint32_t>(
-        tickets_.load(std::memory_order_relaxed) % shards_.size());
-    ShardRuntime& rt = *runtime_[predicted];
-    const double cap =
-        static_cast<double>(queues_[predicted]->capacity());
-    const std::size_t depth = queues_[predicted]->approx_size();
+    const std::uint32_t predicted =
+        ep.map.shard_of(tickets_.load(std::memory_order_relaxed));
+    ShardRuntime& rt = *ep.runtimes[predicted];
+    const double cap = static_cast<double>(ep.queues[predicted]->capacity());
+    const std::size_t depth = ep.queues[predicted]->approx_size();
     const auto high = static_cast<std::size_t>(cap * cfg_.shed_high_watermark);
     const auto low = static_cast<std::size_t>(cap * cfg_.shed_low_watermark);
     bool shed;
@@ -150,13 +230,14 @@ bool CountingService::try_submit(std::uint32_t client,
     }
     if (shed) {
       shed_.fetch_add(1, std::memory_order_relaxed);
+      ep.shed.fetch_add(1, std::memory_order_relaxed);
       pending_submits_.fetch_sub(1, std::memory_order_release);
       return false;
     }
   }
   const std::uint64_t ticket =
       tickets_.fetch_add(1, std::memory_order_relaxed);
-  const auto shard = static_cast<std::uint32_t>(ticket % shards_.size());
+  const std::uint32_t shard = ep.map.shard_of(ticket);
   Request req;
   req.ticket = ticket;
   req.arrival_ns = arrival_ns;
@@ -167,11 +248,12 @@ bool CountingService::try_submit(std::uint32_t client,
     req.first_seq = events_++;
     buffer_->open(req.first_seq);
   }
-  if (!queues_[shard]->try_push(req)) {
+  if (!ep.queues[shard]->try_push(req)) {
     // The ticket is burned: its residue slot will never be served, so a
     // rejection under load shows up as a counting-property hole — that
     // is deliberate (overload degrades the guarantee and we measure it).
     rejected_.fetch_add(1, std::memory_order_relaxed);
+    ep.rejected.fetch_add(1, std::memory_order_relaxed);
     if (cfg_.record) {
       std::lock_guard<std::mutex> lock(emit_mu_);
       buffer_->drop(req.first_seq);
@@ -179,22 +261,29 @@ bool CountingService::try_submit(std::uint32_t client,
     pending_submits_.fetch_sub(1, std::memory_order_release);
     return false;
   }
+  ep.accepted.fetch_add(1, std::memory_order_relaxed);
   pending_submits_.fetch_sub(1, std::memory_order_release);
   return true;
 }
 
-void CountingService::worker_loop(std::uint32_t shard) {
-  ConcurrentNetwork& net = *shards_[shard];
-  BoundedQueue<Request>& queue = *queues_[shard];
-  ShardRuntime& rt = *runtime_[shard];
-  const auto n_shards = static_cast<std::uint64_t>(shards_.size());
-  const std::uint32_t fan_in = cfg_.net->fan_in();
+void CountingService::worker_loop(TopologyEpoch* epoch, std::uint32_t shard) {
+  TopologyEpoch& ep = *epoch;
+  ConcurrentNetwork& net = *ep.nets[shard];
+  BoundedQueue<Request>& queue = *ep.queues[shard];
+  ShardRuntime& rt = *ep.runtimes[shard];
+  const bool elastic = !ep.parts.empty();
+  const Subnetwork* part = elastic ? &ep.parts[shard] : nullptr;
+  const std::uint32_t fan_in =
+      elastic ? part->net->fan_in() : cfg_.net->fan_in();
   const std::uint32_t fan_out = cfg_.net->fan_out();
+  const std::uint32_t part_w = elastic ? part->net->fan_out() : 0;
+  const std::uint32_t full_w = cfg_.net->fan_out();
   const bool inject = cfg_.fault.thread_faults();
   // The fault stream lives in the shard runtime and survives respawns:
   // the successor worker continues the dead worker's draw sequence, so a
   // recovered execution is the exact logical continuation (deterministic
-  // replay across crashes).
+  // replay across crashes). Elastic epochs start their shards' streams
+  // fresh — the epoch boundary is the deterministic restart point.
   if (inject && rt.faults == nullptr) {
     rt.faults = std::make_unique<fault::FaultStream>(cfg_.fault, cfg_.seed,
                                                      200 + shard);
@@ -205,6 +294,7 @@ void CountingService::worker_loop(std::uint32_t shard) {
   live.reserve(cfg_.max_batch);
   std::vector<std::uint64_t> abandoned_seqs;
   std::vector<Value> values(cfg_.max_batch);
+  std::vector<std::uint32_t> sources(cfg_.max_batch, 0);
   bool draining = false;
 
   for (;;) {
@@ -248,7 +338,8 @@ void CountingService::worker_loop(std::uint32_t shard) {
                 buffer_->drain();
               }
               ++lost;
-            } else if (stopping_.load(std::memory_order_acquire)) {
+            } else if (stopping_.load(std::memory_order_acquire) ||
+                       ep.retiring.load(std::memory_order_acquire)) {
               break;
             } else {
               std::this_thread::yield();
@@ -256,6 +347,7 @@ void CountingService::worker_loop(std::uint32_t shard) {
           }
           rt.crash_lost.fetch_add(lost, std::memory_order_relaxed);
           rt.crashes.fetch_add(1, std::memory_order_relaxed);
+          rt.exited.store(true, std::memory_order_release);
           rt.crashed.store(true, std::memory_order_release);
           return;
         }
@@ -272,9 +364,11 @@ void CountingService::worker_loop(std::uint32_t shard) {
     const std::size_t n = queue.pop_batch(batch.data(), cap);
     if (n == 0) {
       if (draining) break;
-      if (stopping_.load(std::memory_order_acquire)) {
-        // All submits finished before stopping_ was set; one more empty
-        // pop after observing it means the queue is drained for good.
+      if (stopping_.load(std::memory_order_acquire) ||
+          ep.retiring.load(std::memory_order_acquire)) {
+        // All submits finished before retirement was flagged; one more
+        // empty pop after observing it means the queue is drained for
+        // good.
         draining = true;
         continue;
       }
@@ -309,13 +403,37 @@ void CountingService::worker_loop(std::uint32_t shard) {
     }
 
     const auto k = static_cast<std::uint32_t>(live.size());
-    const auto source = static_cast<std::uint32_t>(rt.next_source++ % fan_in);
     std::uint64_t completion_ns = 0;
     if (k > 0) {
-      net.increment_batch(source, k, values.data());
+      if (elastic) {
+        // Balanced cyclic feeding: the part is a merger tail, not an
+        // arbitrary-input counting network, so per-entry counts must
+        // stay as equal as possible with the skew following the feed
+        // order (verify_extraction certifies exactly this discipline).
+        // Quiescent outputs depend only on per-entry counts, so the
+        // batch splits into one sub-batch per entry — at most fan_in
+        // traversal calls — without changing the issued value set.
+        const std::uint32_t m = fan_in;
+        std::uint32_t off = 0;
+        for (std::uint32_t u = 0; u < m && off < k; ++u) {
+          const std::uint32_t entry =
+              part->feed_order[(rt.feed_cursor + u) % m];
+          const std::uint32_t c = k / m + (u < k % m ? 1 : 0);
+          if (c == 0) break;
+          net.increment_batch(entry, c, values.data() + off);
+          for (std::uint32_t i = off; i < off + c; ++i) sources[i] = entry;
+          off += c;
+        }
+        rt.feed_cursor = (rt.feed_cursor + k) % m;
+      } else {
+        const auto source =
+            static_cast<std::uint32_t>(rt.next_source++ % fan_in);
+        net.increment_batch(source, k, values.data());
+        for (std::uint32_t i = 0; i < k; ++i) sources[i] = source;
+      }
       completion_ns = now_ns();
       for (std::uint32_t i = 0; i < k; ++i) {
-        const Value global = values[i] * n_shards + shard;
+        const Value global = ep.map.global_value(values[i], shard);
         const std::uint64_t lat = completion_ns > live[i].arrival_ns
                                       ? completion_ns - live[i].arrival_ns
                                       : 0;
@@ -338,10 +456,17 @@ void CountingService::worker_loop(std::uint32_t shard) {
         TokenRecord rec;
         rec.token = static_cast<TokenId>(live[i].ticket);
         rec.process = live[i].client;
-        rec.source = source;
-        rec.sink = shard * fan_out +
-                   static_cast<std::uint32_t>(values[i] % fan_out);
-        rec.value = values[i] * n_shards + shard;
+        rec.source = sources[i];
+        // Elastic shards label sinks with the TRUE full-network sink of
+        // the Lemma 3.1 embedding; classic shards keep the flattened
+        // (shard, local sink) id.
+        rec.sink = elastic
+                       ? residue::embed_sink(
+                             static_cast<std::uint32_t>(values[i] % part_w),
+                             ep.level, shard, full_w)
+                       : shard * fan_out +
+                             static_cast<std::uint32_t>(values[i] % fan_out);
+        rec.value = ep.map.global_value(values[i], shard);
         rec.t_in = static_cast<double>(live[i].arrival_ns);
         rec.t_out = static_cast<double>(completion_ns);
         rec.first_seq = live[i].first_seq;
@@ -351,6 +476,7 @@ void CountingService::worker_loop(std::uint32_t shard) {
       buffer_->drain();
     }
   }
+  rt.exited.store(true, std::memory_order_release);
 }
 
 void CountingService::supervisor_loop() {
@@ -359,34 +485,86 @@ void CountingService::supervisor_loop() {
     // shutdown still gets its respawn, so the successor drains the queue
     // and no accepted ticket is silently stranded.
     const bool final_pass = stopping_.load(std::memory_order_acquire);
-    const std::uint64_t now = now_ns();
-    for (std::uint32_t s = 0; s < cfg_.shards; ++s) {
-      ShardRuntime& rt = *runtime_[s];
-      if (rt.crashed.load(std::memory_order_acquire)) {
-        // The dead worker set `crashed` as its last act; joining it
-        // first makes the respawn a clean handoff of the shard's
-        // persistent state (fault stream, chaos cursor).
-        workers_[s].join();
-        rt.crashed.store(false, std::memory_order_release);
-        respawns_.fetch_add(1, std::memory_order_relaxed);
-        workers_[s] = std::thread([this, s] { worker_loop(s); });
-      } else if (cfg_.wedge_timeout_ns > 0 &&
-                 queues_[s]->approx_size() > 0) {
-        const std::uint64_t beat =
-            rt.last_beat_ns.load(std::memory_order_relaxed);
-        if (now > beat && now - beat > cfg_.wedge_timeout_ns) {
-          // Wedged-but-alive (e.g. a chaos stall window): a thread
-          // cannot be safely killed, so this is detection — the count
-          // and the heartbeat age surface in health()/stats.
-          if (!rt.wedged.exchange(true, std::memory_order_relaxed)) {
-            wedge_detections_.fetch_add(1, std::memory_order_relaxed);
+    std::uint32_t resize_target = 0;
+    bool want_resize = false;
+    if (fence_mu_.try_lock()) {
+      // A fence in progress owns the epoch; skipping a sweep is safe —
+      // the fence does its own heal-and-join.
+      TopologyEpoch* ep = epoch_ptr_.load(std::memory_order_acquire);
+      const std::uint64_t now = now_ns();
+      double depth_sum = 0.0;
+      if (ep != nullptr) {
+        for (std::uint32_t s = 0;
+             s < static_cast<std::uint32_t>(ep->runtimes.size()); ++s) {
+          ShardRuntime& rt = *ep->runtimes[s];
+          depth_sum += static_cast<double>(ep->queues[s]->approx_size()) /
+                       static_cast<double>(ep->queues[s]->capacity());
+          if (rt.crashed.load(std::memory_order_acquire)) {
+            // The dead worker set `crashed` as its last act; joining it
+            // first makes the respawn a clean handoff of the shard's
+            // persistent state (fault stream, chaos cursor).
+            ep->workers[s].join();
+            rt.crashed.store(false, std::memory_order_release);
+            rt.exited.store(false, std::memory_order_release);
+            respawns_.fetch_add(1, std::memory_order_relaxed);
+            ep->workers[s] = std::thread([this, ep, s] {
+              worker_loop(ep, s);
+            });
+          } else if (cfg_.wedge_timeout_ns > 0 &&
+                     ep->queues[s]->approx_size() > 0) {
+            const std::uint64_t beat =
+                rt.last_beat_ns.load(std::memory_order_relaxed);
+            if (now > beat && now - beat > cfg_.wedge_timeout_ns) {
+              // Wedged-but-alive (e.g. a chaos stall window): a thread
+              // cannot be safely killed, so this is detection — the
+              // count and the heartbeat age surface in health()/stats.
+              if (!rt.wedged.exchange(true, std::memory_order_relaxed)) {
+                wedge_detections_.fetch_add(1, std::memory_order_relaxed);
+              }
+            } else {
+              rt.wedged.store(false, std::memory_order_relaxed);
+            }
+          } else {
+            rt.wedged.store(false, std::memory_order_relaxed);
           }
-        } else {
-          rt.wedged.store(false, std::memory_order_relaxed);
         }
-      } else {
-        rt.wedged.store(false, std::memory_order_relaxed);
+        // Adaptive elastic controller: split on sustained queue
+        // pressure, merge when drained, with hysteresis (breach_polls)
+        // and a cooldown between transitions.
+        if (cfg_.elastic.enabled && cfg_.elastic.controller && !final_pass &&
+            !ep->retiring.load(std::memory_order_relaxed)) {
+          const double frac =
+              depth_sum / static_cast<double>(ep->runtimes.size());
+          const std::uint32_t level = ep->level;
+          if (frac >= cfg_.elastic.split_queue_frac) {
+            ++split_streak_;
+            merge_streak_ = 0;
+          } else if (frac <= cfg_.elastic.merge_queue_frac) {
+            ++merge_streak_;
+            split_streak_ = 0;
+          } else {
+            split_streak_ = 0;
+            merge_streak_ = 0;
+          }
+          const bool cooled =
+              now - last_resize_ns_ >= cfg_.elastic.cooldown_ns;
+          if (cooled && split_streak_ >= cfg_.elastic.breach_polls &&
+              level < cfg_.elastic.max_level) {
+            resize_target = level + 1;
+            want_resize = true;
+          } else if (cooled && merge_streak_ >= cfg_.elastic.breach_polls &&
+                     level > cfg_.elastic.min_level) {
+            resize_target = level - 1;
+            want_resize = true;
+          }
+        }
       }
+      fence_mu_.unlock();
+    }
+    if (want_resize && !stopping_.load(std::memory_order_acquire)) {
+      split_streak_ = 0;
+      merge_streak_ = 0;
+      resize(resize_target);  // Takes fence_mu_ itself.
     }
     if (final_pass) return;
     std::this_thread::sleep_for(
@@ -394,14 +572,56 @@ void CountingService::supervisor_loop() {
   }
 }
 
-void CountingService::scavenge_queues() {
-  // Requests stranded in the queue of a dead, never-respawned shard
-  // (supervision off, or a crash after the supervisor's final sweep):
-  // signal their clients — a completion slot must NEVER hang — and
-  // account each as an `abandoned` residue hole.
-  for (std::uint32_t s = 0; s < cfg_.shards; ++s) {
+void CountingService::retire_epoch() {
+  if (!epoch_) return;
+  TopologyEpoch& ep = *epoch_;
+  // --- quiescence fence -------------------------------------------------
+  // 1. Close admission and wait out in-flight submits: after this, no
+  //    push can land in the epoch's queues, ever. The exchange is the
+  //    fence's half of the Dekker handshake with try_submit (see there):
+  //    a plain release store could sit in a store buffer while this
+  //    thread reads a stale pending count of zero.
+  accepting_.exchange(false, std::memory_order_seq_cst);
+  while (pending_submits_.load(std::memory_order_seq_cst) != 0) {
+    std::this_thread::yield();
+  }
+  // 2. Flag retirement; every worker drains its queue and exits.
+  ep.retiring.store(true, std::memory_order_release);
+  // 3. Heal-and-join: respawn crashed workers so their queues drain (the
+  //    successor observes `retiring` and exits once empty). Without
+  //    supervision the dead shard's queue is scavenged below instead.
+  for (;;) {
+    bool all_exited = true;
+    for (std::uint32_t s = 0;
+         s < static_cast<std::uint32_t>(ep.runtimes.size()); ++s) {
+      ShardRuntime& rt = *ep.runtimes[s];
+      if (rt.crashed.load(std::memory_order_acquire)) {
+        ep.workers[s].join();
+        rt.crashed.store(false, std::memory_order_release);
+        if (cfg_.supervise && ep.queues[s]->approx_size() > 0) {
+          rt.exited.store(false, std::memory_order_release);
+          respawns_.fetch_add(1, std::memory_order_relaxed);
+          TopologyEpoch* raw = &ep;
+          ep.workers[s] = std::thread([this, raw, s] { worker_loop(raw, s); });
+          all_exited = false;
+        }
+        // else: stays dead (exited already true); scavenged below.
+      } else if (!rt.exited.load(std::memory_order_acquire)) {
+        all_exited = false;
+      }
+    }
+    if (all_exited) break;
+    std::this_thread::yield();
+  }
+  for (std::thread& w : ep.workers) {
+    if (w.joinable()) w.join();
+  }
+  // 4. Scavenge requests stranded on dead, never-respawned shards:
+  //    signal their clients — a completion slot must NEVER hang — and
+  //    account each as an `abandoned` residue hole.
+  for (auto& q : ep.queues) {
     Request r;
-    while (queues_[s]->try_pop(r)) {
+    while (q->try_pop(r)) {
       if (r.done != nullptr) {
         r.done->store(kDroppedSignal, std::memory_order_release);
       }
@@ -409,27 +629,137 @@ void CountingService::scavenge_queues() {
         std::lock_guard<std::mutex> lock(emit_mu_);
         buffer_->drop(r.first_seq);
       }
+      ep.abandoned.fetch_add(1, std::memory_order_relaxed);
       abandoned_.fetch_add(1, std::memory_order_relaxed);
     }
   }
+
+  // --- per-epoch accounting (the Lemma 3.1 audit at the fence) ---------
+  EpochStats es;
+  es.index = ep.index;
+  es.level = ep.level;
+  es.shards = static_cast<std::uint32_t>(ep.runtimes.size());
+  es.base = ep.map.base;
+  es.tickets = tickets_.load(std::memory_order_relaxed) - ep.map.base;
+  es.accepted = ep.accepted.load(std::memory_order_relaxed);
+  es.rejected = ep.rejected.load(std::memory_order_relaxed);
+  es.shed = ep.shed.load(std::memory_order_relaxed);
+  es.abandoned = ep.abandoned.load(std::memory_order_relaxed);
+  es.f_nl_bound = f_nl_bound(ep.level);
+  es.f_nsc_bound = f_nsc_bound(ep.level);
+  LatencyHistogram epoch_latency;
+  es.gap_free = true;
+  es.shard_completed.reserve(ep.runtimes.size());
+  std::uint64_t max_batch_seen = 0;
+  for (std::size_t s = 0; s < ep.runtimes.size(); ++s) {
+    const ShardRuntime& rt = *ep.runtimes[s];
+    const std::uint64_t done_here =
+        rt.completed.load(std::memory_order_relaxed);
+    es.completed += done_here;
+    es.dropped += rt.dropped.load(std::memory_order_relaxed);
+    es.crash_lost += rt.crash_lost.load(std::memory_order_relaxed);
+    acc_.crashes += rt.crashes.load(std::memory_order_relaxed);
+    acc_.batches += rt.batches.load(std::memory_order_relaxed);
+    acc_.stalls += rt.stalls.load(std::memory_order_relaxed);
+    max_batch_seen =
+        std::max(max_batch_seen, rt.max_batch.load(std::memory_order_relaxed));
+    es.shard_completed.push_back(done_here);
+    epoch_latency.merge(rt.latency);
+    // Gap-freedom per residue class: a shard network's quiescent total
+    // is exactly how many local values 0..total-1 it handed out, so
+    // total == completed(shard) means the class's completed global
+    // values are contiguous multiples-plus-residue with precisely the
+    // accounted tickets missing.
+    if (ep.nets[s]->total() != done_here) es.gap_free = false;
+  }
+  const std::uint64_t holes =
+      es.tickets > es.completed ? es.tickets - es.completed : 0;
+  es.audit_exact =
+      holes == es.rejected + es.dropped + es.crash_lost + es.abandoned;
+  es.p50_ns = epoch_latency.p50();
+  es.p99_ns = epoch_latency.p99();
+  if (cfg_.record) {
+    // The epoch's record stream ends here: every opened first_seq has
+    // resolved (close or drop), so the flush empties the reorder buffer
+    // and the per-epoch consistency analyzer sees exactly this epoch's
+    // records before it is reset for the next one.
+    std::lock_guard<std::mutex> lock(emit_mu_);
+    buffer_->flush();
+    epoch_sc_->finish();
+    if (epoch_sc_->total() > 0) {
+      es.f_nl = epoch_sc_->report().f_nl;
+      es.f_nsc = epoch_sc_->report().f_nsc;
+    } else {
+      es.f_nl = 0.0;
+      es.f_nsc = 0.0;
+    }
+    epoch_sc_->reset();
+  }
+
+  acc_.completed += es.completed;
+  acc_.dropped += es.dropped;
+  acc_.crash_lost += es.crash_lost;
+  if (max_batch_seen > acc_.max_batch_seen) {
+    acc_.max_batch_seen = max_batch_seen;
+  }
+  acc_.latency.merge(epoch_latency);
+  acc_.shard_completed = es.shard_completed;  // Final epoch's view wins.
+  epoch_stats_.push_back(std::move(es));
+  // The epoch object itself stays alive (epoch_) until the next install
+  // or destruction — shard_total() reads its quiescent network totals.
+}
+
+std::string CountingService::resize(std::uint32_t level) {
+  if (!cfg_.elastic.enabled) return "service: elastic mode is off";
+  if (!started_) return "service: not started";
+  if (level < cfg_.elastic.min_level || level > cfg_.elastic.max_level) {
+    return "service: level " + std::to_string(level) +
+           " outside [" + std::to_string(cfg_.elastic.min_level) + ", " +
+           std::to_string(cfg_.elastic.max_level) + "]";
+  }
+  std::lock_guard<std::mutex> lock(fence_mu_);
+  if (stopped_ || stopping_.load(std::memory_order_acquire)) {
+    return "service: stopping";
+  }
+  TopologyEpoch* cur = epoch_ptr_.load(std::memory_order_relaxed);
+  if (cur == nullptr) return "service: no live epoch";
+  if (cur->level == level) return {};  // No-op.
+  const std::uint32_t old_level = cur->level;
+  retire_epoch();
+  install_epoch(level);
+  if (level > old_level) {
+    ++acc_.splits;
+  } else {
+    ++acc_.merges;
+  }
+  last_resize_ns_ = now_ns();
+  return {};
 }
 
 ServiceHealth CountingService::health() const {
+  std::lock_guard<std::mutex> lock(fence_mu_);
   ServiceHealth h;
   const std::uint64_t now = now_ns();
-  h.shards.resize(runtime_.size());
-  for (std::size_t s = 0; s < runtime_.size(); ++s) {
-    const ShardRuntime& rt = *runtime_[s];
-    ShardHealth& sh = h.shards[s];
-    sh.queue_depth = queues_[s]->approx_size();
-    sh.heartbeat = rt.heartbeat.load(std::memory_order_relaxed);
-    const std::uint64_t beat = rt.last_beat_ns.load(std::memory_order_relaxed);
-    sh.heartbeat_age_ns = (beat > 0 && now > beat) ? now - beat : 0;
-    sh.processed = rt.processed.load(std::memory_order_relaxed);
-    sh.completed = rt.completed.load(std::memory_order_relaxed);
-    sh.shedding = rt.shedding.load(std::memory_order_relaxed);
-    sh.crashed = rt.crashed.load(std::memory_order_relaxed);
-    h.crashes += rt.crashes.load(std::memory_order_relaxed);
+  h.crashes = acc_.crashes;
+  if (epoch_) {
+    const TopologyEpoch& ep = *epoch_;
+    h.level = ep.level;
+    h.epoch = ep.index;
+    h.shards.resize(ep.runtimes.size());
+    for (std::size_t s = 0; s < ep.runtimes.size(); ++s) {
+      const ShardRuntime& rt = *ep.runtimes[s];
+      ShardHealth& sh = h.shards[s];
+      sh.queue_depth = ep.queues[s]->approx_size();
+      sh.heartbeat = rt.heartbeat.load(std::memory_order_relaxed);
+      const std::uint64_t beat =
+          rt.last_beat_ns.load(std::memory_order_relaxed);
+      sh.heartbeat_age_ns = (beat > 0 && now > beat) ? now - beat : 0;
+      sh.processed = rt.processed.load(std::memory_order_relaxed);
+      sh.completed = rt.completed.load(std::memory_order_relaxed);
+      sh.shedding = rt.shedding.load(std::memory_order_relaxed);
+      sh.crashed = rt.crashed.load(std::memory_order_relaxed);
+      h.crashes += rt.crashes.load(std::memory_order_relaxed);
+    }
   }
   const std::uint64_t tickets = tickets_.load(std::memory_order_relaxed);
   h.rejected = rejected_.load(std::memory_order_relaxed);
@@ -437,6 +767,17 @@ ServiceHealth CountingService::health() const {
   h.shed = shed_.load(std::memory_order_relaxed);
   h.respawns = respawns_.load(std::memory_order_relaxed);
   return h;
+}
+
+std::vector<EpochStats> CountingService::epoch_history() const {
+  std::lock_guard<std::mutex> lock(fence_mu_);
+  return epoch_stats_;
+}
+
+std::uint64_t CountingService::shard_total(std::uint32_t shard) const {
+  std::lock_guard<std::mutex> lock(fence_mu_);
+  if (!epoch_ || shard >= epoch_->nets.size()) return 0;
+  return epoch_->nets[shard]->total();
 }
 
 ResidueAudit CountingService::audit() const {
@@ -447,18 +788,15 @@ ResidueAudit CountingService::audit() const {
   a.accounted = stats_.rejected + stats_.dropped + stats_.crash_lost +
                 stats_.abandoned;
   a.exact = a.holes == a.accounted;
-  // Gap-freedom per residue class: a shard network's quiescent total is
-  // exactly how many local values 0..total-1 it handed out, so total ==
-  // completed(shard) means the class's completed global values are
-  // contiguous multiples-plus-residue with precisely the accounted
-  // tickets missing.
-  a.gap_free = true;
+  // Gap-freedom across every epoch: each epoch's check ran at its fence
+  // while the shard networks were quiescent (see retire_epoch), and the
+  // epochs' ticket ranges tile the global value space.
+  std::lock_guard<std::mutex> lock(fence_mu_);
+  a.gap_free = !epoch_stats_.empty();
   std::uint64_t sum = 0;
-  for (std::uint32_t s = 0; s < shards(); ++s) {
-    const std::uint64_t done_here =
-        s < stats_.shard_completed.size() ? stats_.shard_completed[s] : 0;
-    if (shards_[s]->total() != done_here) a.gap_free = false;
-    sum += done_here;
+  for (const EpochStats& es : epoch_stats_) {
+    if (!es.gap_free) a.gap_free = false;
+    sum += es.completed;
   }
   if (sum != stats_.completed) a.gap_free = false;
   return a;
@@ -467,51 +805,48 @@ ResidueAudit CountingService::audit() const {
 void CountingService::stop() {
   if (!started_ || stopped_) return;
   stopped_ = true;
-  accepting_.store(false, std::memory_order_release);
-  while (pending_submits_.load(std::memory_order_acquire) != 0) {
+  accepting_.exchange(false, std::memory_order_seq_cst);
+  while (pending_submits_.load(std::memory_order_seq_cst) != 0) {
     std::this_thread::yield();
   }
   stopping_.store(true, std::memory_order_release);
-  // The supervisor exits after one final respawn sweep; joining it
-  // before the workers means no new worker threads appear underneath the
-  // joins below.
+  // The supervisor exits after one final sweep (and any in-flight
+  // controller resize completes first); joining it before the fence
+  // means no new worker threads appear underneath the joins below.
   if (supervisor_.joinable()) supervisor_.join();
-  for (std::thread& w : workers_) {
-    if (w.joinable()) w.join();
-  }
-  workers_.clear();
-  scavenge_queues();
+  {
+    std::lock_guard<std::mutex> lock(fence_mu_);
+    retire_epoch();
 
-  stats_ = ServiceStats{};
-  const std::uint64_t tickets = tickets_.load(std::memory_order_relaxed);
-  stats_.rejected = rejected_.load(std::memory_order_relaxed);
-  stats_.submitted = tickets - stats_.rejected;
-  stats_.shed = shed_.load(std::memory_order_relaxed);
-  stats_.timed_out = timed_out_.load(std::memory_order_relaxed);
-  stats_.respawns = respawns_.load(std::memory_order_relaxed);
-  stats_.wedge_detections =
-      wedge_detections_.load(std::memory_order_relaxed);
-  stats_.abandoned = abandoned_.load(std::memory_order_relaxed);
-  stats_.shard_completed.resize(runtime_.size());
-  for (std::size_t s = 0; s < runtime_.size(); ++s) {
-    const ShardRuntime& rt = *runtime_[s];
-    const std::uint64_t done_here =
-        rt.completed.load(std::memory_order_relaxed);
-    stats_.completed += done_here;
-    stats_.dropped += rt.dropped.load(std::memory_order_relaxed);
-    stats_.crash_lost += rt.crash_lost.load(std::memory_order_relaxed);
-    stats_.crashes += rt.crashes.load(std::memory_order_relaxed);
-    stats_.batches += rt.batches.load(std::memory_order_relaxed);
-    stats_.stalls += rt.stalls.load(std::memory_order_relaxed);
-    const std::uint64_t mb = rt.max_batch.load(std::memory_order_relaxed);
-    if (mb > stats_.max_batch_seen) stats_.max_batch_seen = mb;
-    stats_.shard_completed[s] = done_here;
-    stats_.latency.merge(rt.latency);
+    stats_ = ServiceStats{};
+    const std::uint64_t tickets = tickets_.load(std::memory_order_relaxed);
+    stats_.rejected = rejected_.load(std::memory_order_relaxed);
+    stats_.submitted = tickets - stats_.rejected;
+    stats_.shed = shed_.load(std::memory_order_relaxed);
+    stats_.timed_out = timed_out_.load(std::memory_order_relaxed);
+    stats_.respawns = respawns_.load(std::memory_order_relaxed);
+    stats_.wedge_detections =
+        wedge_detections_.load(std::memory_order_relaxed);
+    stats_.abandoned = abandoned_.load(std::memory_order_relaxed);
+    stats_.completed = acc_.completed;
+    stats_.dropped = acc_.dropped;
+    stats_.crash_lost = acc_.crash_lost;
+    stats_.crashes = acc_.crashes;
+    stats_.batches = acc_.batches;
+    stats_.stalls = acc_.stalls;
+    stats_.max_batch_seen = acc_.max_batch_seen;
+    stats_.splits = acc_.splits;
+    stats_.merges = acc_.merges;
+    stats_.epochs = epoch_stats_.size();
+    stats_.final_level =
+        epoch_stats_.empty() ? 0 : epoch_stats_.back().level;
+    stats_.shard_completed = acc_.shard_completed;
+    stats_.latency = acc_.latency;
+    stats_.mean_batch =
+        stats_.batches > 0 ? static_cast<double>(stats_.completed) /
+                                 static_cast<double>(stats_.batches)
+                           : 0.0;
   }
-  stats_.mean_batch =
-      stats_.batches > 0 ? static_cast<double>(stats_.completed) /
-                               static_cast<double>(stats_.batches)
-                         : 0.0;
   if (cfg_.record) {
     std::lock_guard<std::mutex> lock(emit_mu_);
     buffer_->flush();

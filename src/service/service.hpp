@@ -68,9 +68,29 @@
 // analyzers attach live. The lock exists ONLY on the recording path;
 // un-recorded runs (the saturation benchmarks) touch no shared mutable
 // state beyond the queues and the shard networks.
+// Elastic width (paper Props 5.6-5.10 + Lemma 3.1): when
+// ServiceConfig::elastic is enabled the fixed residue-class router is
+// replaced by a versioned TopologyEpoch, swapped atomically. Epoch
+// e at split level ell runs 2^ell shards, each a Subnetwork extracted by
+// core/split.hpp's SplitPlan from the SAME base topology, fed in its
+// balanced cyclic feed order (the parts are merger tails, not
+// arbitrary-input counting networks; verify_extraction certifies the
+// discipline). Tickets are rebased per epoch: epoch-local ticket
+// u = t - base routes to shard u mod 2^ell, and local value v becomes
+// global base + v * 2^ell + shard (util/residue.hpp::EpochMap), so
+// consecutive epochs tile the global value space gap-free no matter how
+// often the width changes. resize(ell) drains the current epoch to a
+// QUIESCENCE FENCE — admission closed, in-flight submits retired, every
+// accepted ticket completed or accounted, per-epoch residue audit taken
+// — then atomically installs the new epoch. A per-epoch
+// StreamingConsistency tee reports measured F_nl / F_nsc against the
+// Cor 5.12/5.13 adversarial lower bounds at the epoch's split level,
+// and an adaptive controller (supervisor-driven) splits on sustained
+// queue pressure and merges when drained.
 #pragma once
 
 #include <atomic>
+#include <cmath>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -79,12 +99,15 @@
 #include <vector>
 
 #include "concurrent/concurrent_network.hpp"
+#include "core/split.hpp"
 #include "core/topology.hpp"
 #include "fault/chaos.hpp"
 #include "fault/fault.hpp"
 #include "service/histogram.hpp"
 #include "service/queue.hpp"
 #include "trace/sink.hpp"
+#include "trace/streaming.hpp"
+#include "util/residue.hpp"
 
 namespace cn::service {
 
@@ -103,6 +126,44 @@ struct Request {
 /// Stored to Request::done when a fault abandoned the request.
 inline constexpr std::uint64_t kDroppedSignal =
     static_cast<std::uint64_t>(-1);
+
+/// Live split/merge resharding (paper Props 5.6-5.10). The base
+/// topology must be continuously uniformly splittable AND pass
+/// verify_extraction up to max_level — validate() certifies both.
+struct ElasticConfig {
+  bool enabled = false;
+  std::uint32_t initial_level = 0;  ///< 2^level shards at start().
+  std::uint32_t min_level = 0;      ///< Controller / resize floor.
+  /// Controller / resize ceiling; must be <= operational_max_level of
+  /// the base topology (0 with min_level 0 means "level 0 only", which
+  /// still exercises the epoch machinery via explicit resize(0)).
+  std::uint32_t max_level = 0;
+  /// Adaptive controller: the supervisor samples mean queue depth (as a
+  /// fraction of capacity) each poll and resizes after `breach_polls`
+  /// consecutive samples beyond a threshold — split above
+  /// split_queue_frac, merge below merge_queue_frac — with at least
+  /// cooldown_ns between transitions.
+  bool controller = false;
+  double split_queue_frac = 0.5;
+  double merge_queue_frac = 0.05;
+  std::uint32_t breach_polls = 3;
+  std::uint64_t cooldown_ns = 2'000'000;
+};
+
+/// Cor 5.12 adversarial lower bound on the non-linearizable fraction at
+/// split level ell: (1 - 2^-ell) / (2 - 2^-ell). A measured F_nl may
+/// legitimately sit anywhere in [0, 1] — the bound says an adversary CAN
+/// force at least this much, not that every schedule does.
+inline double f_nl_bound(std::uint32_t ell) noexcept {
+  const double p = std::ldexp(1.0, -static_cast<int>(ell));
+  return (1.0 - p) / (2.0 - p);
+}
+
+/// Cor 5.13: the matching sequential-consistency bound 2^-ell/(2 - 2^-ell).
+inline double f_nsc_bound(std::uint32_t ell) noexcept {
+  const double p = std::ldexp(1.0, -static_cast<int>(ell));
+  return p / (2.0 - p);
+}
 
 struct ServiceConfig {
   std::uint32_t shards = 2;
@@ -130,6 +191,16 @@ struct ServiceConfig {
   /// arrivals at >= high, resume below low. high <= 0 disables shedding.
   double shed_high_watermark = 0.0;
   double shed_low_watermark = 0.0;
+
+  // --- elastic width ----------------------------------------------------
+  /// When enabled, `shards` is ignored: the service runs 2^level
+  /// extracted subnetworks per epoch and resize() / the controller moves
+  /// between levels. Shard-targeted chaos (worker crash/stall events and
+  /// fault.worker_crash_*) is rejected by validate() in elastic mode —
+  /// their at_ops triggers are per-shard and do not survive epoch
+  /// boundaries; thread faults (stall/abandon probabilities) remain
+  /// available and exercise per-epoch hole accounting.
+  ElasticConfig elastic;
 };
 
 /// Empty when the config is runnable, else a human-readable reason.
@@ -158,8 +229,48 @@ struct ServiceStats {
   std::uint64_t max_batch_seen = 0;
   double mean_batch = 0.0;       ///< completed / batches.
   std::uint64_t stalls = 0;      ///< Injected worker stalls taken.
+  std::uint64_t splits = 0;      ///< Epoch transitions to a deeper level.
+  std::uint64_t merges = 0;      ///< Epoch transitions to a shallower one.
+  std::uint64_t epochs = 1;      ///< Topology epochs lived (>= 1).
+  std::uint32_t final_level = 0; ///< Split level of the last epoch.
+  /// Per-shard completions of the FINAL epoch (the full run for a
+  /// non-elastic service, which only ever has one epoch).
   std::vector<std::uint64_t> shard_completed;
-  LatencyHistogram latency;      ///< Submit-to-completion, merged.
+  LatencyHistogram latency;      ///< Submit-to-completion, all epochs.
+};
+
+/// One retired topology epoch's accounting, recorded at its quiescence
+/// fence (or at stop() for the final epoch). The per-epoch residue
+/// audit is Lemma 3.1 applied to the epoch's rebased ticket range
+/// [base, base + tickets): ok() means the epoch's completed global
+/// values are exactly that range minus the accounted holes — the
+/// acceptance gate `audit_exact && gap_free` across every boundary.
+struct EpochStats {
+  std::uint64_t index = 0;
+  std::uint32_t level = 0;       ///< Split level (2^level shards).
+  std::uint32_t shards = 1;
+  std::uint64_t base = 0;        ///< First ticket / global value.
+  std::uint64_t tickets = 0;     ///< Dispensed during the epoch.
+  std::uint64_t accepted = 0;    ///< Queued (tickets minus rejections).
+  std::uint64_t rejected = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t crash_lost = 0;
+  std::uint64_t abandoned = 0;   ///< Scavenged at the fence.
+  bool audit_exact = false;      ///< holes == accounted, this epoch.
+  bool gap_free = false;         ///< Every shard total == completions.
+  std::uint64_t p50_ns = 0;
+  std::uint64_t p99_ns = 0;
+  /// Streaming consistency over the epoch's records (record mode only;
+  /// -1 when not recording) vs the Cor 5.12/5.13 adversarial lower
+  /// bounds at this epoch's split level.
+  double f_nl = -1.0;
+  double f_nsc = -1.0;
+  double f_nl_bound = 0.0;
+  double f_nsc_bound = 0.0;
+  std::vector<std::uint64_t> shard_completed;
+  bool ok() const noexcept { return audit_exact && gap_free; }
 };
 
 /// Canonical serialization of the replayable subset of ServiceStats:
@@ -189,6 +300,8 @@ struct ServiceHealth {
   std::uint64_t shed = 0;
   std::uint64_t crashes = 0;
   std::uint64_t respawns = 0;
+  std::uint32_t level = 0;   ///< Current epoch's split level.
+  std::uint64_t epoch = 0;   ///< Current epoch index.
 };
 
 /// Quiescent residue accounting (the Lemma 3.1 audit), valid after
@@ -245,23 +358,44 @@ class CountingService {
   /// per-worker stats. Idempotent.
   void stop();
 
+  /// Elastic resharding: drains the current epoch to its quiescence
+  /// fence (admission closed, every accepted ticket completed or
+  /// accounted, per-epoch audit recorded), then installs a fresh epoch
+  /// at split level `level` — 2^level shards, each an extracted
+  /// subnetwork of the base topology — and reopens admission. Returns
+  /// an empty string on success; resizing to the current level is a
+  /// successful no-op. Callable from any thread (including the
+  /// supervisor's controller); transitions are serialized.
+  std::string resize(std::uint32_t level);
+
+  /// Split level of the live epoch (0 when elastic mode is off).
+  std::uint32_t current_level() const noexcept {
+    return level_.load(std::memory_order_relaxed);
+  }
+
+  /// Retired-epoch accounting, one entry per epoch lived so far (the
+  /// live epoch is appended at its fence / at stop()). Snapshot —
+  /// callable at any time.
+  std::vector<EpochStats> epoch_history() const;
+
   /// Valid after stop().
   const ServiceStats& stats() const noexcept { return stats_; }
 
   /// Mid-run snapshot; also valid (and quiescent) after stop().
   ServiceHealth health() const;
 
-  /// The Lemma 3.1 residue audit. Valid after stop().
+  /// The Lemma 3.1 residue audit, across every epoch. Valid after
+  /// stop().
   ResidueAudit audit() const;
 
+  /// Shard count of the live epoch.
   std::uint32_t shards() const noexcept {
-    return static_cast<std::uint32_t>(shards_.size());
+    return nshards_.load(std::memory_order_relaxed);
   }
 
-  /// Quiescent per-shard totals (only meaningful after stop()).
-  std::uint64_t shard_total(std::uint32_t shard) const {
-    return shards_[shard]->total();
-  }
+  /// Quiescent per-shard totals of the final epoch (only meaningful
+  /// after stop()).
+  std::uint64_t shard_total(std::uint32_t shard) const;
 
  private:
   /// Per-shard state that survives worker respawns. The persistent
@@ -284,28 +418,103 @@ class CountingService {
     std::atomic<bool> shedding{false};
     std::atomic<bool> wedged{false};  ///< Debounce wedge detection.
 
+    std::atomic<bool> exited{false};  ///< Set on EVERY worker return.
+
     // Worker-only persistent state (see struct comment).
     std::unique_ptr<fault::FaultStream> faults;
     std::vector<fault::ChaosEvent> chaos;  ///< Sorted by at_ops.
     std::size_t chaos_next = 0;
-    std::uint64_t next_source = 0;
+    std::uint64_t next_source = 0;  ///< Classic path's source cursor.
+    std::uint64_t feed_cursor = 0;  ///< Elastic balanced-feed cursor.
     std::uint64_t stall_window_end = 0;   ///< processed bound, 0 = none.
     std::uint64_t stall_window_ns = 0;
     LatencyHistogram latency;  ///< Single-writer (the current worker);
-                               ///< merged by stop() after the joins.
+                               ///< merged at the epoch's fence.
   };
 
-  void worker_loop(std::uint32_t shard);
+  /// One topology version: shard networks, queues, runtimes, and worker
+  /// threads all live and die together. try_submit readers access the
+  /// live epoch through a raw pointer whose lifetime the
+  /// pending-submits lease guarantees: an epoch is only retired after
+  /// admission is closed AND the pending count hits zero, so no
+  /// submitter can hold a stale pointer across a swap. Workers keep
+  /// their epoch pointer from spawn to join, and the fence joins them
+  /// before the epoch is destroyed.
+  struct TopologyEpoch {
+    std::uint64_t index = 0;
+    std::uint32_t level = 0;
+    residue::EpochMap map{0, 1};  ///< Ticket rebase + residue routing.
+    /// Extracted subnetworks (elastic mode; empty => classic full-copy
+    /// shards). parts[r].net backs nets[r]; feed_order drives the
+    /// worker's balanced cyclic feeding.
+    std::vector<Subnetwork> parts;
+    std::vector<std::unique_ptr<ConcurrentNetwork>> nets;
+    std::vector<std::unique_ptr<BoundedQueue<Request>>> queues;
+    std::vector<std::unique_ptr<ShardRuntime>> runtimes;
+    std::vector<std::thread> workers;
+    std::atomic<std::uint64_t> accepted{0};
+    std::atomic<std::uint64_t> rejected{0};
+    std::atomic<std::uint64_t> shed{0};
+    std::atomic<std::uint64_t> abandoned{0};
+    std::atomic<bool> retiring{false};
+  };
+
+  /// Forwards the issue-ordered record stream to the per-epoch
+  /// consistency analyzer AND the user's sink. finish() is NOT
+  /// propagated — the service finishes the analyzer at each fence and
+  /// the caller finishes the downstream sink.
+  class RecordFanout final : public TraceSink {
+   public:
+    void on_record(const TokenRecord& r) override {
+      if (sc != nullptr) sc->on_record(r);
+      if (down != nullptr) down->on_record(r);
+    }
+    void on_records(std::span<const TokenRecord> rs) override {
+      if (sc != nullptr) sc->on_records(rs);
+      if (down != nullptr) down->on_records(rs);
+    }
+    StreamingConsistency* sc = nullptr;
+    TraceSink* down = nullptr;
+  };
+
+  void worker_loop(TopologyEpoch* epoch, std::uint32_t shard);
   void supervisor_loop();
-  void scavenge_queues();
+  /// Builds + launches an epoch at `level` and opens admission.
+  /// Requires fence_mu_.
+  void install_epoch(std::uint32_t level);
+  /// The quiescence fence: closes admission, retires the live epoch
+  /// (drain, heal, join, scavenge), records its EpochStats, and folds
+  /// its counters into the run accumulators. Requires fence_mu_; does
+  /// NOT reopen admission.
+  void retire_epoch();
 
   ServiceConfig cfg_;
   TraceSink* sink_ = nullptr;
-  std::vector<std::unique_ptr<ConcurrentNetwork>> shards_;
-  std::vector<std::unique_ptr<BoundedQueue<Request>>> queues_;
-  std::vector<std::unique_ptr<ShardRuntime>> runtime_;
-  std::vector<std::thread> workers_;  ///< Slot per shard; the supervisor
-                                      ///< is the only respawner.
+  std::unique_ptr<SplitPlan> plan_;  ///< Elastic mode only.
+
+  /// Live epoch. Owner is epoch_; epoch_ptr_ is the submitters' raw
+  /// acquire-load view (see TopologyEpoch's lifetime note). Both only
+  /// change under fence_mu_ with admission closed and pending drained.
+  std::shared_ptr<TopologyEpoch> epoch_;
+  std::atomic<TopologyEpoch*> epoch_ptr_{nullptr};
+  std::atomic<std::uint32_t> level_{0};
+  std::atomic<std::uint32_t> nshards_{0};
+  std::uint64_t next_epoch_index_ = 0;
+
+  /// Serializes epoch transitions, supervisor sweeps, and health
+  /// snapshots against each other. The supervisor try_locks so a long
+  /// fence never blocks its exit.
+  mutable std::mutex fence_mu_;
+  std::vector<EpochStats> epoch_stats_;  ///< Guarded by fence_mu_.
+
+  /// Controller state (supervisor thread only).
+  std::uint32_t split_streak_ = 0;
+  std::uint32_t merge_streak_ = 0;
+  std::uint64_t last_resize_ns_ = 0;
+
+  /// Run accumulators folded at each fence (fence_mu_).
+  ServiceStats acc_;
+
   std::thread supervisor_;
 
   /// Next ticket; its low bits route. fetch_add is the ONLY cross-shard
@@ -325,9 +534,12 @@ class CountingService {
 
   // Recording path only: one mutex serializes every event-seq draw AND
   // the issue-order buffer transitions, which is what makes the emitted
-  // stream exact w.r.t. the sink contract.
+  // stream exact w.r.t. the sink contract. The buffer drains through
+  // fanout_ into the per-epoch consistency analyzer and the user sink.
   std::mutex emit_mu_;
   std::uint64_t events_ = 0;
+  RecordFanout fanout_;
+  std::unique_ptr<StreamingConsistency> epoch_sc_;
   std::unique_ptr<IssueOrderBuffer> buffer_;
 
   ServiceStats stats_;

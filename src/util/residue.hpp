@@ -1,0 +1,92 @@
+// Residue-class arithmetic of the modular counting decomposition
+// (paper Lemma 3.1), shared by the service router, the ResidueAudit,
+// and the SplitPlan subnetwork remap.
+//
+// The decomposition: a dispenser hands out globally unique tickets
+// t = 0, 1, 2, ...; ticket t is served by shard t mod N, and the v-th
+// local value of shard r becomes the global value v * N + r. Shard r
+// therefore serves exactly the residue class { x : x ≡ r (mod N) }, and
+// as long as every ticket completes, the union of the shards' outputs
+// is a gap-free prefix 0..M-1 with zero cross-shard coordination.
+//
+// The elastic service re-bases the decomposition per topology epoch: an
+// epoch that begins after `base` tickets have been dispensed maps ticket
+// t to the epoch-local ticket u = t - base, routes by u mod N, and
+// offsets every global value by `base`. Because each dispensed ticket
+// owns exactly one value slot (completed, or an accounted residue
+// hole), consecutive epochs tile the value space without gaps:
+// epoch e covers [base_e, base_{e+1}).
+#pragma once
+
+#include <cstdint>
+
+namespace cn::residue {
+
+/// Shard (= residue class) serving ticket `t` among `n` shards.
+constexpr std::uint32_t shard_of(std::uint64_t t, std::uint32_t n) noexcept {
+  return static_cast<std::uint32_t>(t % n);
+}
+
+/// Global value of the shard-local value `local` on shard `r` of `n`
+/// (Lemma 3.1's inverse map: local values are gap-free 0..k-1 by the
+/// counting property, so the class's globals are r, r+n, r+2n, ...).
+constexpr std::uint64_t global_value(std::uint64_t local, std::uint32_t n,
+                                     std::uint32_t r) noexcept {
+  return local * n + r;
+}
+
+/// Shard-local value that produced global value `g` among `n` shards.
+constexpr std::uint64_t local_value(std::uint64_t g, std::uint32_t n) noexcept {
+  return g / n;
+}
+
+/// Residue class of global value `g` among `n` shards.
+constexpr std::uint32_t class_of(std::uint64_t g, std::uint32_t n) noexcept {
+  return static_cast<std::uint32_t>(g % n);
+}
+
+/// One epoch of the re-based decomposition: `base` tickets were
+/// dispensed before it began, `shards` residue classes serve it.
+struct EpochMap {
+  std::uint64_t base = 0;
+  std::uint32_t shards = 1;
+
+  /// Epoch-local ticket of global ticket `t` (requires t >= base).
+  constexpr std::uint64_t local_ticket(std::uint64_t t) const noexcept {
+    return t - base;
+  }
+
+  /// Shard serving global ticket `t`.
+  constexpr std::uint32_t shard_of(std::uint64_t t) const noexcept {
+    return residue::shard_of(local_ticket(t), shards);
+  }
+
+  /// Global value of shard `r`'s local value `local` in this epoch.
+  constexpr std::uint64_t global_value(std::uint64_t local,
+                                       std::uint32_t r) const noexcept {
+    return base + residue::global_value(local, shards, r);
+  }
+};
+
+/// Split-level remap (paper Props 5.6-5.10 + Lemma 3.1): at split level
+/// ell the network decomposes into 2^ell independent subnetworks, and
+/// subnetwork r of width m = w / 2^ell serves the tickets ≡ r (mod
+/// 2^ell). Its j-th token receives local value j and exits local sink
+/// j mod m; embedded in the full network the same token is the value
+/// j * 2^ell + r exiting full sink (j * 2^ell + r) mod w. These two
+/// helpers express that embedding; split_test.cpp verifies it
+/// differentially against the sequential full-network traversal.
+constexpr std::uint32_t shards_at_level(std::uint32_t ell) noexcept {
+  return 1u << ell;
+}
+
+/// Full-network sink of a subnetwork's local sink `u` at level `ell`
+/// for residue class `r` of a width-`w` network. Well-defined: every
+/// local value v with v mod m == u maps to the same full sink.
+constexpr std::uint32_t embed_sink(std::uint32_t u, std::uint32_t ell,
+                                   std::uint32_t r, std::uint32_t w) noexcept {
+  return static_cast<std::uint32_t>(
+      (static_cast<std::uint64_t>(u) * shards_at_level(ell) + r) % w);
+}
+
+}  // namespace cn::residue

@@ -42,7 +42,12 @@ TEST(EngineRegistry, UnknownBackendIsAnErrorResult) {
   spec.backend = "no_such_backend";
   const engine::RunResult res = engine::run_backend(spec);
   EXPECT_FALSE(res.ok());
+  EXPECT_EQ(res.error_kind, engine::ErrorKind::kSpecInvalid);
   EXPECT_NE(res.error.find("no_such_backend"), std::string::npos);
+  // The error names the registry, so a config typo surfaces the menu.
+  for (const std::string& name : engine::backend_names()) {
+    EXPECT_NE(res.error.find(name), std::string::npos) << name;
+  }
 }
 
 // The simulator backend must be a pure repackaging of the direct
@@ -469,6 +474,65 @@ TEST(EngineBackends, ServiceBackendStreamsWithZeroViolationsAtQuiescence) {
   ASSERT_TRUE(res.ok()) << res.error;
   EXPECT_TRUE(res.trace.empty());
   EXPECT_EQ(res.report.total, 320u);
+}
+
+TEST(EngineBackends, ElasticServiceBackendRunsAResizePlan) {
+  // A forced resize schedule through two splits and two merges: the
+  // backend must report the epoch-transition metrics and the per-epoch
+  // audit gate (epochs_ok) must hold, with the union of all epochs'
+  // values still gap-free (total_ops == report.total == submissions).
+  engine::RunSpec spec;
+  spec.backend = "service";
+  spec.network = "bitonic";
+  spec.width = 8;
+  spec.threads = 4;
+  spec.ops_per_thread = 150;
+  spec.service_batch = 8;
+  spec.service_elastic = true;
+  spec.service_max_level = 3;
+  spec.service_resize_plan = "1,2,1,0";
+  const engine::RunResult res = engine::run_backend(spec);
+  ASSERT_TRUE(res.ok()) << res.error;
+  EXPECT_EQ(res.metric("total_ops", -1.0), 600.0);
+  EXPECT_EQ(res.metric("epochs", -1.0), 5.0);
+  EXPECT_EQ(res.metric("splits", -1.0), 2.0);
+  EXPECT_EQ(res.metric("merges", -1.0), 2.0);
+  EXPECT_EQ(res.metric("final_level", -1.0), 0.0);
+  EXPECT_EQ(res.metric("epochs_ok", -1.0), 1.0);
+  EXPECT_EQ(res.metric("audit_exact", -1.0), 1.0);
+  EXPECT_EQ(res.metric("audit_gap_free", -1.0), 1.0);
+  ASSERT_EQ(res.trace.size(), 600u);
+  std::set<std::uint64_t> values;
+  for (const TokenRecord& rec : res.trace) values.insert(rec.value);
+  EXPECT_EQ(values.size(), 600u);
+  EXPECT_EQ(*values.rbegin(), 599u);
+  // Recording mode also reports the per-epoch consistency extremes.
+  EXPECT_TRUE(res.metrics.count("max_epoch_f_nl"));
+  EXPECT_GE(res.metric("max_epoch_f_nl", -1.0), 0.0);
+}
+
+TEST(EngineBackends, ElasticSpecInvalidReasonsSurface) {
+  engine::RunSpec spec;
+  spec.backend = "service";
+  spec.network = "counting_tree";  // not uniformly splittable
+  spec.width = 8;
+  spec.threads = 1;
+  spec.ops_per_thread = 10;
+  spec.service_elastic = true;
+  spec.service_max_level = 1;
+  const engine::RunResult tree = engine::run_backend(spec);
+  EXPECT_FALSE(tree.ok());
+  EXPECT_EQ(tree.error_kind, engine::ErrorKind::kSpecInvalid);
+  spec.network = "bitonic";
+  spec.service_resize_plan = "1,9";  // 9 beyond max_level
+  const engine::RunResult bad_plan = engine::run_backend(spec);
+  EXPECT_FALSE(bad_plan.ok());
+  EXPECT_EQ(bad_plan.error_kind, engine::ErrorKind::kSpecInvalid);
+  spec.service_resize_plan = "1";
+  spec.service_elastic = false;  // plan without elastic mode
+  const engine::RunResult no_elastic = engine::run_backend(spec);
+  EXPECT_FALSE(no_elastic.ok());
+  EXPECT_EQ(no_elastic.error_kind, engine::ErrorKind::kSpecInvalid);
 }
 
 TEST(EngineBackends, ServiceBackendRejectsInvalidSpecs) {

@@ -128,6 +128,47 @@ TEST(LatencyHistogram, PercentilesAreMonotoneAndCappedAtMax) {
   }
 }
 
+TEST(LatencyHistogram, EmptyHistogramIsAllZero) {
+  const LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  for (double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(h.percentile(q), 0u) << "q=" << q;
+  }
+  EXPECT_EQ(h.p50(), 0u);
+  EXPECT_EQ(h.p99(), 0u);
+}
+
+TEST(LatencyHistogram, SingleSampleDominatesEveryPercentile) {
+  LatencyHistogram h;
+  h.record(12'345);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.max(), 12'345u);
+  std::uint64_t prev = 0;
+  for (double q : {0.0, 0.5, 0.99, 1.0}) {
+    const std::uint64_t p = h.percentile(q);
+    EXPECT_GE(p, prev) << "q=" << q;
+    EXPECT_LE(p, h.max()) << "q=" << q;
+    EXPECT_GT(p, 0u) << "q=" << q;
+    prev = p;
+  }
+}
+
+TEST(LatencyHistogram, MergeWithEmptyIsIdentityBothWays) {
+  LatencyHistogram full;
+  for (std::uint64_t v = 1; v <= 100; ++v) full.record(v * 37);
+  LatencyHistogram empty;
+  full.merge(empty);  // no-op
+  EXPECT_EQ(full.count(), 100u);
+  LatencyHistogram target;
+  target.merge(full);  // copy-into-empty
+  EXPECT_EQ(target.count(), full.count());
+  EXPECT_EQ(target.max(), full.max());
+  for (double q : {0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_EQ(target.percentile(q), full.percentile(q)) << "q=" << q;
+  }
+}
+
 TEST(LatencyHistogram, MergeMatchesCombinedRecording) {
   LatencyHistogram a;
   LatencyHistogram b;
@@ -654,6 +695,254 @@ TEST(PolicyClient, RetriesExhaustAgainstFullQueueAsRejected) {
   EXPECT_EQ(r.retries, 3u);
   EXPECT_EQ(client.stats().rejected, 1u);
   EXPECT_EQ(client.stats().retries, 3u);
+}
+
+// --- elastic width: live split/merge resharding ---
+
+ServiceConfig elastic_config(const Network& net, std::uint32_t max_level) {
+  ServiceConfig cfg = small_config(net, /*shards=*/1);
+  cfg.elastic.enabled = true;
+  cfg.elastic.initial_level = 0;
+  cfg.elastic.min_level = 0;
+  cfg.elastic.max_level = max_level;
+  return cfg;
+}
+
+TEST(ElasticService, ValidateCertifiesSplittabilityAndRejectsChaos) {
+  const Network bitonic = make_bitonic(8);
+  EXPECT_TRUE(service::validate(elastic_config(bitonic, 3)).empty());
+  EXPECT_TRUE(service::validate(elastic_config(bitonic, 0)).empty());
+  // Beyond the split number.
+  EXPECT_FALSE(service::validate(elastic_config(bitonic, 4)).empty());
+  // A counting tree is not uniformly splittable at all.
+  const Network tree = make_counting_tree(8);
+  EXPECT_FALSE(service::validate(elastic_config(tree, 1)).empty());
+  // min <= initial <= max ordering.
+  ServiceConfig bad_order = elastic_config(bitonic, 2);
+  bad_order.elastic.min_level = 1;
+  bad_order.elastic.initial_level = 0;
+  EXPECT_FALSE(service::validate(bad_order).empty());
+  // Shard-targeted chaos cannot survive epoch boundaries.
+  ServiceConfig crash = elastic_config(bitonic, 2);
+  crash.fault.enabled = true;
+  crash.fault.worker_crash_at = 10;
+  EXPECT_FALSE(service::validate(crash).empty());
+  ServiceConfig chaos = elastic_config(bitonic, 2);
+  fault::ChaosEvent e;
+  e.kind = fault::ChaosKind::kStallWindow;
+  e.at_ops = 10;
+  e.duration_ops = 5;
+  chaos.chaos.events.push_back(e);
+  EXPECT_FALSE(service::validate(chaos).empty());
+  // Thread faults (per-request stall/abandon) remain allowed.
+  ServiceConfig faults = elastic_config(bitonic, 2);
+  faults.fault.enabled = true;
+  faults.fault.p_thread_abandon = 0.01;
+  EXPECT_TRUE(service::validate(faults).empty());
+}
+
+TEST(ElasticService, GapFreeAcrossForcedSplitsAndMerges) {
+  // Quiescent resizes through every level and back: each epoch's tickets
+  // tile the global value space (Lemma 3.1 rebased per epoch), so the
+  // union of all epochs' outputs must still be a gap-free 0..M-1.
+  const Network net = make_bitonic(8);
+  ServiceConfig cfg = elastic_config(net, 3);
+  CountingService svc(cfg);
+  svc.start();
+  std::vector<std::uint64_t> values;
+  std::uint64_t expected = 0;
+  const std::uint32_t schedule[] = {1, 2, 3, 1, 0};
+  for (const std::uint32_t level : schedule) {
+    const std::vector<std::uint64_t> wave = drive(svc, 2, 100);
+    expected += 200;
+    values.insert(values.end(), wave.begin(), wave.end());
+    ASSERT_TRUE(svc.resize(level).empty()) << "level=" << level;
+    EXPECT_EQ(svc.current_level(), level);
+    EXPECT_EQ(svc.shards(), 1u << level);
+  }
+  const std::vector<std::uint64_t> last = drive(svc, 2, 100);
+  expected += 200;
+  values.insert(values.end(), last.begin(), last.end());
+  svc.stop();
+
+  std::sort(values.begin(), values.end());
+  ASSERT_EQ(values.size(), expected);
+  for (std::uint64_t i = 0; i < values.size(); ++i) ASSERT_EQ(values[i], i);
+
+  const ServiceStats& st = svc.stats();
+  EXPECT_EQ(st.epochs, 6u);
+  EXPECT_EQ(st.splits, 3u);  // 0->1, 1->2, (3->1 is a merge), 2->3
+  EXPECT_EQ(st.merges, 2u);  // 3->1, 1->0
+  EXPECT_EQ(st.final_level, 0u);
+  EXPECT_TRUE(svc.audit().ok());
+
+  const std::vector<service::EpochStats> epochs = svc.epoch_history();
+  ASSERT_EQ(epochs.size(), 6u);
+  std::uint64_t base = 0;
+  for (const service::EpochStats& es : epochs) {
+    EXPECT_TRUE(es.ok()) << "epoch " << es.index;
+    EXPECT_EQ(es.base, base) << "epoch ranges must tile the ticket space";
+    EXPECT_EQ(es.shards, 1u << es.level);
+    EXPECT_EQ(es.completed, 200u) << "epoch " << es.index;
+    EXPECT_DOUBLE_EQ(es.f_nl_bound, service::f_nl_bound(es.level));
+    base += es.tickets;
+  }
+}
+
+TEST(ElasticService, ResizeUnderConcurrentLoadStaysGapFree) {
+  // Clients keep submitting while resizes fire: a submit hitting the
+  // quiescence fence is refused (accepting_ closed) and retried, so no
+  // value is lost, and every epoch must still audit exactly.
+  const Network net = make_bitonic(8);
+  ServiceConfig cfg = elastic_config(net, 3);
+  CountingService svc(cfg);
+  svc.start();
+  std::atomic<bool> go{true};
+  std::vector<std::vector<std::uint64_t>> got(4);
+  std::vector<std::thread> clients;
+  for (std::uint32_t t = 0; t < 4; ++t) {
+    clients.emplace_back([&, t] {
+      std::atomic<std::uint64_t> done{0};
+      while (go.load(std::memory_order_relaxed)) {
+        done.store(0, std::memory_order_relaxed);
+        while (!svc.try_submit(t, 0, &done)) {
+          if (!go.load(std::memory_order_relaxed)) return;
+          std::this_thread::yield();
+        }
+        std::uint64_t v = 0;
+        while ((v = done.load(std::memory_order_acquire)) == 0) {
+          std::this_thread::yield();
+        }
+        if (v != service::kDroppedSignal) got[t].push_back(v - 1);
+      }
+    });
+  }
+  for (const std::uint32_t level : {2u, 3u, 1u, 2u, 0u}) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    ASSERT_TRUE(svc.resize(level).empty());
+  }
+  go.store(false, std::memory_order_relaxed);
+  for (auto& c : clients) c.join();
+  svc.stop();
+
+  std::vector<std::uint64_t> values;
+  for (const auto& g : got) values.insert(values.end(), g.begin(), g.end());
+  std::sort(values.begin(), values.end());
+  ASSERT_EQ(values.size(), svc.stats().completed);
+  for (std::uint64_t i = 0; i < values.size(); ++i) ASSERT_EQ(values[i], i);
+  EXPECT_EQ(svc.stats().splits + svc.stats().merges, 5u);
+  EXPECT_TRUE(svc.audit().ok());
+  for (const service::EpochStats& es : svc.epoch_history()) {
+    EXPECT_TRUE(es.ok()) << "epoch " << es.index;
+  }
+}
+
+TEST(ElasticService, RecordsEmbedShardsIntoFullNetworkSinks) {
+  // Elastic records label each completion with the TRUE full-network
+  // sink of the Lemma 3.1 embedding: global value v issued in an epoch
+  // based at b exits sink (v - b) mod w. The per-epoch consistency tee
+  // must also report fractions in range against the Cor 5.12/5.13
+  // bounds.
+  const Network net = make_bitonic(8);
+  ServiceConfig cfg = elastic_config(net, 2);
+  cfg.record = true;
+  CollectSink collect;
+  CountingService svc(cfg, &collect);
+  svc.start();
+  for (const std::uint32_t level : {1u, 2u, 0u}) {
+    drive(svc, 2, 150);
+    ASSERT_TRUE(svc.resize(level).empty());
+  }
+  drive(svc, 2, 150);
+  svc.stop();
+  collect.finish();
+
+  const std::vector<service::EpochStats> epochs = svc.epoch_history();
+  ASSERT_EQ(epochs.size(), 4u);
+  ASSERT_EQ(collect.trace().size(), 1200u);
+  for (const TokenRecord& rec : collect.trace()) {
+    // Locate the record's epoch by its ticket range.
+    const service::EpochStats* home = nullptr;
+    for (const service::EpochStats& es : epochs) {
+      if (rec.value >= es.base && rec.value < es.base + es.tickets) home = &es;
+    }
+    ASSERT_NE(home, nullptr) << "value " << rec.value << " outside all epochs";
+    EXPECT_EQ(rec.sink, (rec.value - home->base) % net.fan_out());
+    EXPECT_EQ((rec.token - home->base) % home->shards,
+              (rec.value - home->base) % home->shards)
+        << "epoch-local ticket routes by residue";
+  }
+  for (const service::EpochStats& es : epochs) {
+    EXPECT_GE(es.f_nl, 0.0) << "recording epochs must report consistency";
+    EXPECT_LE(es.f_nl, 1.0);
+    EXPECT_GE(es.f_nsc, 0.0);
+    EXPECT_LE(es.f_nsc, 1.0);
+    // Cor 5.12's bound vanishes only at level 0 (a single shard can be
+    // linearizable); any real split forces a positive fraction.
+    if (es.level > 0) EXPECT_GT(es.f_nl_bound, 0.0);
+  }
+}
+
+TEST(ElasticService, ControllerSplitsUnderPressureAndMergesWhenDrained) {
+  // Slow workers (1 injected stall per request) against a burst of
+  // fire-and-forget submits: queue depth crosses the split watermark and
+  // the controller must walk the level up; once the burst drains, the
+  // merge watermark walks it back down to the floor.
+  const Network net = make_bitonic(8);
+  ServiceConfig cfg = elastic_config(net, 2);
+  cfg.queue_capacity = 128;
+  cfg.supervisor_poll_ns = 50'000;
+  cfg.elastic.controller = true;
+  cfg.elastic.split_queue_frac = 0.10;
+  cfg.elastic.merge_queue_frac = 0.02;
+  cfg.elastic.breach_polls = 2;
+  cfg.elastic.cooldown_ns = 200'000;
+  cfg.fault.enabled = true;
+  cfg.fault.p_thread_stall = 1.0;
+  cfg.fault.stall_ns = 100'000;
+  CountingService svc(cfg);
+  svc.start();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  std::uint64_t submitted = 0;
+  while (svc.current_level() < 1 &&
+         std::chrono::steady_clock::now() < deadline) {
+    if (svc.try_submit(0, 0)) ++submitted;
+  }
+  ASSERT_GE(svc.current_level(), 1u) << "controller never split";
+  // Stop submitting; the queues drain and the controller merges back.
+  while (svc.current_level() > 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(svc.current_level(), 0u) << "controller never merged back";
+  svc.stop();
+  const ServiceStats& st = svc.stats();
+  EXPECT_GE(st.splits, 1u);
+  EXPECT_GE(st.merges, 1u);
+  EXPECT_GT(submitted, 0u);
+  EXPECT_TRUE(svc.audit().ok());
+}
+
+TEST(ElasticService, ResizeRefusalsAreReasoned) {
+  const Network net = make_bitonic(8);
+  // Elastic off: resize must refuse, classic behavior untouched.
+  ServiceConfig classic = small_config(net, 2);
+  CountingService fixed(classic);
+  fixed.start();
+  EXPECT_FALSE(fixed.resize(1).empty());
+  fixed.stop();
+  // Elastic on: out-of-range levels refuse; the current level is a no-op
+  // that burns no epoch.
+  ServiceConfig cfg = elastic_config(net, 2);
+  CountingService svc(cfg);
+  svc.start();
+  EXPECT_FALSE(svc.resize(3).empty()) << "beyond max_level";
+  EXPECT_TRUE(svc.resize(0).empty()) << "no-op resize to current level";
+  drive(svc, 1, 50);
+  svc.stop();
+  EXPECT_EQ(svc.stats().epochs, 1u) << "refusals and no-ops burn no epoch";
+  EXPECT_TRUE(svc.audit().ok());
 }
 
 }  // namespace

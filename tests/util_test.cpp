@@ -8,6 +8,7 @@
 
 #include "util/bits.hpp"
 #include "util/cli.hpp"
+#include "util/residue.hpp"
 #include "util/rng.hpp"
 #include "util/spin_barrier.hpp"
 #include "util/stats.hpp"
@@ -205,6 +206,61 @@ TEST(SpinBarrier, IsReusable) {
   }
   for (auto& w : workers) w.join();
   EXPECT_EQ(round_sum.load(), static_cast<int>(kThreads) * 10);
+}
+
+TEST(Residue, RoutingAndValueMapRoundTrip) {
+  // Lemma 3.1: ticket t routes to t mod n; shard r's local values
+  // 0..k-1 are the globals r, r+n, r+2n, ... — a partition of 0..M-1.
+  constexpr std::uint32_t n = 4;
+  std::vector<bool> seen(32, false);
+  for (std::uint32_t r = 0; r < n; ++r) {
+    for (std::uint64_t local = 0; local < 8; ++local) {
+      const std::uint64_t g = residue::global_value(local, n, r);
+      EXPECT_EQ(residue::class_of(g, n), r);
+      EXPECT_EQ(residue::local_value(g, n), local);
+      EXPECT_FALSE(seen[g]);
+      seen[g] = true;
+    }
+  }
+  for (bool b : seen) EXPECT_TRUE(b);
+  EXPECT_EQ(residue::shard_of(7, n), 3u);
+  EXPECT_EQ(residue::shard_of(8, n), 0u);
+}
+
+TEST(Residue, EpochMapRebasesTicketsAndValues) {
+  // Epoch starting at base 10 with 2 shards: ticket 13 is epoch-local
+  // ticket 3 on shard 1; its class's first local value is global 11.
+  const residue::EpochMap e{10, 2};
+  EXPECT_EQ(e.local_ticket(13), 3u);
+  EXPECT_EQ(e.shard_of(13), 1u);
+  EXPECT_EQ(e.shard_of(12), 0u);
+  EXPECT_EQ(e.global_value(0, 0), 10u);
+  EXPECT_EQ(e.global_value(0, 1), 11u);
+  EXPECT_EQ(e.global_value(3, 1), 17u);
+  // Consecutive epochs tile the value space: an epoch that dispensed 6
+  // tickets hands the next epoch base 16, and the two ranges abut.
+  const residue::EpochMap next{16, 4};
+  EXPECT_EQ(e.global_value(2, 1), 15u);  // Last slot of epoch 1.
+  EXPECT_EQ(next.global_value(0, 0), 16u);
+}
+
+TEST(Residue, EmbedSinkIsWellDefinedOverTheLocalClass) {
+  // embed_sink(u) must agree for every local value v ≡ u (mod m):
+  // (v * 2^ell + r) mod w depends only on v mod m where m = w / 2^ell.
+  constexpr std::uint32_t w = 8;
+  for (std::uint32_t ell = 1; ell <= 3; ++ell) {
+    const std::uint32_t n = residue::shards_at_level(ell);
+    const std::uint32_t m = w / n;
+    for (std::uint32_t r = 0; r < n; ++r) {
+      for (std::uint64_t v = 0; v < 4 * m; ++v) {
+        const auto direct =
+            static_cast<std::uint32_t>((v * n + r) % w);
+        EXPECT_EQ(residue::embed_sink(
+                      static_cast<std::uint32_t>(v % m), ell, r, w),
+                  direct);
+      }
+    }
+  }
 }
 
 }  // namespace

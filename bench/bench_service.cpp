@@ -3,6 +3,7 @@
 //
 //   bench_service [--width 8] [--clients 8] [--ops 2000] [--shards 1,2,4]
 //                 [--batch 32] [--seed 1] [--smoke] [--json] [--no-faults]
+//                 [--ingress [--client-batch 16] [--ingress-shards N]]
 //
 // Four sections:
 //   saturation   closed-loop throughput + latency percentiles for the
@@ -38,6 +39,20 @@
 //                split level; the gate is audit_exact && gap_free across
 //                EVERY epoch plus the transition counts. --elastic-ms
 //                bounds the run; --json emits the gated report.
+//
+//   --ingress    batched-ingress mode (E15): closed-loop saturation with
+//                every request riding submit_batch (one ticket-range
+//                draw, at most min(batch, shards) queue cells, one
+//                park/wake cycle per batch) against a RECORDED service —
+//                the streaming consistency checker and the degradation
+//                accumulator attached live through a tee. A classic
+//                single-submit leg runs first as the throughput
+//                reference. The run is fault-free by construction, so
+//                the gate demands perfection: Lemma 3.1 residue audit
+//                exact + gap-free and zero counting violations —
+//                batching changes the schedule, never the count. --json
+//                emits the gated report; exits nonzero when the gate
+//                fails.
 //
 //   --soak       long-running self-healing mode (E13): an open-loop
 //                generator cycles phases — steady Poisson, diurnal
@@ -178,6 +193,151 @@ OpenLoopResult run_open_loop(const Network& net, std::uint32_t shards,
   return out;
 }
 
+// --- ingress mode (E15): batched submission lanes, recorded + gated ----
+
+struct IngressResult {
+  service::ServiceStats stats;
+  service::ResidueAudit audit;
+  ConsistencyReport report;
+  fault::Degradation degradation;
+  double single_per_sec = 0.0;   ///< Classic one-request closed loop.
+  double batched_per_sec = 0.0;  ///< submit_batch closed loop (recorded).
+  std::uint64_t client_completed = 0;
+  std::uint64_t client_rejected = 0;
+  bool gate_ok = false;  ///< audit exact + gap-free, zero violations.
+};
+
+/// Closed-loop saturation through the batched ingress: `clients` policy
+/// clients each submit ops_per_client requests as submit_batch bursts of
+/// `client_batch` against a recorded service, analyzers attached live.
+/// An unrecorded classic-submit leg runs first as the reference rate.
+IngressResult run_ingress(const Network& net, std::uint32_t shards,
+                          std::uint32_t batch, std::uint32_t clients,
+                          std::uint32_t client_batch,
+                          std::uint64_t ops_per_client, std::uint64_t seed) {
+  IngressResult out;
+  const service::SubmitPolicy policy;  // Default gears, no deadline.
+
+  {  // Reference leg: one-request submits, unrecorded.
+    service::ServiceConfig cfg;
+    cfg.shards = shards;
+    cfg.max_batch = batch;
+    cfg.net = &net;
+    cfg.seed = seed;
+    service::CountingService svc(cfg);
+    svc.start();
+    std::atomic<bool> go{false};
+    std::atomic<std::uint64_t> completed{0};
+    std::vector<std::thread> threads;
+    for (std::uint32_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        service::PolicyClient pc(svc, policy, c, seed + c);
+        while (!go.load(std::memory_order_acquire)) {
+          std::this_thread::yield();
+        }
+        std::uint64_t done = 0;
+        for (std::uint64_t i = 0; i < ops_per_client; ++i) {
+          done += pc.submit(now_ns()).status ==
+                  service::SubmitStatus::kCompleted;
+        }
+        completed.fetch_add(done, std::memory_order_relaxed);
+      });
+    }
+    const std::uint64_t t0 = now_ns();
+    go.store(true, std::memory_order_release);
+    for (std::thread& t : threads) t.join();
+    const std::uint64_t elapsed = now_ns() - t0;
+    svc.stop();
+    out.single_per_sec =
+        elapsed > 0 ? static_cast<double>(completed.load()) * 1e9 /
+                          static_cast<double>(elapsed)
+                    : 0.0;
+  }
+
+  {  // Gated leg: batched ingress, recorded, analyzers live.
+    StreamingConsistency checker;
+    fault::DegradationAccumulator degradation;
+    TeeSink tee(checker, degradation);
+    service::ServiceConfig cfg;
+    cfg.shards = shards;
+    cfg.max_batch = batch;
+    cfg.net = &net;
+    cfg.seed = seed;
+    cfg.record = true;
+    service::CountingService svc(cfg, &tee);
+    svc.start();
+    std::atomic<bool> go{false};
+    std::atomic<std::uint64_t> completed{0};
+    std::atomic<std::uint64_t> rejected{0};
+    std::vector<std::thread> threads;
+    for (std::uint32_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        service::PolicyClient pc(svc, policy, c, seed + c);
+        while (!go.load(std::memory_order_acquire)) {
+          std::this_thread::yield();
+        }
+        std::uint64_t done = 0, refused = 0;
+        for (std::uint64_t i = 0; i < ops_per_client; i += client_batch) {
+          const std::uint32_t n = static_cast<std::uint32_t>(
+              std::min<std::uint64_t>(client_batch, ops_per_client - i));
+          const service::BatchReport rep = pc.submit_batch(now_ns(), n);
+          done += rep.completed;
+          refused += rep.rejected;
+        }
+        completed.fetch_add(done, std::memory_order_relaxed);
+        rejected.fetch_add(refused, std::memory_order_relaxed);
+      });
+    }
+    const std::uint64_t t0 = now_ns();
+    go.store(true, std::memory_order_release);
+    for (std::thread& t : threads) t.join();
+    const std::uint64_t elapsed = now_ns() - t0;
+    svc.stop();
+    tee.finish();
+    out.batched_per_sec =
+        elapsed > 0 ? static_cast<double>(completed.load()) * 1e9 /
+                          static_cast<double>(elapsed)
+                    : 0.0;
+    out.client_completed = completed.load();
+    out.client_rejected = rejected.load();
+    out.stats = svc.stats();
+    out.audit = svc.audit();
+    out.report = checker.report();
+    out.degradation = degradation.result(shards * net.fan_out());
+  }
+
+  out.gate_ok = out.audit.exact && out.audit.gap_free &&
+                out.degradation.counting_violation == 0.0;
+  return out;
+}
+
+std::string json_ingress(const IngressResult& r, std::uint32_t clients,
+                         std::uint32_t client_batch, std::uint32_t shards) {
+  std::ostringstream os;
+  os << "{\"clients\":" << clients << ",\"client_batch\":" << client_batch
+     << ",\"shards\":" << shards << ",\"single_per_sec\":"
+     << fmt_double(r.single_per_sec, 1) << ",\"batched_per_sec\":"
+     << fmt_double(r.batched_per_sec, 1) << ",\"batched_over_single\":"
+     << fmt_double(r.batched_per_sec / std::max(r.single_per_sec, 1.0), 3)
+     << ",\"submitted\":" << r.stats.submitted << ",\"completed\":"
+     << r.stats.completed << ",\"rejected\":" << r.stats.rejected
+     << ",\"client_completed\":" << r.client_completed
+     << ",\"client_rejected\":" << r.client_rejected
+     << ",\"ingress_batches\":" << r.stats.ingress_batches
+     << ",\"ingress_cells\":" << r.stats.ingress_cells
+     << ",\"tokens\":" << r.report.total << ",\"f_nl\":"
+     << fmt_double(r.report.f_nl, 4) << ",\"f_nsc\":"
+     << fmt_double(r.report.f_nsc, 4) << ",\"audit_exact\":"
+     << (r.audit.exact ? 1 : 0) << ",\"audit_gap_free\":"
+     << (r.audit.gap_free ? 1 : 0) << ",\"counting_violation\":"
+     << fmt_double(r.degradation.counting_violation, 0)
+     << ",\"smoothness_gap\":" << fmt_double(r.degradation.smoothness_gap, 1)
+     << ",\"p50_us\":" << fmt_double(us(r.stats.latency.p50()), 3)
+     << ",\"p99_us\":" << fmt_double(us(r.stats.latency.p99()), 3)
+     << ",\"gate_ok\":" << (r.gate_ok ? 1 : 0) << "}";
+  return os.str();
+}
+
 // --- soak mode (E13): phased arrivals + chaos + live analyzers ---------
 
 struct HealthSample {
@@ -285,8 +445,17 @@ SoakResult run_soak(const Network& net, std::uint32_t shards,
   std::vector<std::thread> client_threads;
   for (std::uint32_t c = 0; c < kPolicyClients; ++c) {
     client_threads.emplace_back([&, c] {
+      // Alternate the classic single path with a 4-request batch so the
+      // soak exercises BOTH ingresses against crashes, stalls, and
+      // shedding (a shed batch retries whole; a crashed shard drops its
+      // runs element-wise).
+      std::uint64_t iter = 0;
       while (!clients_stop.load(std::memory_order_acquire)) {
-        policy_clients[c]->submit(now_ns());
+        if (iter++ % 2 == 0) {
+          policy_clients[c]->submit(now_ns());
+        } else {
+          policy_clients[c]->submit_batch(now_ns(), 4);
+        }
         std::this_thread::sleep_for(std::chrono::microseconds(500));
       }
     });
@@ -516,8 +685,20 @@ ElasticResult run_elastic(const Network& net, std::uint32_t max_level,
           std::chrono::nanoseconds(scheduled - now - 100'000));
     }
     wait_until_ns(scheduled);
-    svc.try_submit(0, scheduled);  // Open loop: refusals are counted by
-                                   // the service (shed/rejected).
+    // Every 4th tick rides the batched ingress as a fire-and-forget
+    // 4-request batch and consumes four inter-arrival gaps, keeping the
+    // offered RATE unchanged — the epoch fence must treat the batch as
+    // ONE pending lease and every per-epoch audit stays exact. The rest
+    // are classic open-loop singles; refusals are the service's to
+    // count (shed/rejected) either way.
+    if (out.submissions % 4 == 3) {
+      svc.submit_batch(0, scheduled, nullptr, 4);
+      for (int g = 0; g < 3; ++g) {
+        next_ns += -std::log(1.0 - rng.unit()) * (1e9 / rate);
+      }
+    } else {
+      svc.try_submit(0, scheduled);
+    }
     ++out.submissions;
   }
   const std::uint64_t gen_elapsed = now_ns() - t0;
@@ -609,6 +790,46 @@ int main(int argc, char** argv) {
   }
 
   const Network net = make_bitonic(width);
+
+  // --- ingress mode (E15; exclusive like --soak/--elastic) ------------
+  if (args.get_bool("ingress", false)) {
+    const auto client_batch = static_cast<std::uint32_t>(
+        args.get_int("client-batch", 16));
+    const auto ing_shards = static_cast<std::uint32_t>(
+        args.get_int("ingress-shards", shard_counts.back()));
+    if (!json) {
+      std::cout << "E15: batched ingress — " << clients << " clients x "
+                << ops << " ops as submit_batch(" << client_batch << "), "
+                << ing_shards << " shards, recorded + live analyzers\n";
+    }
+    const IngressResult r = run_ingress(net, ing_shards, batch, clients,
+                                        client_batch, ops, seed);
+    if (json) {
+      std::cout << json_ingress(r, clients, client_batch, ing_shards)
+                << "\n";
+    } else {
+      std::cout << "\n  single " << fmt_double(r.single_per_sec / 1e3, 1)
+                << "k req/s  batched "
+                << fmt_double(r.batched_per_sec / 1e3, 1) << "k req/s ("
+                << fmt_double(
+                       r.batched_per_sec / std::max(r.single_per_sec, 1.0),
+                       2)
+                << "x)\n  completed " << r.stats.completed << "  rejected "
+                << r.stats.rejected << "  ingress_batches "
+                << r.stats.ingress_batches << "  ingress_cells "
+                << r.stats.ingress_cells << "\n  tokens " << r.report.total
+                << "  f_nl " << fmt_double(r.report.f_nl, 4) << "  f_nsc "
+                << fmt_double(r.report.f_nsc, 4) << "\n  audit_exact "
+                << (r.audit.exact ? "yes" : "NO") << "  gap_free "
+                << (r.audit.gap_free ? "yes" : "NO")
+                << "  counting_violation "
+                << fmt_double(r.degradation.counting_violation, 0)
+                << "  gate " << (r.gate_ok ? "PASS" : "FAIL") << "\n";
+    }
+    // The E15 acceptance gate: a fault-free batched run must count
+    // perfectly — residue audit exact + gap-free, zero violations.
+    return r.gate_ok ? 0 : 1;
+  }
 
   // --- elastic mode (E14; exclusive like --soak) -----------------------
   if (args.get_bool("elastic", false)) {
@@ -784,6 +1005,26 @@ int main(int argc, char** argv) {
     service_sat = std::max(service_sat, row.ops_per_sec);
     saturation.push_back(
         {"service_shards" + std::to_string(shards), row});
+
+    // The same closed loop through the batched ingress: requests ride
+    // submit_batch(16), one ticket-range draw and at most min(16,
+    // shards) queue cells per call.
+    engine::RunSpec bspec = spec;
+    bspec.service_client_batch = 16;
+    const engine::RunResult bres = engine::run_backend(bspec);
+    if (!bres.ok()) {
+      std::cerr << "service shards=" << shards << " batched: " << bres.error
+                << "\n";
+      return 1;
+    }
+    LatencyRow brow;
+    brow.ops_per_sec = bres.metric("ops_per_sec");
+    brow.p50_us = bres.metric("p50_us");
+    brow.p99_us = bres.metric("p99_us");
+    brow.p999_us = bres.metric("p999_us");
+    service_sat = std::max(service_sat, brow.ops_per_sec);
+    saturation.push_back(
+        {"service_shards" + std::to_string(shards) + "_batch16", brow});
   }
 
   struct Baseline {

@@ -732,6 +732,7 @@ class ServiceBackend final : public TraceSource {
     cfg.supervise = spec.service_supervise;
     cfg.shed_high_watermark = spec.service_shed_high;
     cfg.shed_low_watermark = spec.service_shed_low;
+    cfg.pin_workers = spec.service_pin_workers;
     cfg.elastic.enabled = spec.service_elastic;
     cfg.elastic.initial_level = spec.service_initial_level;
     cfg.elastic.min_level = spec.service_min_level;
@@ -811,13 +812,26 @@ class ServiceBackend final : public TraceSource {
         }
       });
     }
+    const std::uint32_t client_batch =
+        std::max<std::uint32_t>(1, spec.service_client_batch);
     const auto t_start = Clock::now();
     for (std::uint32_t t = 0; t < spec.threads; ++t) {
       clients.emplace_back([&, t] {
         service::PolicyClient& client = *client_objs[t];
         barrier.arrive_and_wait();
-        for (std::uint64_t k = 0; k < spec.ops_per_thread; ++k) {
-          client.submit(to_ns(Clock::now()));
+        // Batched clients issue ceil(ops / batch) submit_batch calls so
+        // single and batched runs push the same request count through
+        // the same residue arithmetic — only the ingress shape differs.
+        for (std::uint64_t k = 0; k < spec.ops_per_thread;
+             k += client_batch) {
+          const auto b = static_cast<std::uint32_t>(
+              std::min<std::uint64_t>(client_batch,
+                                      spec.ops_per_thread - k));
+          if (b == 1) {
+            client.submit(to_ns(Clock::now()));
+          } else {
+            client.submit_batch(to_ns(Clock::now()), b);
+          }
           if (spec.local_delay_ns > 0) {
             std::this_thread::sleep_for(
                 std::chrono::nanoseconds(spec.local_delay_ns));
@@ -884,6 +898,12 @@ class ServiceBackend final : public TraceSource {
     r.result.metrics["residue_holes"] = static_cast<double>(audit.holes);
     r.result.metrics["audit_exact"] = audit.exact ? 1.0 : 0.0;
     r.result.metrics["audit_gap_free"] = audit.gap_free ? 1.0 : 0.0;
+    // Ingress shape: how much the batched path actually amortized.
+    r.result.metrics["client_batch"] = static_cast<double>(client_batch);
+    r.result.metrics["ingress_batches"] =
+        static_cast<double>(st.ingress_batches);
+    r.result.metrics["ingress_cells"] =
+        static_cast<double>(st.ingress_cells);
     if (cfg.elastic.enabled) {
       // Epoch-transition telemetry: every retired epoch carries its own
       // Lemma 3.1 audit; epochs_ok == 1 means audit_exact && gap_free
@@ -934,23 +954,10 @@ void counter_stall(std::uint64_t ns) {
 
 /// Feeds per-thread partial traces (each sequential, hence sorted by
 /// issue key and completion key alike) to `sink` in global issue order —
-/// the same k-way merge the concurrent harness performs.
+/// the shared k-way merge (trace/sink.hpp), which also batches the
+/// emission instead of dispatching per record.
 void merge_partials_into(std::vector<Trace>& partial, TraceSink& sink) {
-  std::vector<std::size_t> head(partial.size(), 0);
-  for (;;) {
-    std::size_t best = partial.size();
-    for (std::size_t t = 0; t < partial.size(); ++t) {
-      if (head[t] >= partial[t].size()) continue;
-      if (best == partial.size() ||
-          issue_order_less(partial[t][head[t]],
-                           partial[best][head[best]])) {
-        best = t;
-      }
-    }
-    if (best == partial.size()) return;
-    sink.on_record(partial[best][head[best]]);
-    ++head[best];
-  }
+  merge_issue_ordered(partial, sink);
 }
 
 template <typename Next>

@@ -93,6 +93,15 @@ struct RunSpec {
   /// from the client's seeded rng, so retry schedules replay.
   std::uint32_t service_max_retries = 0;
   std::uint64_t service_deadline_ns = 0;
+  /// Requests per client submission: 1 = classic try_submit singles,
+  /// >1 = PolicyClient::submit_batch rides the batched ingress (one
+  /// ticket-range draw + at most min(batch, shards) queue cells per
+  /// call). Accounting is identical either way (Lemma 3.1 splits the
+  /// range residue-exactly); throughput is not — that is the point.
+  std::uint32_t service_client_batch = 1;
+  /// Pin shard workers to CPU (shard mod hardware_concurrency);
+  /// Linux-only, off by default (ServiceConfig::pin_workers).
+  bool service_pin_workers = false;
   /// Supervision: heartbeat-watching respawner for crashed workers
   /// (fault.worker_crash_* arms the deterministic chaos crash).
   bool service_supervise = true;

@@ -36,22 +36,41 @@ std::uint64_t backoff_ns(const SubmitPolicy& policy, std::uint32_t attempt,
 
 std::uint64_t wait_done(const std::atomic<std::uint64_t>& done,
                         std::uint64_t deadline_at_ns,
-                        std::uint32_t spin_limit) {
-  // Three gears: pure spin (cheap for the common fast completion), then
-  // yield with periodic deadline checks, then short sleeps — a client
-  // stuck behind a crashed shard burns microwatts, not a core.
+                        const SubmitPolicy& policy, EventCount* ec) {
+  // Three gears — pure spin (cheap for the common fast completion),
+  // yields, then timed parks — every width a policy knob, the schedule
+  // the pure wait_step_ns. With the service's completion eventcount the
+  // park gear wakes on the worker's notify instead of sleeping out its
+  // period, so low-load latency is no longer quantized by the park
+  // width; the deadline bounds each park either way.
   std::uint64_t v = 0;
-  for (std::uint32_t s = 0; s < spin_limit; ++s) {
+  for (std::uint32_t s = 0; s < policy.spin_limit; ++s) {
     if ((v = done.load(std::memory_order_acquire)) != 0) return v;
   }
-  std::uint32_t rounds = 0;
+  std::uint64_t round = 0;
   for (;;) {
     if ((v = done.load(std::memory_order_acquire)) != 0) return v;
-    if (deadline_at_ns > 0 && now_ns() >= deadline_at_ns) return 0;
-    if (++rounds < 64) {
+    std::uint64_t now = 0;
+    if (deadline_at_ns > 0 && (now = now_ns()) >= deadline_at_ns) return 0;
+    const std::uint64_t step = wait_step_ns(policy, round++);
+    if (step == 0) {
       std::this_thread::yield();
+      continue;
+    }
+    if (ec != nullptr) {
+      const std::uint32_t key = ec->prepare_wait();
+      if ((v = done.load(std::memory_order_acquire)) != 0) {
+        ec->cancel_wait();
+        return v;
+      }
+      if (now == 0) now = now_ns();
+      std::uint64_t park_deadline = now + step;
+      if (deadline_at_ns > 0 && deadline_at_ns < park_deadline) {
+        park_deadline = deadline_at_ns;
+      }
+      ec->commit_wait(key, park_deadline, now);
     } else {
-      std::this_thread::sleep_for(std::chrono::microseconds(50));
+      std::this_thread::sleep_for(std::chrono::nanoseconds(step));
     }
   }
 }
@@ -112,7 +131,8 @@ SubmitReport PolicyClient::submit(std::uint64_t arrival_ns) {
   rep.retries = attempt;
   stats_.retries += attempt;
 
-  const std::uint64_t v = wait_done(*slot, deadline, policy_.spin_limit);
+  const std::uint64_t v =
+      wait_done(*slot, deadline, policy_, &svc_.completion_event());
   if (v == 0) {
     // Deadline expired while the request is still in flight: the service
     // may store into the slot later, so lease it out and move on.
@@ -131,6 +151,109 @@ SubmitReport PolicyClient::submit(std::uint64_t arrival_ns) {
   rep.status = SubmitStatus::kCompleted;
   rep.value = v - 1;
   ++stats_.completed;
+  return rep;
+}
+
+PolicyClient::Slot* PolicyClient::acquire_batch_slots(std::uint32_t n) {
+  while (!batch_orphans_.empty()) {
+    const OrphanBatch& ob = batch_orphans_.front();
+    bool resolved = true;
+    for (std::uint32_t i = 0; i < ob.n; ++i) {
+      if (ob.slots[i].load(std::memory_order_acquire) == 0) {
+        resolved = false;
+        break;
+      }
+    }
+    if (!resolved) break;
+    batch_orphans_.pop_front();
+  }
+  if (batch_capacity_ < n) {
+    batch_slots_ = std::make_unique<Slot[]>(n);
+    batch_capacity_ = n;
+  }
+  for (std::uint32_t i = 0; i < n; ++i) {
+    batch_slots_[i].store(0, std::memory_order_relaxed);
+  }
+  return batch_slots_.get();
+}
+
+BatchReport PolicyClient::submit_batch(std::uint64_t arrival_ns,
+                                       std::uint32_t n) {
+  BatchReport rep;
+  if (n == 0) return rep;
+  const std::uint64_t t0 = now_ns();
+  const std::uint64_t deadline =
+      policy_.deadline_ns > 0 ? t0 + policy_.deadline_ns : 0;
+  Slot* slots = acquire_batch_slots(n);
+
+  // A fully shed (or admission-closed) batch drew no tickets and left
+  // no slot stored — retry it whole, on the single path's backoff
+  // schedule. Any partial acceptance commits the batch: its tickets
+  // exist, so the outcome is whatever the slots resolve to.
+  CountingService::BatchResult res;
+  std::uint32_t attempt = 0;
+  for (;;) {
+    res = svc_.submit_batch(id_, arrival_ns, slots, n);
+    if (res.accepted + res.rejected > 0) break;
+    if (deadline > 0 && now_ns() >= deadline) {
+      rep.timed_out = n;
+      rep.retries = attempt;
+      stats_.timed_out += n;
+      stats_.retries += attempt;
+      svc_.count_timeout();
+      return rep;  // Never accepted: the slots stay clean for reuse.
+    }
+    if (policy_.max_retries > 0 && attempt >= policy_.max_retries) {
+      rep.rejected = n;
+      rep.retries = attempt;
+      stats_.rejected += n;
+      stats_.retries += attempt;
+      return rep;
+    }
+    const std::uint64_t b = backoff_ns(policy_, attempt, rng_);
+    if (b > 0) {
+      stats_.backoff_ns_total += b;
+      std::this_thread::sleep_for(std::chrono::nanoseconds(b));
+    } else {
+      std::this_thread::yield();
+    }
+    ++attempt;
+  }
+  rep.retries = attempt;
+  stats_.retries += attempt;
+
+  bool any_timeout = false;
+  rep.values.reserve(res.accepted);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint64_t v =
+        wait_done(slots[i], deadline, policy_, &svc_.completion_event());
+    if (v == 0) {
+      // Once the shared deadline expires, the remaining waits degrade
+      // to one load each — the loop still classifies every slot whose
+      // store already arrived.
+      any_timeout = true;
+      ++rep.timed_out;
+      ++stats_.timed_out;
+    } else if (v == kDroppedSignal) {
+      ++rep.dropped;
+      ++stats_.dropped;
+    } else if (v == kRejectedSignal) {
+      ++rep.rejected;
+      ++stats_.rejected;
+    } else {
+      ++rep.completed;
+      ++stats_.completed;
+      rep.values.push_back(v - 1);
+    }
+  }
+  if (any_timeout) {
+    svc_.count_timeout();
+    OrphanBatch ob;
+    ob.slots = std::move(batch_slots_);
+    ob.n = n;
+    batch_orphans_.push_back(std::move(ob));
+    batch_capacity_ = 0;
+  }
   return rep;
 }
 

@@ -15,8 +15,12 @@
 //     so resilience experiments replay like everything else.
 //   * unbounded wait: a request queued to a crashed shard completes only
 //     after recovery (or never, unsupervised). wait_done spins briefly,
-//     then yields, then sleeps, checking the deadline throughout; a
-//     timed-out client walks away with kTimedOut instead of hanging.
+//     then yields, then PARKS on the service's completion eventcount
+//     (falling back to timed sleeps without one), checking the deadline
+//     throughout; a timed-out client walks away with kTimedOut instead
+//     of hanging. Every gear width is a SubmitPolicy knob, and the gear
+//     engaged at each round is the pure function wait_step_ns — the
+//     schedule is testable without a clock.
 //
 // Deadline waits create a lifetime hazard the PolicyClient solves: a
 // worker may store into the completion slot AFTER the client gave up, so
@@ -50,10 +54,15 @@ struct SubmitPolicy {
   double jitter = 0.5;
   /// Per-request deadline measured from the submit call; 0 = none.
   std::uint64_t deadline_ns = 0;
-  /// Completion-wait shape: pure spins before the first yield, yields
-  /// per deadline check. Bounded in all cases — the wait NEVER spins
-  /// forever on a dead shard when a deadline is set.
+  /// Completion-wait shape, fully policy-configurable: `spin_limit`
+  /// pure spins, then `yield_limit` yield rounds, then timed parks of
+  /// `park_ns` each (on the service's completion eventcount when one is
+  /// passed, plain sleeps otherwise). The deadline is checked every
+  /// round and bounds each park, so the wait NEVER outlives a deadline
+  /// on a dead shard.
   std::uint32_t spin_limit = 512;
+  std::uint32_t yield_limit = 64;
+  std::uint64_t park_ns = 50'000;
 };
 
 /// The backoff before retry `attempt` (0-based): min(base << attempt,
@@ -95,12 +104,39 @@ struct ClientStats {
   std::uint64_t backoff_ns_total = 0;
 };
 
-/// Spin-then-yield wait on a completion slot with an absolute deadline
-/// (steady-clock ns; 0 = wait forever). Returns the raw slot value
-/// (value + 1 or kDroppedSignal), or 0 on timeout.
+/// The post-spin wait gear engaged at (0-based) round `round`: 0 means
+/// "yield this round", a positive value means "park/sleep this many ns".
+/// Pure in (policy, round) — the determinism test pins the schedule
+/// without touching a clock.
+inline std::uint64_t wait_step_ns(const SubmitPolicy& policy,
+                                  std::uint64_t round) noexcept {
+  return round < policy.yield_limit ? 0 : policy.park_ns;
+}
+
+/// Waits on a completion slot with an absolute deadline (steady-clock
+/// ns; 0 = wait forever), shaped by the policy's spin/yield/park knobs
+/// (see wait_step_ns). When `ec` is the service's completion eventcount
+/// the park gear blocks in the kernel and wakes on the worker's
+/// notify; without one it degrades to timed sleeps. Returns the raw
+/// slot value (value + 1, kDroppedSignal, or kRejectedSignal), or 0 on
+/// timeout.
 std::uint64_t wait_done(const std::atomic<std::uint64_t>& done,
                         std::uint64_t deadline_at_ns,
-                        std::uint32_t spin_limit);
+                        const SubmitPolicy& policy,
+                        EventCount* ec = nullptr);
+
+/// Outcome of one PolicyClient::submit_batch call: the per-element
+/// counters partition the batch, and `values` holds the completed
+/// elements' counter values (in batch-slot order).
+struct BatchReport {
+  std::uint32_t completed = 0;
+  std::uint32_t rejected = 0;   ///< Shed/queue-full after retries, plus
+                                ///< per-run kRejectedSignal refusals.
+  std::uint32_t dropped = 0;
+  std::uint32_t timed_out = 0;
+  std::uint32_t retries = 0;
+  std::vector<std::uint64_t> values;
+};
 
 class PolicyClient {
  public:
@@ -112,13 +148,30 @@ class PolicyClient {
   /// Submits one request and waits for its outcome under the policy.
   SubmitReport submit(std::uint64_t arrival_ns);
 
+  /// Submits `n` requests as ONE service ingress batch and waits out
+  /// every element under the policy (one deadline for the whole batch).
+  /// A fully shed or closed-admission batch retries with the same
+  /// backoff schedule as a refused single; a partially rejected batch
+  /// does NOT retry its refused runs (their tickets are burnt — the
+  /// refusals are reported as rejected). On deadline expiry the whole
+  /// slot array is orphaned, exactly like a single's slot.
+  BatchReport submit_batch(std::uint64_t arrival_ns, std::uint32_t n);
+
   const ClientStats& stats() const noexcept { return stats_; }
   std::uint32_t id() const noexcept { return id_; }
 
  private:
   using Slot = std::atomic<std::uint64_t>;
 
+  /// A timed-out batch's slots, leased out until every element's store
+  /// arrives.
+  struct OrphanBatch {
+    std::unique_ptr<Slot[]> slots;
+    std::uint32_t n = 0;
+  };
+
   Slot* acquire_slot();
+  Slot* acquire_batch_slots(std::uint32_t n);
 
   CountingService& svc_;
   SubmitPolicy policy_;
@@ -128,6 +181,9 @@ class PolicyClient {
   std::unique_ptr<Slot> slot_;              ///< Current (reusable) slot.
   std::deque<std::unique_ptr<Slot>> orphans_;  ///< Timed-out, still leased
                                                ///< to the service.
+  std::unique_ptr<Slot[]> batch_slots_;     ///< Current batch slot array.
+  std::uint32_t batch_capacity_ = 0;
+  std::deque<OrphanBatch> batch_orphans_;
 };
 
 }  // namespace cn::service

@@ -5,6 +5,10 @@
 #include <cstddef>
 #include <sstream>
 
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
 namespace cn::service {
 
 namespace {
@@ -116,7 +120,6 @@ CountingService::CountingService(const ServiceConfig& cfg, TraceSink* sink)
     epoch_sc_ = std::make_unique<StreamingConsistency>();
     fanout_.sc = epoch_sc_.get();
     fanout_.down = sink_;
-    buffer_ = std::make_unique<IssueOrderBuffer>(fanout_, /*deferred=*/true);
   } else {
     cfg_.record = false;  // Recording without a sink is a no-op.
   }
@@ -244,9 +247,11 @@ bool CountingService::try_submit(std::uint32_t client,
   req.client = client;
   req.done = done;
   if (cfg_.record) {
-    std::lock_guard<std::mutex> lock(emit_mu_);
-    req.first_seq = events_++;
-    buffer_->open(req.first_seq);
+    // Lock-free seq draw: the shared counter makes seqs globally unique
+    // and every record's last_seq (drawn at completion) greater than its
+    // first_seq. A rejection below simply burns its seq — the contract
+    // needs monotone keys, not dense ones.
+    req.first_seq = events_.fetch_add(1, std::memory_order_relaxed);
   }
   if (!ep.queues[shard]->try_push(req)) {
     // The ticket is burned: its residue slot will never be served, so a
@@ -254,16 +259,105 @@ bool CountingService::try_submit(std::uint32_t client,
     // is deliberate (overload degrades the guarantee and we measure it).
     rejected_.fetch_add(1, std::memory_order_relaxed);
     ep.rejected.fetch_add(1, std::memory_order_relaxed);
-    if (cfg_.record) {
-      std::lock_guard<std::mutex> lock(emit_mu_);
-      buffer_->drop(req.first_seq);
-    }
     pending_submits_.fetch_sub(1, std::memory_order_release);
     return false;
   }
   ep.accepted.fetch_add(1, std::memory_order_relaxed);
+  ep.runtimes[shard]->idle.notify_if_waiters();
   pending_submits_.fetch_sub(1, std::memory_order_release);
   return true;
+}
+
+CountingService::BatchResult CountingService::submit_batch(
+    std::uint32_t client, std::uint64_t arrival_ns,
+    std::atomic<std::uint64_t>* slots, std::uint32_t n) {
+  BatchResult res;
+  if (n == 0) return res;
+  if (!accepting_.load(std::memory_order_acquire)) return res;
+  // ONE lease for the whole batch: the fence waits this lease out before
+  // retiring the epoch, so a batch can never straddle an epoch boundary
+  // — all its tickets live in one epoch's range. Same Dekker handshake
+  // as try_submit.
+  pending_submits_.fetch_add(1, std::memory_order_seq_cst);
+  if (!accepting_.load(std::memory_order_seq_cst)) {
+    pending_submits_.fetch_sub(1, std::memory_order_release);
+    return res;
+  }
+  TopologyEpoch& ep = *epoch_ptr_.load(std::memory_order_acquire);
+  const std::uint32_t nsh = static_cast<std::uint32_t>(ep.map.shards);
+  const std::uint32_t runs = n < nsh ? n : nsh;
+  // Admission is all-or-nothing and precedes the ticket draw: a shed
+  // batch burns NO residue slot. Every target shard (the batch touches
+  // min(n, shards) residue classes) must be under its watermark, with
+  // the same hysteresis as the single path.
+  if (cfg_.shed_high_watermark > 0.0) {
+    const std::uint64_t t_pred = tickets_.load(std::memory_order_relaxed);
+    bool shed_batch = false;
+    for (std::uint32_t j = 0; j < runs; ++j) {
+      const std::uint32_t s = ep.map.shard_of(t_pred + j);
+      ShardRuntime& rt = *ep.runtimes[s];
+      const double cap = static_cast<double>(ep.queues[s]->capacity());
+      const std::size_t depth = ep.queues[s]->approx_size();
+      const auto high =
+          static_cast<std::size_t>(cap * cfg_.shed_high_watermark);
+      const auto low = static_cast<std::size_t>(cap * cfg_.shed_low_watermark);
+      bool shed;
+      if (rt.shedding.load(std::memory_order_relaxed)) {
+        shed = depth > low;
+        if (!shed) rt.shedding.store(false, std::memory_order_relaxed);
+      } else {
+        shed = depth >= std::max<std::size_t>(high, 1);
+        if (shed) rt.shedding.store(true, std::memory_order_relaxed);
+      }
+      shed_batch = shed_batch || shed;
+    }
+    if (shed_batch) {
+      shed_.fetch_add(n, std::memory_order_relaxed);
+      ep.shed.fetch_add(n, std::memory_order_relaxed);
+      pending_submits_.fetch_sub(1, std::memory_order_release);
+      res.shed = n;
+      return res;
+    }
+  }
+  // ONE dispenser RMW for the whole batch. The contiguous range
+  // [t0, t0 + n) splits by residue class into `runs` arithmetic
+  // sequences with stride nsh — Lemma 3.1 makes the split exact, so a
+  // batch is precisely as auditable as n single submits.
+  const std::uint64_t t0 = tickets_.fetch_add(n, std::memory_order_relaxed);
+  std::uint64_t e0 = 0;
+  if (cfg_.record) e0 = events_.fetch_add(n, std::memory_order_relaxed);
+  ingress_batches_.fetch_add(1, std::memory_order_relaxed);
+  for (std::uint32_t j = 0; j < runs; ++j) {
+    Request cell;
+    cell.ticket = t0 + j;
+    cell.first_seq = e0 + j;
+    cell.arrival_ns = arrival_ns;
+    cell.client = client;
+    cell.count = (n - j + nsh - 1) / nsh;  // ceil((n - j) / nsh)
+    cell.stride = nsh;
+    cell.done = slots != nullptr ? slots + j : nullptr;
+    const std::uint32_t s = ep.map.shard_of(cell.ticket);
+    if (ep.queues[s]->try_push(cell)) {
+      res.accepted += cell.count;
+      ep.accepted.fetch_add(cell.count, std::memory_order_relaxed);
+      ingress_cells_.fetch_add(1, std::memory_order_relaxed);
+      ep.runtimes[s]->idle.notify_if_waiters();
+    } else {
+      // The run's tickets are burned (accounted holes); its slots are
+      // resolved HERE so a batch client never waits on a refused run.
+      res.rejected += cell.count;
+      rejected_.fetch_add(cell.count, std::memory_order_relaxed);
+      ep.rejected.fetch_add(cell.count, std::memory_order_relaxed);
+      if (cell.done != nullptr) {
+        for (std::uint32_t i = 0; i < cell.count; ++i) {
+          (cell.done + static_cast<std::uint64_t>(i) * cell.stride)
+              ->store(kRejectedSignal, std::memory_order_release);
+        }
+      }
+    }
+  }
+  pending_submits_.fetch_sub(1, std::memory_order_release);
+  return res;
 }
 
 void CountingService::worker_loop(TopologyEpoch* epoch, std::uint32_t shard) {
@@ -271,6 +365,17 @@ void CountingService::worker_loop(TopologyEpoch* epoch, std::uint32_t shard) {
   ConcurrentNetwork& net = *ep.nets[shard];
   BoundedQueue<Request>& queue = *ep.queues[shard];
   ShardRuntime& rt = *ep.runtimes[shard];
+#if defined(__linux__)
+  if (cfg_.pin_workers) {
+    // Best-effort: a failed setaffinity (restricted cpuset, fewer CPUs
+    // than shards) degrades to the unpinned behavior.
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    const unsigned ncpu = std::max(1u, std::thread::hardware_concurrency());
+    CPU_SET(shard % ncpu, &set);
+    sched_setaffinity(0, sizeof(set), &set);
+  }
+#endif
   const bool elastic = !ep.parts.empty();
   const Subnetwork* part = elastic ? &ep.parts[shard] : nullptr;
   const std::uint32_t fan_in =
@@ -292,10 +397,17 @@ void CountingService::worker_loop(TopologyEpoch* epoch, std::uint32_t shard) {
   std::vector<Request> batch(cfg_.max_batch);
   std::vector<Request> live;
   live.reserve(cfg_.max_batch);
-  std::vector<std::uint64_t> abandoned_seqs;
   std::vector<Value> values(cfg_.max_batch);
   std::vector<std::uint32_t> sources(cfg_.max_batch, 0);
   bool draining = false;
+  std::uint32_t idle_rounds = 0;
+  // Idle park backstop: notify_if_waiters on the submit path skips the
+  // wake RMW entirely when the worker is awake, which leaves a rare
+  // store-buffer window where a push lands unseen right as the worker
+  // parks. The timed park turns that missed wake into a bounded-latency
+  // blip instead of a hang.
+  constexpr std::uint32_t kIdleYields = 16;
+  constexpr std::uint64_t kIdleParkNs = 200'000;
 
   for (;;) {
     rt.heartbeat.fetch_add(1, std::memory_order_relaxed);
@@ -321,23 +433,26 @@ void CountingService::worker_loop(TopologyEpoch* epoch, std::uint32_t shard) {
         ++rt.chaos_next;
         if (e.kind == fault::ChaosKind::kWorkerCrash) {
           // The crash takes exactly `lose` in-flight tickets with it:
-          // consume-and-abandon them (accounted residue holes), then
-          // die. The supervisor will join this thread and respawn the
-          // shard; on shutdown the wait is cut short so a thirsty crash
-          // can never wedge stop().
+          // consume-and-abandon them ELEMENT-wise (accounted residue
+          // holes), the carry run first — a partially consumed cell is
+          // in flight exactly like a popped single — then die. The
+          // supervisor will join this thread and respawn the shard (the
+          // successor resumes the surviving carry tail); on shutdown
+          // the wait is cut short so a thirsty crash can never wedge
+          // stop().
           std::uint64_t lost = 0;
-          Request r;
           while (lost < e.lose) {
-            if (queue.try_pop(r)) {
-              if (r.done != nullptr) {
-                r.done->store(kDroppedSignal, std::memory_order_release);
+            if (rt.carry_pos < rt.carry.count) {
+              const std::uint64_t off =
+                  static_cast<std::uint64_t>(rt.carry_pos) * rt.carry.stride;
+              if (rt.carry.done != nullptr) {
+                (rt.carry.done + off)
+                    ->store(kDroppedSignal, std::memory_order_release);
               }
-              if (cfg_.record) {
-                std::lock_guard<std::mutex> lock(emit_mu_);
-                buffer_->drop(r.first_seq);
-                buffer_->drain();
-              }
+              ++rt.carry_pos;
               ++lost;
+            } else if (queue.try_pop(rt.carry)) {
+              rt.carry_pos = 0;
             } else if (stopping_.load(std::memory_order_acquire) ||
                        ep.retiring.load(std::memory_order_acquire)) {
               break;
@@ -345,6 +460,7 @@ void CountingService::worker_loop(TopologyEpoch* epoch, std::uint32_t shard) {
               std::this_thread::yield();
             }
           }
+          if (lost > 0) done_ec_.notify_all();
           rt.crash_lost.fetch_add(lost, std::memory_order_relaxed);
           rt.crashes.fetch_add(1, std::memory_order_relaxed);
           rt.exited.store(true, std::memory_order_release);
@@ -361,7 +477,33 @@ void CountingService::worker_loop(TopologyEpoch* epoch, std::uint32_t shard) {
       cap = std::min(cap, e.at_ops - processed);
     }
 
-    const std::size_t n = queue.pop_batch(batch.data(), cap);
+    // --- batch formation: expand queue cells element-wise -------------
+    // A cell carries a run of `count` requests striding by the epoch's
+    // shard count; formation caps at `cap` ELEMENTS (chaos triggers and
+    // max_batch count requests, not cells), carrying a partially
+    // consumed cell to the next iteration — or to a respawned
+    // successor, which resumes it exactly where this worker left off.
+    std::size_t n = 0;
+    while (n < cap) {
+      if (rt.carry_pos >= rt.carry.count) {
+        if (!queue.try_pop(rt.carry)) break;
+        rt.carry_pos = 0;
+      }
+      const Request& c = rt.carry;
+      while (n < cap && rt.carry_pos < c.count) {
+        const std::uint64_t off =
+            static_cast<std::uint64_t>(rt.carry_pos) * c.stride;
+        Request& r = batch[n++];
+        r.ticket = c.ticket + off;
+        r.first_seq = c.first_seq + off;
+        r.arrival_ns = c.arrival_ns;
+        r.client = c.client;
+        r.count = 1;
+        r.stride = 1;
+        r.done = c.done != nullptr ? c.done + off : nullptr;
+        ++rt.carry_pos;
+      }
+    }
     if (n == 0) {
       if (draining) break;
       if (stopping_.load(std::memory_order_acquire) ||
@@ -372,13 +514,30 @@ void CountingService::worker_loop(TopologyEpoch* epoch, std::uint32_t shard) {
         draining = true;
         continue;
       }
-      std::this_thread::yield();
+      if (++idle_rounds <= kIdleYields) {
+        std::this_thread::yield();
+        continue;
+      }
+      // Park on the shard eventcount. The recheck between prepare and
+      // commit closes the race with a push (the submitter's
+      // notify_if_waiters sees the registration); the timed backstop
+      // covers the notify's skipped-RMW window (comment above) and a
+      // fence/stop flag set between the recheck and the park.
+      const std::uint32_t key = rt.idle.prepare_wait();
+      if (queue.approx_size() > 0 ||
+          stopping_.load(std::memory_order_acquire) ||
+          ep.retiring.load(std::memory_order_acquire)) {
+        rt.idle.cancel_wait();
+        continue;
+      }
+      rt.idle.commit_wait(key, now_ns() + kIdleParkNs);
       continue;
     }
+    idle_rounds = 0;
     rt.processed.fetch_add(n, std::memory_order_relaxed);
 
     live.clear();
-    abandoned_seqs.clear();
+    bool slots_stored = false;
     std::uint64_t stall_draws = 0;
     if (inject) {
       for (std::size_t i = 0; i < n; ++i) {
@@ -387,8 +546,8 @@ void CountingService::worker_loop(TopologyEpoch* epoch, std::uint32_t shard) {
           rt.dropped.fetch_add(1, std::memory_order_relaxed);
           if (batch[i].done != nullptr) {
             batch[i].done->store(kDroppedSignal, std::memory_order_release);
+            slots_stored = true;
           }
-          if (cfg_.record) abandoned_seqs.push_back(batch[i].first_seq);
         } else {
           live.push_back(batch[i]);
         }
@@ -440,6 +599,7 @@ void CountingService::worker_loop(TopologyEpoch* epoch, std::uint32_t shard) {
         rt.latency.record(lat);
         if (live[i].done != nullptr) {
           live[i].done->store(global + 1, std::memory_order_release);
+          slots_stored = true;
         }
       }
       rt.completed.fetch_add(k, std::memory_order_relaxed);
@@ -449,9 +609,14 @@ void CountingService::worker_loop(TopologyEpoch* epoch, std::uint32_t shard) {
       }
     }
 
-    if (cfg_.record && (k > 0 || !abandoned_seqs.empty())) {
-      std::lock_guard<std::mutex> lock(emit_mu_);
-      for (const std::uint64_t fs : abandoned_seqs) buffer_->drop(fs);
+    if (cfg_.record && k > 0) {
+      // Lock-free recording: ONE last_seq range draw for the sub-batch
+      // (the shared counter keeps every last_seq above its first_seq and
+      // all seqs unique), records appended to this shard's single-writer
+      // lane. Abandoned elements emit nothing — an unresolved seq is
+      // simply absent from the merged stream.
+      const std::uint64_t ls =
+          events_.fetch_add(k, std::memory_order_relaxed);
       for (std::uint32_t i = 0; i < k; ++i) {
         TokenRecord rec;
         rec.token = static_cast<TokenId>(live[i].ticket);
@@ -470,11 +635,13 @@ void CountingService::worker_loop(TopologyEpoch* epoch, std::uint32_t shard) {
         rec.t_in = static_cast<double>(live[i].arrival_ns);
         rec.t_out = static_cast<double>(completion_ns);
         rec.first_seq = live[i].first_seq;
-        rec.last_seq = events_++;
-        buffer_->close(rec);
+        rec.last_seq = ls + i;
+        rt.lane.push_back(rec);
       }
-      buffer_->drain();
     }
+
+    // One wake RMW per drained batch, amortized over its completions.
+    if (slots_stored) done_ec_.notify_all();
   }
   rt.exited.store(true, std::memory_order_release);
 }
@@ -585,8 +752,11 @@ void CountingService::retire_epoch() {
   while (pending_submits_.load(std::memory_order_seq_cst) != 0) {
     std::this_thread::yield();
   }
-  // 2. Flag retirement; every worker drains its queue and exits.
+  // 2. Flag retirement; every worker drains its queue and exits. Wake
+  //    parked idle workers so the fence doesn't wait out their timed
+  //    backstop.
   ep.retiring.store(true, std::memory_order_release);
+  for (auto& rt : ep.runtimes) rt->idle.notify_all();
   // 3. Heal-and-join: respawn crashed workers so their queues drain (the
   //    successor observes `retiring` and exits once empty). Without
   //    supervision the dead shard's queue is scavenged below instead.
@@ -618,20 +788,30 @@ void CountingService::retire_epoch() {
   }
   // 4. Scavenge requests stranded on dead, never-respawned shards:
   //    signal their clients — a completion slot must NEVER hang — and
-  //    account each as an `abandoned` residue hole.
-  for (auto& q : ep.queues) {
-    Request r;
-    while (q->try_pop(r)) {
-      if (r.done != nullptr) {
-        r.done->store(kDroppedSignal, std::memory_order_release);
+  //    account each as an `abandoned` residue hole. Element-wise: a
+  //    stranded batch cell strands every element of its run, and a dead
+  //    worker's partially consumed carry strands its tail.
+  {
+    bool scavenged = false;
+    const auto scavenge_run = [&](const Request& c, std::uint32_t from) {
+      for (std::uint32_t i = from; i < c.count; ++i) {
+        if (c.done != nullptr) {
+          (c.done + static_cast<std::uint64_t>(i) * c.stride)
+              ->store(kDroppedSignal, std::memory_order_release);
+        }
+        ep.abandoned.fetch_add(1, std::memory_order_relaxed);
+        abandoned_.fetch_add(1, std::memory_order_relaxed);
+        scavenged = true;
       }
-      if (cfg_.record) {
-        std::lock_guard<std::mutex> lock(emit_mu_);
-        buffer_->drop(r.first_seq);
-      }
-      ep.abandoned.fetch_add(1, std::memory_order_relaxed);
-      abandoned_.fetch_add(1, std::memory_order_relaxed);
+    };
+    for (std::size_t s = 0; s < ep.queues.size(); ++s) {
+      ShardRuntime& rt = *ep.runtimes[s];
+      scavenge_run(rt.carry, rt.carry_pos);
+      rt.carry_pos = rt.carry.count;
+      Request r;
+      while (ep.queues[s]->try_pop(r)) scavenge_run(r, 0);
     }
+    if (scavenged) done_ec_.notify_all();
   }
 
   // --- per-epoch accounting (the Lemma 3.1 audit at the fence) ---------
@@ -679,12 +859,22 @@ void CountingService::retire_epoch() {
   es.p50_ns = epoch_latency.p50();
   es.p99_ns = epoch_latency.p99();
   if (cfg_.record) {
-    // The epoch's record stream ends here: every opened first_seq has
-    // resolved (close or drop), so the flush empties the reorder buffer
-    // and the per-epoch consistency analyzer sees exactly this epoch's
-    // records before it is reset for the next one.
-    std::lock_guard<std::mutex> lock(emit_mu_);
-    buffer_->flush();
+    // The epoch's record stream ends here: the workers are joined, so
+    // their single-writer lanes are quiescent. Sort each by the issue
+    // key (a lane is near-sorted — one shard consumes its queue FIFO —
+    // but concurrent submitters can invert the push order of drawn
+    // seqs) and k-way merge into the sink: the merged stream honors the
+    // exact issue-order contract the analyzers require, one epoch at a
+    // time. Seqs that never resolved (rejected, crash-lost, abandoned)
+    // are simply absent. Cross-epoch order holds because the next
+    // epoch's seqs are drawn after this merge.
+    std::vector<Trace> lanes;
+    lanes.reserve(ep.runtimes.size());
+    for (auto& rt : ep.runtimes) {
+      std::sort(rt->lane.begin(), rt->lane.end(), issue_order_less);
+      lanes.push_back(std::move(rt->lane));
+    }
+    merge_issue_ordered(lanes, fanout_);
     epoch_sc_->finish();
     if (epoch_sc_->total() > 0) {
       es.f_nl = epoch_sc_->report().f_nl;
@@ -718,7 +908,8 @@ std::string CountingService::resize(std::uint32_t level) {
            std::to_string(cfg_.elastic.max_level) + "]";
   }
   std::lock_guard<std::mutex> lock(fence_mu_);
-  if (stopped_ || stopping_.load(std::memory_order_acquire)) {
+  if (stopped_.load(std::memory_order_acquire) ||
+      stopping_.load(std::memory_order_acquire)) {
     return "service: stopping";
   }
   TopologyEpoch* cur = epoch_ptr_.load(std::memory_order_relaxed);
@@ -803,8 +994,9 @@ ResidueAudit CountingService::audit() const {
 }
 
 void CountingService::stop() {
-  if (!started_ || stopped_) return;
-  stopped_ = true;
+  if (!started_ || stopped_.exchange(true, std::memory_order_acq_rel)) {
+    return;
+  }
   accepting_.exchange(false, std::memory_order_seq_cst);
   while (pending_submits_.load(std::memory_order_seq_cst) != 0) {
     std::this_thread::yield();
@@ -835,6 +1027,9 @@ void CountingService::stop() {
     stats_.batches = acc_.batches;
     stats_.stalls = acc_.stalls;
     stats_.max_batch_seen = acc_.max_batch_seen;
+    stats_.ingress_batches =
+        ingress_batches_.load(std::memory_order_relaxed);
+    stats_.ingress_cells = ingress_cells_.load(std::memory_order_relaxed);
     stats_.splits = acc_.splits;
     stats_.merges = acc_.merges;
     stats_.epochs = epoch_stats_.size();
@@ -847,10 +1042,9 @@ void CountingService::stop() {
                                  static_cast<double>(stats_.batches)
                            : 0.0;
   }
-  if (cfg_.record) {
-    std::lock_guard<std::mutex> lock(emit_mu_);
-    buffer_->flush();
-  }
+  // Final wake: any client still parked on a completion slot has had
+  // that slot resolved by the fence above (value, drop, or scavenge).
+  done_ec_.notify_all();
 }
 
 }  // namespace cn::service

@@ -60,14 +60,36 @@
 // balancer per batch instead of per token, which is where the service
 // throughput comes from.
 //
+// Ingress batching (Lemma 3.1 again, at the entry point): submit_batch
+// draws ONE contiguous ticket range with a single fetch_add(n) and
+// splits it arithmetically into per-shard residue runs — the tickets
+// {t0, t0+1, ..., t0+n-1} that land on shard s form an arithmetic
+// sequence with stride N, so each shard receives at most ONE queue cell
+// per batch, carrying {first ticket, count, stride}. Queue traffic and
+// dispenser RMWs drop from O(requests) to O(batches) while the residue
+// accounting stays exactly as auditable as n single submits: a batch IS
+// n consecutive tickets. Admission (watermarks + accepting) is checked
+// once per batch BEFORE the draw, so sheds still burn no residue slot;
+// a per-shard queue-full rejection burns exactly that shard's run.
+//
+// Waiting: completion slots and idle workers park on EventCounts
+// (util/eventcount.hpp) instead of sleep-polling. Workers notify a
+// service-wide completion eventcount once per drained batch; submitters
+// notify a per-shard eventcount only when its worker is actually parked
+// (zero RMWs on the hot path — workers back that up with a timed park).
+//
 // Tracing: when constructed with a TraceSink the service emits one
-// TokenRecord per completed request, honoring the sink contract
-// (nondecreasing issue order) exactly: every first_seq (at submit) and
-// last_seq (at completion) is drawn under one mutex that also guards an
-// IssueOrderBuffer, so the streaming consistency and degradation
-// analyzers attach live. The lock exists ONLY on the recording path;
-// un-recorded runs (the saturation benchmarks) touch no shared mutable
-// state beyond the queues and the shard networks.
+// TokenRecord per completed request. The recording path is LOCK-FREE:
+// first_seq ranges are drawn at submit and last_seqs at completion from
+// one shared atomic event counter (so every record's first_seq precedes
+// its last_seq and seqs are globally unique), and each worker appends
+// its records to a single-writer per-shard lane. At each epoch fence —
+// and at stop() for the final epoch — the lanes are sorted and k-way
+// merged by the issue key into the sink, which therefore sees the exact
+// issue-order contract the live mutex-serialized path used to produce,
+// one epoch at a time. Un-recorded runs (the saturation benchmarks)
+// touch no shared mutable state beyond the queues, the dispenser, and
+// the shard networks.
 // Elastic width (paper Props 5.6-5.10 + Lemma 3.1): when
 // ServiceConfig::elastic is enabled the fixed residue-class router is
 // replaced by a versioned TopologyEpoch, swapped atomically. Epoch
@@ -107,25 +129,44 @@
 #include "service/queue.hpp"
 #include "trace/sink.hpp"
 #include "trace/streaming.hpp"
+#include "util/eventcount.hpp"
 #include "util/residue.hpp"
 
 namespace cn::service {
 
-/// One queued counter request.
+/// One queued counter request — or, on the batched ingress path, a RUN
+/// of `count` requests from one submit_batch whose tickets (and, when
+/// recording, first_seqs) form an arithmetic sequence with the given
+/// stride (the epoch's shard count: consecutive batch tickets landing on
+/// one shard differ by exactly N). Element j of the run is the request
+/// {ticket + j*stride, first_seq + j*stride, done + j*stride}: the
+/// submitter's slot array is indexed by BATCH position (slot i belongs
+/// to ticket t0 + i), so a run's slots stride through it exactly like
+/// its tickets. A classic try_submit is the count == 1 case.
 struct Request {
   std::uint64_t ticket = 0;      ///< Global ticket (token id, route key).
   std::uint64_t first_seq = 0;   ///< Drawn at submit when recording.
   std::uint64_t arrival_ns = 0;  ///< Client-side arrival timestamp.
   std::uint32_t client = 0;      ///< Submitting client (trace process).
+  std::uint32_t count = 1;       ///< Run length (1 = single submit).
+  std::uint32_t stride = 1;      ///< Ticket/seq step between elements.
   /// Completion slot: the worker stores value + 1 (0 = still pending),
   /// or kDroppedSignal when the request was fault-abandoned. May be
-  /// null for fire-and-forget submission.
+  /// null for fire-and-forget submission. For a run, element j's slot
+  /// is done + j (when non-null).
   std::atomic<std::uint64_t>* done = nullptr;
 };
 
 /// Stored to Request::done when a fault abandoned the request.
 inline constexpr std::uint64_t kDroppedSignal =
     static_cast<std::uint64_t>(-1);
+
+/// Stored to a batch element's slot when its shard queue was full: the
+/// run's tickets were already drawn, so the refusal burns them (residue
+/// holes, accounted as `rejected`) — distinguishable from kDroppedSignal
+/// so clients can classify without waiting.
+inline constexpr std::uint64_t kRejectedSignal =
+    static_cast<std::uint64_t>(-2);
 
 /// Live split/merge resharding (paper Props 5.6-5.10). The base
 /// topology must be continuously uniformly splittable AND pass
@@ -191,6 +232,11 @@ struct ServiceConfig {
   /// arrivals at >= high, resume below low. high <= 0 disables shedding.
   double shed_high_watermark = 0.0;
   double shed_low_watermark = 0.0;
+  /// Pin each shard worker to CPU (shard mod hardware_concurrency).
+  /// Off by default: pinning helps steady-state saturation (no worker
+  /// migration, warm shard network in one L2) but hurts whenever the
+  /// machine is oversubscribed. Linux-only; silently ignored elsewhere.
+  bool pin_workers = false;
 
   // --- elastic width ----------------------------------------------------
   /// When enabled, `shards` is ignored: the service runs 2^level
@@ -228,6 +274,12 @@ struct ServiceStats {
   std::uint64_t batches = 0;     ///< increment_batch calls issued.
   std::uint64_t max_batch_seen = 0;
   double mean_batch = 0.0;       ///< completed / batches.
+  /// Ingress shape (informational, NOT in the deterministic
+  /// fingerprint — single vs batched submission must fingerprint
+  /// identically): submit_batch calls accepted, and the queue cells
+  /// they produced (<= min(batch, shards) cells per call).
+  std::uint64_t ingress_batches = 0;
+  std::uint64_t ingress_cells = 0;
   std::uint64_t stalls = 0;      ///< Injected worker stalls taken.
   std::uint64_t splits = 0;      ///< Epoch transitions to a deeper level.
   std::uint64_t merges = 0;      ///< Epoch transitions to a shallower one.
@@ -348,6 +400,40 @@ class CountingService {
   bool try_submit(std::uint32_t client, std::uint64_t arrival_ns,
                   std::atomic<std::uint64_t>* done = nullptr);
 
+  /// Outcome of one submit_batch call. The three counters partition the
+  /// batch: accepted requests were queued (their slots will be stored),
+  /// rejected ones burnt their tickets on a full shard queue (slots
+  /// already hold kRejectedSignal), shed ones never drew a ticket
+  /// (slots untouched — all-or-nothing, shed == n or 0). All three zero
+  /// means admission was closed (service stopping or fencing).
+  struct BatchResult {
+    std::uint32_t accepted = 0;
+    std::uint32_t rejected = 0;
+    std::uint32_t shed = 0;
+    bool admitted() const noexcept {
+      return accepted + rejected + shed != 0;
+    }
+  };
+
+  /// Submits `n` requests as ONE ingress batch: one pending-submits
+  /// lease (a batch never straddles an epoch fence), one admission
+  /// check, one ticket-range fetch_add(n), and at most min(n, shards)
+  /// queue cells — each carrying that shard's arithmetic run of the
+  /// range. `slots`, if non-null, points at n consecutive completion
+  /// slots in BATCH ORDER (slot i belongs to ticket t0 + i); each
+  /// accepted slot is eventually stored exactly as try_submit's would
+  /// be, and rejected runs' slots are stored kRejectedSignal before the
+  /// call returns. Watermark shedding is all-or-nothing and happens
+  /// before the ticket draw, so a shed batch leaves no residue holes.
+  BatchResult submit_batch(std::uint32_t client, std::uint64_t arrival_ns,
+                           std::atomic<std::uint64_t>* slots,
+                           std::uint32_t n);
+
+  /// The completion eventcount: workers notify it after storing any
+  /// completion slots (values, drop signals, scavenges). Clients pass it
+  /// to wait_done to park instead of sleep-polling.
+  EventCount& completion_event() noexcept { return done_ec_; }
+
   /// Client-side deadline expiry report (folded into stats().timed_out).
   void count_timeout() noexcept {
     timed_out_.fetch_add(1, std::memory_order_relaxed);
@@ -420,6 +506,11 @@ class CountingService {
 
     std::atomic<bool> exited{false};  ///< Set on EVERY worker return.
 
+    /// Idle-worker park/unpark: submitters notify_if_waiters after a
+    /// push; the worker parks with a timed backstop when its queue runs
+    /// dry (covering the notify's skipped-RMW missed-wake window).
+    EventCount idle;
+
     // Worker-only persistent state (see struct comment).
     std::unique_ptr<fault::FaultStream> faults;
     std::vector<fault::ChaosEvent> chaos;  ///< Sorted by at_ops.
@@ -428,6 +519,18 @@ class CountingService {
     std::uint64_t feed_cursor = 0;  ///< Elastic balanced-feed cursor.
     std::uint64_t stall_window_end = 0;   ///< processed bound, 0 = none.
     std::uint64_t stall_window_ns = 0;
+    /// Partially consumed batch run: chaos triggers and max_batch cap
+    /// batch formation at exact element counts, so a multi-element cell
+    /// may be split across loop iterations (and across a respawn — the
+    /// successor worker resumes the carry exactly where the crash cut
+    /// it, minus the elements the crash consumed). carry_pos is the
+    /// next unconsumed element; carry_pos == carry.count means no carry.
+    Request carry{.count = 0};
+    std::uint32_t carry_pos = 0;
+    /// Lock-free recording lane: the shard's completed TokenRecords in
+    /// local completion order (single-writer — the current worker).
+    /// Sorted + k-way merged into the sink at the epoch fence.
+    Trace lane;
     LatencyHistogram latency;  ///< Single-writer (the current worker);
                                ///< merged at the epoch's fence.
   };
@@ -527,20 +630,29 @@ class CountingService {
   std::atomic<std::uint64_t> respawns_{0};
   std::atomic<std::uint64_t> wedge_detections_{0};
   std::atomic<std::uint64_t> abandoned_{0};
+  std::atomic<std::uint64_t> ingress_batches_{0};
+  std::atomic<std::uint64_t> ingress_cells_{0};
   std::atomic<bool> accepting_{false};
   std::atomic<bool> stopping_{false};
   bool started_ = false;
-  bool stopped_ = false;
+  /// Atomic: stop() flips it before taking fence_mu_, and the
+  /// supervisor's controller reads it inside resize() while still
+  /// running — the only cross-thread touch of the stop flags outside
+  /// the lock.
+  std::atomic<bool> stopped_{false};
 
-  // Recording path only: one mutex serializes every event-seq draw AND
-  // the issue-order buffer transitions, which is what makes the emitted
-  // stream exact w.r.t. the sink contract. The buffer drains through
-  // fanout_ into the per-epoch consistency analyzer and the user sink.
-  std::mutex emit_mu_;
-  std::uint64_t events_ = 0;
+  /// Completion park/unpark: notified by workers after any slot store.
+  alignas(kCacheLineSize) EventCount done_ec_;
+
+  // Recording path only — LOCK-FREE: events_ is the shared seq
+  // dispenser (submit draws first_seq ranges, workers draw last_seqs;
+  // one monotone counter makes first < last per record and all seqs
+  // unique). Records accumulate in the per-shard single-writer lanes
+  // and reach fanout_ (per-epoch analyzer + user sink) via a sorted
+  // k-way merge at each fence, under fence_mu_.
+  alignas(kCacheLineSize) std::atomic<std::uint64_t> events_{0};
   RecordFanout fanout_;
   std::unique_ptr<StreamingConsistency> epoch_sc_;
-  std::unique_ptr<IssueOrderBuffer> buffer_;
 
   ServiceStats stats_;
 };

@@ -37,4 +37,33 @@ void feed_completion_order(const Trace& trace, TraceSink& sink) {
   feed_sorted(trace, sink, completion_order_less);
 }
 
+void merge_issue_ordered(std::vector<Trace>& lanes, TraceSink& sink) {
+  // Tournament-free k-way merge: k is small (shards or worker threads),
+  // so a linear scan for the minimum head beats heap bookkeeping, and
+  // batching the output amortizes the sink dispatch the same way the
+  // producers' own release runs do.
+  constexpr std::size_t kBatch = 1024;
+  std::vector<std::size_t> cursor(lanes.size(), 0);
+  std::vector<TokenRecord> batch;
+  batch.reserve(kBatch);
+  for (;;) {
+    std::size_t best = lanes.size();
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+      if (cursor[i] >= lanes[i].size()) continue;
+      if (best == lanes.size() ||
+          issue_order_less(lanes[i][cursor[i]], lanes[best][cursor[best]])) {
+        best = i;
+      }
+    }
+    if (best == lanes.size()) break;
+    batch.push_back(lanes[best][cursor[best]++]);
+    if (batch.size() == kBatch) {
+      sink.on_records(batch);
+      batch.clear();
+    }
+  }
+  if (!batch.empty()) sink.on_records(batch);
+  for (Trace& lane : lanes) lane.clear();
+}
+
 }  // namespace cn

@@ -113,6 +113,14 @@ bool completion_order_less(const TokenRecord& a, const TokenRecord& b) noexcept;
 void feed_issue_order(const Trace& trace, TraceSink& sink);
 void feed_completion_order(const Trace& trace, TraceSink& sink);
 
+/// K-way merges per-producer partial traces — each already sorted by
+/// issue_order_less (true of any single-writer lane whose operations are
+/// recorded as they complete against a shared monotone seq counter, and
+/// of per-thread closed-loop partials) — into one issue-ordered stream,
+/// emitted in bounded on_records() batches. Does not call sink.finish().
+/// Lanes are consumed (left empty) so callers can reuse their capacity.
+void merge_issue_ordered(std::vector<Trace>& lanes, TraceSink& sink);
+
 /// Producer-side reorder buffer: event-driven producers complete
 /// operations in last_seq order, but the sink contract is issue order.
 /// Unlike a downstream consumer, the producer knows its open-operation

@@ -10,6 +10,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -22,6 +23,7 @@
 #include "service/service.hpp"
 #include "trace/sink.hpp"
 #include "trace/streaming.hpp"
+#include "util/eventcount.hpp"
 #include "util/rng.hpp"
 
 namespace cn {
@@ -619,23 +621,203 @@ TEST(SubmitPolicy, BackoffScheduleIsSeedDeterministic) {
   EXPECT_EQ(service::backoff_ns(policy, 10, d), 64'000u);
 }
 
+std::uint64_t test_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+TEST(SubmitPolicy, WaitStepScheduleIsPureAndPolicyShaped) {
+  // wait_step_ns is the whole post-spin wait schedule: `yield_limit`
+  // rounds of 0 (yield), then `park_ns` forever after. Pure in
+  // (policy, round) — the schedule pins down without touching a clock.
+  service::SubmitPolicy p;
+  p.yield_limit = 3;
+  p.park_ns = 10'000;
+  EXPECT_EQ(service::wait_step_ns(p, 0), 0u);
+  EXPECT_EQ(service::wait_step_ns(p, 2), 0u);
+  EXPECT_EQ(service::wait_step_ns(p, 3), 10'000u);
+  EXPECT_EQ(service::wait_step_ns(p, 1ull << 40), 10'000u);
+  p.yield_limit = 0;  // No yield gear: the first post-spin round parks.
+  EXPECT_EQ(service::wait_step_ns(p, 0), 10'000u);
+  p.park_ns = 123;
+  EXPECT_EQ(service::wait_step_ns(p, 99), 123u);
+}
+
 TEST(SubmitPolicy, WaitDoneHonorsDeadline) {
+  service::SubmitPolicy policy;
+  policy.spin_limit = 64;
+  policy.yield_limit = 8;
+  policy.park_ns = 100'000;  // 100 us parks against a 2 ms deadline.
   std::atomic<std::uint64_t> never{0};
   const auto t0 = std::chrono::steady_clock::now();
-  const std::uint64_t deadline =
-      static_cast<std::uint64_t>(
-          std::chrono::duration_cast<std::chrono::nanoseconds>(
-              t0.time_since_epoch())
-              .count()) +
-      2'000'000;  // 2 ms
-  EXPECT_EQ(service::wait_done(never, deadline, 64), 0u);
+  const std::uint64_t deadline = test_now_ns() + 2'000'000;  // 2 ms
+  EXPECT_EQ(service::wait_done(never, deadline, policy), 0u);
   const auto waited = std::chrono::steady_clock::now() - t0;
   EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(waited)
                 .count(),
             500)
       << "timeout wait must be bounded";
   std::atomic<std::uint64_t> ready{7};
-  EXPECT_EQ(service::wait_done(ready, deadline, 64), 7u);
+  EXPECT_EQ(service::wait_done(ready, deadline, policy), 7u);
+  // The eventcount gear obeys the same deadline with no notifier in
+  // sight: the timed futex wait is the bound, not a wake.
+  EventCount ec;
+  const auto t1 = std::chrono::steady_clock::now();
+  const std::uint64_t d1 = test_now_ns() + 2'000'000;
+  EXPECT_EQ(service::wait_done(never, d1, policy, &ec), 0u);
+  const auto parked = std::chrono::steady_clock::now() - t1;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(parked)
+                .count(),
+            500);
+  EXPECT_FALSE(ec.has_waiters()) << "wait_done must deregister";
+}
+
+// --- EventCount (futex park/unpark) ---
+
+TEST(EventCount, StaleKeyReturnsWithoutSleeping) {
+  EventCount ec;
+  const std::uint32_t key = ec.prepare_wait();
+  EXPECT_TRUE(ec.has_waiters());
+  ec.notify_all();  // The epoch moves past `key` while we are registered.
+  EXPECT_TRUE(ec.commit_wait(key)) << "stale key must not park";
+  EXPECT_FALSE(ec.has_waiters());
+}
+
+TEST(EventCount, CancelDeregistersAndIdleNotifyIsFree) {
+  EventCount ec;
+  (void)ec.prepare_wait();
+  EXPECT_TRUE(ec.has_waiters());
+  ec.cancel_wait();
+  EXPECT_FALSE(ec.has_waiters());
+  ec.notify_if_waiters();  // Nobody registered: no RMW, no wake, no harm.
+  ec.notify_one();
+  ec.notify_all();
+  EXPECT_FALSE(ec.has_waiters());
+}
+
+TEST(EventCount, TimedParkExpiresWithoutANotifier) {
+  EventCount ec;
+  const std::uint64_t now = test_now_ns();
+  // Already-past deadline: fails without parking at all.
+  const std::uint32_t k0 = ec.prepare_wait();
+  EXPECT_FALSE(ec.commit_wait(k0, now - 1, now));
+  EXPECT_FALSE(ec.has_waiters());
+  // Future deadline, no notify: the timed park is the only exit.
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::uint32_t k1 = ec.prepare_wait();
+  EXPECT_FALSE(ec.commit_wait(k1, test_now_ns() + 2'000'000));
+  const auto waited = std::chrono::steady_clock::now() - t0;
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::microseconds>(waited)
+                .count(),
+            1'000)
+      << "a timed park must actually wait out its deadline";
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(waited)
+                .count(),
+            500);
+  EXPECT_FALSE(ec.has_waiters());
+}
+
+TEST(EventCount, NotifyAllWakesEveryParkedWaiterEachRound) {
+  // The no-missed-wake property under real contention: four waiters
+  // follow the prepare/check/commit protocol against an advancing
+  // counter with UNTIMED parks — only notifies can wake them, so a
+  // single missed wake hangs the test. The notifier advances as fast as
+  // it can; TSan vets the happens-before edges through the state word.
+  EventCount ec;
+  std::atomic<std::uint64_t> value{0};
+  constexpr std::uint64_t kRounds = 400;
+  constexpr std::uint32_t kWaiters = 4;
+  std::atomic<std::uint32_t> finished{0};
+  std::vector<std::thread> waiters;
+  for (std::uint32_t w = 0; w < kWaiters; ++w) {
+    waiters.emplace_back([&] {
+      std::uint64_t last = 0;
+      while (last < kRounds) {
+        const std::uint32_t key = ec.prepare_wait();
+        const std::uint64_t v = value.load(std::memory_order_acquire);
+        if (v > last) {
+          ec.cancel_wait();
+          last = v;
+          continue;
+        }
+        ec.commit_wait(key);
+        last = std::max(last, value.load(std::memory_order_acquire));
+      }
+      finished.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  for (std::uint64_t r = 1; r <= kRounds; ++r) {
+    value.store(r, std::memory_order_release);
+    ec.notify_all();
+  }
+  for (auto& t : waiters) t.join();
+  EXPECT_EQ(finished.load(std::memory_order_relaxed), kWaiters);
+  EXPECT_FALSE(ec.has_waiters());
+}
+
+TEST(EventCount, ProducerConsumerWithTimedBackstopLosesNothing) {
+  // The service's idle-worker shape: the producer uses the zero-RMW
+  // notify_if_waiters, whose skipped wake re-opens a store-buffer
+  // window, so the consumer's park carries the timed backstop that
+  // bounds it. Every produced item must be consumed regardless.
+  EventCount ec;
+  std::atomic<std::uint64_t> produced{0};
+  constexpr std::uint64_t kItems = 20'000;
+  std::atomic<std::uint64_t> consumed{0};
+  std::thread consumer([&] {
+    std::uint64_t done = 0;
+    while (done < kItems) {
+      if (done < produced.load(std::memory_order_acquire)) {
+        ++done;
+        continue;
+      }
+      const std::uint32_t key = ec.prepare_wait();
+      if (done < produced.load(std::memory_order_acquire)) {
+        ec.cancel_wait();
+        continue;
+      }
+      ec.commit_wait(key, test_now_ns() + 200'000);
+    }
+    consumed.store(done, std::memory_order_release);
+  });
+  std::thread producer([&] {
+    for (std::uint64_t i = 0; i < kItems; ++i) {
+      produced.fetch_add(1, std::memory_order_release);
+      ec.notify_if_waiters();
+    }
+  });
+  producer.join();
+  consumer.join();
+  EXPECT_EQ(consumed.load(std::memory_order_acquire), kItems);
+  EXPECT_FALSE(ec.has_waiters());
+}
+
+TEST(EventCount, StopRacingParkedWaitersAllWake) {
+  // Shutdown shape: eight waiters park (timed backstop) on a flag the
+  // stopper sets exactly once, racing their registrations. Every waiter
+  // must observe the flag and exit; the stopper's notify_all plus the
+  // backstop make the exit prompt no matter how the race lands.
+  EventCount ec;
+  std::atomic<bool> stopped{false};
+  std::vector<std::thread> waiters;
+  for (int w = 0; w < 8; ++w) {
+    waiters.emplace_back([&] {
+      while (!stopped.load(std::memory_order_acquire)) {
+        const std::uint32_t key = ec.prepare_wait();
+        if (stopped.load(std::memory_order_acquire)) {
+          ec.cancel_wait();
+          break;
+        }
+        ec.commit_wait(key, test_now_ns() + 1'000'000);
+      }
+    });
+  }
+  stopped.store(true, std::memory_order_release);
+  ec.notify_all();
+  for (auto& t : waiters) t.join();
+  EXPECT_FALSE(ec.has_waiters());
 }
 
 TEST(PolicyClient, DeadlineExpiresAgainstDeadShardWithoutHanging) {
@@ -695,6 +877,220 @@ TEST(PolicyClient, RetriesExhaustAgainstFullQueueAsRejected) {
   EXPECT_EQ(r.retries, 3u);
   EXPECT_EQ(client.stats().rejected, 1u);
   EXPECT_EQ(client.stats().retries, 3u);
+}
+
+// --- batched ingress (submit_batch) ---
+
+TEST(CountingService, BatchedIngressIsGapFreeAcrossShards) {
+  // Half the load as singles, half as 8-element batches, concurrently:
+  // the union must still tile 0..M-1 (Lemma 3.1 splits the contiguous
+  // ticket range residue-exactly), the audit must stay exact, and the
+  // ingress counters must show the cell compression — at most
+  // min(batch, shards) queue cells per batch.
+  const Network net = make_bitonic(8);
+  for (const std::uint32_t shards : {1u, 2u, 3u}) {
+    ServiceConfig cfg = small_config(net, shards);
+    cfg.queue_capacity = 1024;
+    CountingService svc(cfg);
+    svc.start();
+    std::vector<std::uint64_t> values;
+    std::thread single_side([&] {
+      const std::vector<std::uint64_t> v = drive(svc, 2, 200);
+      values.insert(values.end(), v.begin(), v.end());  // joined below
+    });
+    constexpr std::uint32_t kBatches = 50;
+    constexpr std::uint32_t kBatch = 8;
+    std::vector<std::uint64_t> batch_values[2];
+    std::vector<std::thread> batchers;
+    for (std::uint32_t k = 0; k < 2; ++k) {
+      batchers.emplace_back([&, k] {
+        service::SubmitPolicy policy;
+        service::PolicyClient client(svc, policy, 10 + k, 7 + k);
+        for (std::uint32_t b = 0; b < kBatches; ++b) {
+          const service::BatchReport rep = client.submit_batch(b, kBatch);
+          EXPECT_EQ(rep.completed, kBatch) << "shards=" << shards;
+          for (const std::uint64_t v : rep.values) {
+            batch_values[k].push_back(v);
+          }
+        }
+      });
+    }
+    single_side.join();
+    for (auto& t : batchers) t.join();
+    svc.stop();
+    for (const auto& bv : batch_values) {
+      values.insert(values.end(), bv.begin(), bv.end());
+    }
+    std::sort(values.begin(), values.end());
+    ASSERT_EQ(values.size(), 1200u) << "shards=" << shards;
+    for (std::uint64_t i = 0; i < values.size(); ++i) {
+      ASSERT_EQ(values[i], i) << "shards=" << shards;
+    }
+    const ServiceStats& st = svc.stats();
+    EXPECT_EQ(st.completed, 1200u);
+    EXPECT_EQ(st.ingress_batches, 2u * kBatches);
+    EXPECT_EQ(st.ingress_cells, 2u * kBatches * std::min(kBatch, shards));
+    EXPECT_TRUE(svc.audit().ok()) << "shards=" << shards;
+  }
+}
+
+TEST(CountingService, BatchRejectionResolvesSlotsBeforeReturning) {
+  // A full queue refuses a batch's run AT SUBMIT: the refused slots are
+  // stored kRejectedSignal before submit_batch returns (a batch client
+  // never waits on a refused run) and the burned tickets are accounted
+  // holes, so the audit stays exact through the overload.
+  const Network net = make_bitonic(4);
+  ServiceConfig cfg = small_config(net, 1);
+  cfg.queue_capacity = 4;
+  cfg.fault.enabled = true;
+  cfg.fault.p_thread_stall = 1.0;
+  cfg.fault.stall_ns = 200'000;  // Slow worker: the queue backs up.
+  CountingService svc(cfg);
+  svc.start();
+  constexpr std::uint32_t kBatch = 4;
+  std::vector<std::unique_ptr<std::atomic<std::uint64_t>[]>> leases;
+  std::uint64_t accepted = 0, rejected = 0, rejected_batches = 0;
+  for (std::uint64_t i = 0; i < 200 && rejected_batches == 0; ++i) {
+    auto slots = std::make_unique<std::atomic<std::uint64_t>[]>(kBatch);
+    const CountingService::BatchResult res =
+        svc.submit_batch(0, i, slots.get(), kBatch);
+    accepted += res.accepted;
+    rejected += res.rejected;
+    if (res.rejected == kBatch) {
+      ++rejected_batches;
+      for (std::uint32_t j = 0; j < kBatch; ++j) {
+        EXPECT_EQ(slots[j].load(std::memory_order_acquire),
+                  service::kRejectedSignal)
+            << "refused run's slots must resolve before submit returns";
+      }
+    }
+    leases.push_back(std::move(slots));
+  }
+  EXPECT_GE(rejected_batches, 1u) << "tiny queue never filled";
+  svc.stop();
+  const ServiceStats& st = svc.stats();
+  EXPECT_EQ(st.completed, accepted);
+  EXPECT_EQ(st.rejected, rejected);
+  EXPECT_TRUE(svc.audit().exact);
+  // Every slot — accepted or refused — resolved by quiescence.
+  for (const auto& lease : leases) {
+    for (std::uint32_t j = 0; j < kBatch; ++j) {
+      EXPECT_NE(lease[j].load(std::memory_order_acquire), 0u);
+    }
+  }
+}
+
+TEST(CountingService, BatchedRecordedStreamMatchesSingles) {
+  // One shard, one closed-loop client, max_batch = 1: the worker serves
+  // tickets strictly one at a time, so values follow ticket order in
+  // both ingress modes (a wider worker batch would let the network
+  // permute values WITHIN the batch — real, wanted concurrency, but
+  // schedule-shaped) and the streaming consistency report must be
+  // identical — same total, zero violations. max_batch = 1 also drags
+  // every 5-element cell through the worker's carry, one element per
+  // drain iteration.
+  const Network net = make_bitonic(8);
+  const auto run = [&net](bool batched) {
+    ServiceConfig cfg = small_config(net, 1);
+    cfg.max_batch = 1;
+    cfg.record = true;
+    StreamingConsistency checker;
+    CountingService svc(cfg, &checker);
+    svc.start();
+    service::SubmitPolicy policy;
+    service::PolicyClient client(svc, policy, 0, 3);
+    std::uint64_t completed = 0;
+    if (batched) {
+      for (std::uint64_t b = 0; b < 60; ++b) {
+        completed += client.submit_batch(b, 5).completed;
+      }
+    } else {
+      for (std::uint64_t i = 0; i < 300; ++i) {
+        if (client.submit(i).status == service::SubmitStatus::kCompleted) {
+          ++completed;
+        }
+      }
+    }
+    svc.stop();
+    checker.finish();
+    EXPECT_EQ(completed, 300u);
+    return checker.report();
+  };
+  const ConsistencyReport single = run(false);
+  const ConsistencyReport batched = run(true);
+  EXPECT_EQ(single.total, 300u);
+  EXPECT_EQ(batched.total, single.total);
+  EXPECT_DOUBLE_EQ(single.f_nl, batched.f_nl);
+  EXPECT_DOUBLE_EQ(single.f_nsc, batched.f_nsc);
+  EXPECT_DOUBLE_EQ(single.f_nl, 0.0) << "one shard, one client: sequential";
+}
+
+TEST(CountingService, FingerprintIdenticalAcrossIngressModes) {
+  // Zero-fault classic path, one deterministic submitter: the replayable
+  // fingerprint must be byte-identical whether the same 1200 tickets
+  // arrive as singles or as 4-element batches — ingress batching is
+  // invisible to the accounting.
+  const Network net = make_bitonic(8);
+  const auto run = [&net](std::uint32_t batch) {
+    ServiceConfig cfg = small_config(net, 3);
+    cfg.queue_capacity = 4096;
+    cfg.seed = 9;
+    CountingService svc(cfg);
+    svc.start();
+    for (std::uint64_t i = 0; i < 1200 / batch; ++i) {
+      if (batch == 1) {
+        while (!svc.try_submit(0, i)) std::this_thread::yield();
+      } else {
+        while (!svc.submit_batch(0, i, nullptr, batch).admitted()) {
+          std::this_thread::yield();
+        }
+      }
+    }
+    svc.stop();
+    EXPECT_TRUE(svc.audit().ok());
+    EXPECT_EQ(svc.stats().completed, 1200u);
+    return service::deterministic_fingerprint(svc.stats());
+  };
+  EXPECT_EQ(run(1), run(4));
+}
+
+TEST(PolicyClient, StopScavengeWakesParkedBatchClients) {
+  // Unsupervised crash strands a batch mid-run; the client has NO
+  // deadline and parks on the completion eventcount in 10 ms gears.
+  // stop()'s element-wise scavenge must resolve every stranded slot
+  // (drop signal) and its notify must wake the parked waits — nobody
+  // hangs on a dead shard, and the element accounting is exact.
+  const Network net = make_bitonic(4);
+  ServiceConfig cfg = small_config(net, 1);
+  cfg.supervise = false;
+  cfg.fault.enabled = true;
+  cfg.fault.worker_crash_at = 2;
+  cfg.fault.worker_crash_shard = 0;
+  cfg.fault.worker_crash_lose = 1;
+  CountingService svc(cfg);
+  svc.start();
+  service::SubmitPolicy policy;
+  policy.spin_limit = 32;
+  policy.yield_limit = 4;
+  policy.park_ns = 10'000'000;
+  service::BatchReport rep;
+  std::thread client_thread([&] {
+    service::PolicyClient client(svc, policy, 1, 13);
+    rep = client.submit_batch(0, 8);
+  });
+  // Let the crash land (2 served, 1 consumed), then stop into the
+  // parked client.
+  while (svc.health().crashes < 1) std::this_thread::yield();
+  svc.stop();
+  client_thread.join();
+  EXPECT_EQ(rep.completed, 2u);
+  EXPECT_EQ(rep.dropped, 6u);  // 1 crash-consumed + 5 scavenged.
+  EXPECT_EQ(rep.timed_out, 0u);
+  const ServiceStats& st = svc.stats();
+  EXPECT_EQ(st.completed, 2u);
+  EXPECT_EQ(st.crash_lost, 1u);
+  EXPECT_EQ(st.abandoned, 5u);
+  EXPECT_TRUE(svc.audit().exact);
 }
 
 // --- elastic width: live split/merge resharding ---
@@ -879,7 +1275,9 @@ TEST(ElasticService, RecordsEmbedShardsIntoFullNetworkSinks) {
     EXPECT_LE(es.f_nsc, 1.0);
     // Cor 5.12's bound vanishes only at level 0 (a single shard can be
     // linearizable); any real split forces a positive fraction.
-    if (es.level > 0) EXPECT_GT(es.f_nl_bound, 0.0);
+    if (es.level > 0) {
+      EXPECT_GT(es.f_nl_bound, 0.0);
+    }
   }
 }
 
